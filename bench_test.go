@@ -1,0 +1,143 @@
+package autorte
+
+// The benchmark harness: one benchmark per experiment E1–E10 (DESIGN.md's
+// experiment index). Each runs the experiment at its published default
+// configuration; the measured shapes are recorded in EXPERIMENTS.md.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported ns/op is the wall-clock cost of regenerating the experiment's
+// table; the experiment results themselves are deterministic in virtual
+// time and independent of the host.
+
+import (
+	"io"
+	"testing"
+
+	"autorte/internal/experiments"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/workload"
+)
+
+func benchTable(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+		if i == 0 && testing.Verbose() {
+			tab.Render(io.Discard)
+		}
+	}
+}
+
+func BenchmarkE1Interference(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E1Interference(experiments.DefaultE1())
+	})
+}
+
+func BenchmarkE2IsolationOverhead(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E2IsolationOverhead(experiments.DefaultE2())
+	})
+}
+
+func BenchmarkE3OverrunContainment(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E3OverrunContainment(experiments.DefaultE3())
+	})
+}
+
+func BenchmarkE4BusComparison(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E4BusComparison(experiments.DefaultE4())
+	})
+}
+
+func BenchmarkE5AnalysisVsSim(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E5AnalysisVsSim(experiments.DefaultE5())
+	})
+}
+
+func BenchmarkE6Contracts(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E6Contracts(experiments.DefaultE6())
+	})
+}
+
+func BenchmarkE7Consolidation(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E7Consolidation(experiments.DefaultE7())
+	})
+}
+
+func BenchmarkE8NoC(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E8NoC(experiments.DefaultE8())
+	})
+}
+
+func BenchmarkE9Extensibility(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E9Extensibility(experiments.DefaultE9())
+	})
+}
+
+func BenchmarkE10ErrorHandling(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E10ErrorHandling(experiments.DefaultE10())
+	})
+}
+
+// BenchmarkPlatformThroughput measures raw simulation speed: virtual
+// events per wall second on the full generated vehicle. This is the
+// substrate-cost figure behind every experiment above.
+func BenchmarkPlatformThroughput(b *testing.B) {
+	sys, err := workload.GenerateVehicle(workload.VehicleSpec{}, sim.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	events := uint64(0)
+	for i := 0; i < b.N; i++ {
+		p, err := rte.Build(sys.Clone(), rte.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Run(100 * sim.Millisecond)
+		events += p.K.Executed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkExchangeRoundTrip measures the template import/export path.
+func BenchmarkExchangeRoundTrip(b *testing.B) {
+	sys, err := workload.GenerateVehicle(workload.VehicleSpec{}, sim.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			done <- model.Export(pw, sys)
+			pw.Close()
+		}()
+		if _, err := model.Import(pr); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

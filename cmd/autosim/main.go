@@ -1,0 +1,147 @@
+// Command autosim simulates a deployed system description (the JSON
+// exchange format of internal/model) on the generated RTE platform and
+// prints per-runnable response-time statistics and per-bus traffic.
+//
+// Usage:
+//
+//	autosim -system vehicle.json [-horizon 1s] [-isolation none|server|table]
+//	        [-budgets] [-csv trace.csv]
+//
+// With -demo, autosim generates the canonical four-DAS vehicle instead of
+// reading a file (useful as a smoke test and for inspecting the format:
+// add -export to dump the generated system as JSON).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"autorte/internal/model"
+	"autorte/internal/protection"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+	"autorte/internal/workload"
+)
+
+func main() {
+	var (
+		systemPath = flag.String("system", "", "system JSON (exchange format)")
+		horizon    = flag.Duration("horizon", time.Second, "virtual simulation horizon")
+		isolation  = flag.String("isolation", "none", "timing isolation: none|server|table")
+		budgets    = flag.Bool("budgets", false, "enforce per-job execution budgets")
+		csvPath    = flag.String("csv", "", "write the full event trace as CSV")
+		gantt      = flag.Duration("gantt", 0, "render an ASCII Gantt chart of the first <duration> of the run")
+		demo       = flag.Bool("demo", false, "simulate the generated demo vehicle")
+		export     = flag.Bool("export", false, "with -demo: print the system JSON and exit")
+		seed       = flag.Uint64("seed", 1, "workload generator seed (with -demo)")
+	)
+	flag.Parse()
+
+	sys, err := loadSystem(*systemPath, *demo, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *export {
+		if err := model.Export(os.Stdout, sys); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	opts := rte.Options{EnforceBudgets: *budgets}
+	switch *isolation {
+	case "none":
+	case "server":
+		opts.Isolation = rte.ServerPerSupplier
+		opts.ServerKind = protection.Deferrable
+	case "table":
+		opts.Isolation = rte.TablePerSupplier
+	default:
+		fatal(fmt.Errorf("unknown isolation %q", *isolation))
+	}
+	p, err := rte.Build(sys, opts)
+	if err != nil {
+		fatal(err)
+	}
+	p.Run(sim.Duration(*horizon))
+
+	fmt.Printf("simulated %s of virtual time (%d events)\n\n", *horizon, p.K.Executed())
+	fmt.Println("per-runnable response times:")
+	var names []string
+	for _, c := range sys.Components {
+		for i := range c.Runnables {
+			names = append(names, c.Name+"."+c.Runnables[i].Name)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := p.Stats(n)
+		if st.SampleCount == 0 {
+			continue
+		}
+		fmt.Printf("  %-40s %s\n", n, st)
+	}
+	fmt.Println("\nECU utilization:")
+	for _, e := range sys.ECUs {
+		if cpu := p.CPU(e.Name); cpu != nil && cpu.Utilization() > 0 {
+			fmt.Printf("  %-20s %.3f\n", e.Name, cpu.Utilization())
+		}
+	}
+	for _, b := range sys.Buses {
+		if cb := p.CANBus(b.Name); cb != nil {
+			fmt.Printf("\nCAN bus %s: load %.3f, retransmissions %d\n", b.Name, cb.Load(), cb.Retransmissions())
+		}
+	}
+	if n := p.Errors.Records(); len(n) > 0 {
+		fmt.Printf("\nplatform errors reported: %d\n", len(n))
+	}
+	if *gantt > 0 {
+		fmt.Println("\nexecution timeline ('#' running, '!' miss, 'x' abort):")
+		res := sim.Duration(*gantt) / 100
+		if res < 1 {
+			res = 1
+		}
+		if err := trace.Gantt(os.Stdout, p.Trace, nil, 0, sim.Duration(*gantt), res); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := p.Trace.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (%d records)\n", *csvPath, len(p.Trace.Records))
+	}
+	// Exit non-zero when deadlines were missed, for scripting.
+	if p.Trace.Count(trace.Miss, "") > 0 {
+		fmt.Printf("\nDEADLINE MISSES: %d\n", p.Trace.Count(trace.Miss, ""))
+		os.Exit(3)
+	}
+}
+
+func loadSystem(path string, demo bool, seed uint64) (*model.System, error) {
+	if demo {
+		return workload.GenerateVehicle(workload.VehicleSpec{}, sim.NewRand(seed))
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -system file or -demo")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.Import(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autosim:", err)
+	os.Exit(1)
+}

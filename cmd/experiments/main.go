@@ -1,0 +1,51 @@
+// Command experiments runs the full reproduction suite E1–E10 from
+// DESIGN.md and prints one result table per experiment (see
+// EXPERIMENTS.md for the interpretation of each).
+//
+// Usage:
+//
+//	experiments [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autorte/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	flag.Parse()
+	if *only == "" {
+		if err := experiments.All(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runs := map[string]func() (*experiments.Table, error){
+		"E1":  func() (*experiments.Table, error) { return experiments.E1Interference(experiments.DefaultE1()) },
+		"E2":  func() (*experiments.Table, error) { return experiments.E2IsolationOverhead(experiments.DefaultE2()) },
+		"E3":  func() (*experiments.Table, error) { return experiments.E3OverrunContainment(experiments.DefaultE3()) },
+		"E4":  func() (*experiments.Table, error) { return experiments.E4BusComparison(experiments.DefaultE4()) },
+		"E5":  func() (*experiments.Table, error) { return experiments.E5AnalysisVsSim(experiments.DefaultE5()) },
+		"E6":  func() (*experiments.Table, error) { return experiments.E6Contracts(experiments.DefaultE6()) },
+		"E7":  func() (*experiments.Table, error) { return experiments.E7Consolidation(experiments.DefaultE7()) },
+		"E8":  func() (*experiments.Table, error) { return experiments.E8NoC(experiments.DefaultE8()) },
+		"E9":  func() (*experiments.Table, error) { return experiments.E9Extensibility(experiments.DefaultE9()) },
+		"E10": func() (*experiments.Table, error) { return experiments.E10ErrorHandling(experiments.DefaultE10()) },
+	}
+	run, ok := runs[*only]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E10)\n", *only)
+		os.Exit(2)
+	}
+	tab, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	tab.Render(os.Stdout)
+}

@@ -1,0 +1,26 @@
+// Package autorte is a component-based runtime and analysis toolkit for
+// reliable automotive systems: a Go reproduction of "Software Components
+// for Reliable Automotive Systems" (Heinecke, Damm, Josko, Metzner,
+// Sangiovanni-Vincentelli, Kopetz, Di Natale — DATE 2008).
+//
+// The library spans the full stack the paper discusses:
+//
+//   - an AUTOSAR-like meta-model with SWCs, ports, runnables, configuration
+//     classes and a JSON exchange format (internal/model),
+//   - the Virtual Functional Bus and generated RTE (internal/vfb,
+//     internal/rte) over an OSEK-like kernel (internal/osek) with timing
+//     protection (internal/protection),
+//   - simulated CAN, FlexRay, TTP buses and a TT/best-effort NoC with
+//     worst-case analyses (internal/can, internal/flexray, internal/ttp,
+//     internal/noc),
+//   - contract-based rich interfaces, schedulability and end-to-end
+//     latency analysis (internal/contract, internal/sched, internal/e2e),
+//   - deployment design-space exploration and fault injection
+//     (internal/deploy, internal/fault),
+//   - the verification/composability layer tying it together
+//     (internal/core) and the reproduction suite (internal/experiments).
+//
+// Everything timed runs on a deterministic virtual-time discrete-event
+// kernel (internal/sim): the Go scheduler and garbage collector cannot
+// perturb any measured latency. See DESIGN.md and EXPERIMENTS.md.
+package autorte

@@ -1,0 +1,178 @@
+// Brake-by-wire: a safety-critical distributed chain (pedal sensor →
+// brake controller → four wheel actuators) deployed over a FlexRay
+// backbone, with rich contracts on the components, static verification of
+// the end-to-end latency constraint, and a measurement run that checks the
+// analytic bound against observed chain latencies — §3's methodology on
+// §4's example domain.
+//
+// Run with:
+//
+//	go run ./examples/brakebywire
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorte/internal/contract"
+	"autorte/internal/core"
+	"autorte/internal/e2e"
+	"autorte/internal/flexray"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+func buildSystem() *model.System {
+	ifPedal := &model.PortInterface{
+		Name: "IfPedal", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "pos", Type: model.UInt16}},
+	}
+	ifForce := &model.PortInterface{
+		Name: "IfForce", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "f", Type: model.UInt16}},
+	}
+	pedal := &model.SWC{
+		Name: "PedalSensor", Supplier: "tierA", DAS: "chassis", ASIL: model.ASILD, MemoryKB: 8,
+		Ports: []model.Port{{Name: "out", Direction: model.Provided, Interface: ifPedal}},
+		Runnables: []model.Runnable{{
+			Name: "sample", WCETNominal: sim.US(60),
+			Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(5)},
+			Writes:  []model.PortRef{{Port: "out", Elem: "pos"}},
+		}},
+	}
+	ctrl := &model.SWC{
+		Name: "BrakeController", Supplier: "tierB", DAS: "chassis", ASIL: model.ASILD, MemoryKB: 64,
+		Ports: []model.Port{
+			{Name: "pedal", Direction: model.Required, Interface: ifPedal},
+			{Name: "force", Direction: model.Provided, Interface: ifForce},
+		},
+		Runnables: []model.Runnable{{
+			Name: "law", WCETNominal: sim.US(400),
+			Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "pedal", Elem: "pos"},
+			Reads:   []model.PortRef{{Port: "pedal", Elem: "pos"}},
+			Writes:  []model.PortRef{{Port: "force", Elem: "f"}},
+		}},
+	}
+	sys := &model.System{
+		Name:       "brake-by-wire",
+		Interfaces: []*model.PortInterface{ifPedal, ifForce},
+		Components: []*model.SWC{pedal, ctrl},
+		ECUs: []*model.ECU{
+			{Name: "ecuFront", Speed: 1, MemoryKB: 256, Buses: []string{"fr"}, Position: [2]float64{0.5, 0}, MaxASIL: model.ASILD},
+			{Name: "ecuCentral", Speed: 2, MemoryKB: 512, Buses: []string{"fr"}, Position: [2]float64{1.5, 0.5}, MaxASIL: model.ASILD},
+			{Name: "ecuRear", Speed: 1, MemoryKB: 256, Buses: []string{"fr"}, Position: [2]float64{3.5, 0}, MaxASIL: model.ASILD},
+		},
+		Buses:   []*model.Bus{{Name: "fr", Kind: model.BusFlexRay, BitRate: 10_000_000}},
+		Mapping: map[string]string{"PedalSensor": "ecuFront", "BrakeController": "ecuCentral"},
+	}
+	sys.Connectors = append(sys.Connectors,
+		model.Connector{FromSWC: "PedalSensor", FromPort: "out", ToSWC: "BrakeController", ToPort: "pedal"})
+	// Four wheel actuators, front pair and rear pair on different ECUs.
+	for i, ecu := range []string{"ecuFront", "ecuFront", "ecuRear", "ecuRear"} {
+		name := fmt.Sprintf("WheelAct%d", i)
+		act := &model.SWC{
+			Name: name, Supplier: "tierA", DAS: "chassis", ASIL: model.ASILD, MemoryKB: 8,
+			Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: ifForce}},
+			Runnables: []model.Runnable{{
+				Name: "apply", WCETNominal: sim.US(120),
+				Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "f"},
+				Reads:   []model.PortRef{{Port: "in", Elem: "f"}},
+			}},
+		}
+		sys.Components = append(sys.Components, act)
+		sys.Connectors = append(sys.Connectors,
+			model.Connector{FromSWC: "BrakeController", FromPort: "force", ToSWC: name, ToPort: "in"})
+		sys.Mapping[name] = ecu
+	}
+	// The safety requirement: pedal movement to rear-wheel force within 20ms.
+	sys.Constraints = []model.LatencyConstraint{{
+		Name: "pedalToRearWheel",
+		Chain: []model.PortRef2{
+			{SWC: "PedalSensor", Port: "out"},
+			{SWC: "BrakeController", Port: "pedal"},
+			{SWC: "BrakeController", Port: "force"},
+			{SWC: "WheelAct3", Port: "in"},
+		},
+		Budget: sim.MS(20),
+	}}
+	return sys
+}
+
+func contracts() map[string]*contract.Contract {
+	return map[string]*contract.Contract{
+		"PedalSensor": {
+			Component: "PedalSensor",
+			Guarantees: []contract.Condition{
+				{Kind: contract.ValueRange, Port: "out", Elem: "pos", Lo: 0, Hi: 100},
+				{Kind: contract.UpdateRate, Port: "out", Elem: "pos", Lo: float64(sim.MS(4)), Hi: float64(sim.MS(6))},
+			},
+			Vertical: []contract.VerticalAssumption{
+				{Resource: "cpu", Budget: float64(sim.US(60)), Confidence: 0.95},
+			},
+		},
+		"BrakeController": {
+			Component: "BrakeController",
+			Assumes: []contract.Condition{
+				{Kind: contract.ValueRange, Port: "pedal", Elem: "pos", Lo: 0, Hi: 120},
+				{Kind: contract.UpdateRate, Port: "pedal", Elem: "pos", Lo: float64(sim.MS(1)), Hi: float64(sim.MS(10))},
+			},
+			Guarantees: []contract.Condition{
+				{Kind: contract.Latency, Port: "pedal", Elem: "force", Hi: float64(sim.MS(2))},
+				{Kind: contract.ValueRange, Port: "force", Elem: "f", Lo: 0, Hi: 5000},
+			},
+			Vertical: []contract.VerticalAssumption{
+				{Resource: "cpu", Budget: float64(sim.US(400)), Confidence: 0.85},
+			},
+		},
+	}
+}
+
+func main() {
+	sys := buildSystem()
+
+	// Static verification: contracts + schedulability + the latency chain.
+	rep, err := core.Verify(sys, contracts(), rte.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("static verification:")
+	fmt.Printf("  contracts: checked %d connections, %d violations, confidence %.2f\n",
+		rep.Contracts.Checked, len(rep.Contracts.Violations), rep.Contracts.Confidence)
+	for _, e := range rep.ECUs {
+		fmt.Printf("  ECU %-11s util %.3f schedulable=%v\n", e.Name, e.Utilization, e.Schedulable)
+	}
+	for _, c := range rep.Chains {
+		fmt.Printf("  chain %s: bound %v, budget %v, ok=%v\n", c.Name, c.Bound, c.Budget, c.OK)
+	}
+	if !rep.OK() {
+		log.Fatal("system did not verify")
+	}
+
+	// Measurement: instrument the chain with an end-to-end probe. The
+	// platform sends every ASIL-C+ frame on both FlexRay channels, and we
+	// kill channel A mid-run to show the chain does not care.
+	p, err := rte.Build(sys, rte.Options{DualChannelFlexRay: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.FlexRayBus("fr").FailChannel(flexray.ChannelA, sim.Second)
+	probe, err := e2e.Attach(p,
+		e2e.Endpoint{SWC: "PedalSensor", Runnable: "sample", Port: "out", Elem: "pos"},
+		e2e.Endpoint{SWC: "WheelAct3", Runnable: "apply", Port: "in", Elem: "f"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Run(2 * sim.Second)
+	bound := rep.Chains[0].Bound
+	fmt.Printf("\nmeasured pedal->rear-wheel latency over %d brake events:\n", len(probe.Latencies))
+	fmt.Printf("  worst %v  (analytic bound %v, budget 20ms)\n", probe.Max(), bound)
+	if probe.Max() > bound {
+		log.Fatal("measurement exceeded the analytic bound")
+	}
+	if len(probe.Latencies) < 350 {
+		log.Fatalf("chain degraded after the channel-A failure: only %d events", len(probe.Latencies))
+	}
+	fmt.Println("channel A failed at t=1s; dual-channel redundancy kept the chain alive")
+	fmt.Println("\nbrake-by-wire chain verified and validated")
+}

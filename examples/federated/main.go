@@ -1,0 +1,77 @@
+// Federated → integrated: generate the canonical four-subsystem vehicle
+// in its federated form (one ECU cluster per subsystem, §4's status quo),
+// then consolidate it by design-space exploration under schedulability,
+// memory and ASIL constraints, verifying each architecture statically and
+// reporting ECU count, harness length and load.
+//
+// Run with:
+//
+//	go run ./examples/federated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorte/internal/core"
+	"autorte/internal/deploy"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/workload"
+)
+
+func report(name string, sys *model.System, cons deploy.Constraints) {
+	m := deploy.Evaluate(sys, cons)
+	rep, err := core.Verify(sys, nil, rte.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s ECUs=%-3d harness=%6.1fm maxLoad=%.3f feasible=%-5v verified=%v\n",
+		name, m.ECUs, m.Harness, m.MaxLoad, m.Feasible, rep.OK())
+	// The consolidated system still has to actually run: simulate briefly
+	// and count deadline misses.
+	p, err := core.Simulate(sys.Clone(), rte.Options{}, 200*sim.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	misses := 0
+	for _, c := range sys.Components {
+		for i := range c.Runnables {
+			misses += p.Stats(c.Name + "." + c.Runnables[i].Name).MissCount
+		}
+	}
+	if misses > 0 {
+		log.Fatalf("%s: %d deadline misses in simulation", name, misses)
+	}
+}
+
+func main() {
+	sys, err := workload.GenerateVehicle(workload.VehicleSpec{}, sim.NewRand(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons := deploy.Constraints{RespectASIL: true, RespectMemory: true}
+	fmt.Printf("vehicle: %d SWCs in 4 subsystems (power-train, chassis, body, telematics)\n\n",
+		len(sys.Components))
+
+	report("federated", sys, cons)
+
+	greedy, err := deploy.Greedy(sys, cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("greedy", greedy, cons)
+
+	annealed, err := deploy.Anneal(greedy, cons, deploy.DefaultObjective(), 42, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("annealed", annealed, cons)
+
+	before := deploy.Evaluate(sys, cons)
+	after := deploy.Evaluate(annealed, cons)
+	fmt.Printf("\nconsolidation removed %d of %d ECUs and %.0f%% of the harness\n",
+		before.ECUs-after.ECUs, before.ECUs,
+		100*(1-after.Harness/before.Harness))
+}

@@ -1,0 +1,110 @@
+// Legacy gateway: §4 closes with the requirement that the integrated
+// architecture "support the seamless integration of this existing legacy
+// software" via middleware such as a CAN overlay network. This example
+// takes a small legacy CAN application — an engine node broadcasting RPM
+// and a dashboard node consuming it through the classic callback API —
+// and runs it unchanged over the time-triggered NoC of the MPSoC
+// platform, then shows what the migration bought: deterministic latency
+// and immunity to a babbling neighbour core.
+//
+// Run with:
+//
+//	go run ./examples/legacygateway
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"autorte/internal/noc"
+	"autorte/internal/overlay"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// dashboardApp is the untouched legacy receive handler: same signature the
+// classic CAN driver used.
+type dashboardApp struct {
+	lastRPM  uint16
+	received int
+}
+
+func (d *dashboardApp) onRPMFrame(_, _ sim.Time, payload []byte) {
+	if len(payload) >= 2 {
+		d.lastRPM = binary.LittleEndian.Uint16(payload)
+	}
+	d.received++
+}
+
+func run(babble bool) (trace.Stats, *dashboardApp) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	// The integrated platform: a 4x4 TT NoC. The legacy "engine ECU" and
+	// "dashboard ECU" become IP cores.
+	net := noc.MustNewNetwork(k, noc.Config{
+		Width: 4, Height: 4, FlitTime: sim.US(1),
+		Mode: noc.TDMA, SlotLength: sim.US(100),
+	}, rec)
+	vcan := overlay.New(net)
+	if err := vcan.AttachNode("engineECU", noc.Coord{X: 0, Y: 0}); err != nil {
+		log.Fatal(err)
+	}
+	if err := vcan.AttachNode("dashboardECU", noc.Coord{X: 3, Y: 0}); err != nil {
+		log.Fatal(err)
+	}
+	dash := &dashboardApp{}
+	rpm := &overlay.Message{
+		Name: "EngineRPM", ID: 0x0C8, DLC: 2,
+		Period:    sim.US(3200), // two TDMA cycles: phase-locked
+		OnDeliver: dash.onRPMFrame,
+	}
+	if err := vcan.AttachMessage(rpm, "engineECU", "dashboardECU"); err != nil {
+		log.Fatal(err)
+	}
+	if babble {
+		// A faulty third-party core floods the mesh for the whole run.
+		net.BabbleCore(noc.Coord{X: 1, Y: 0}, 0, sim.MS(200))
+	}
+	// The legacy engine app updates the payload as the engine revs.
+	revs := uint16(800)
+	var update func(at sim.Time)
+	update = func(at sim.Time) {
+		k.At(at, func() {
+			buf := make([]byte, 2)
+			binary.LittleEndian.PutUint16(buf, revs)
+			if err := vcan.Send("EngineRPM", buf); err != nil {
+				log.Fatal(err)
+			}
+			revs += 50
+			if at < sim.MS(190) {
+				update(at + sim.MS(10))
+			}
+		})
+	}
+	update(0)
+	net.Start()
+	k.Run(sim.MS(200))
+	return trace.Compute(rec.Latencies("legacy/EngineRPM")), dash
+}
+
+func main() {
+	quiet, dash := run(false)
+	fmt.Printf("legacy RPM stream over the TT NoC: %d frames, latency %v, jitter %v\n",
+		quiet.N, quiet.Max, quiet.Jitter)
+	fmt.Printf("dashboard last reading: %d rpm after %d frames\n", dash.lastRPM, dash.received)
+	if dash.received == 0 || dash.lastRPM < 800 {
+		log.Fatal("legacy application did not work over the overlay")
+	}
+
+	loud, dashLoud := run(true)
+	fmt.Printf("\nwith a babbling neighbour core: %d frames, latency %v, jitter %v\n",
+		loud.N, loud.Max, loud.Jitter)
+	if loud.N != quiet.N || loud.Max != quiet.Max || loud.Jitter != quiet.Jitter {
+		log.Fatal("babbler affected the legacy stream; containment failed")
+	}
+	if dashLoud.lastRPM != dash.lastRPM {
+		log.Fatal("payload corrupted under babble")
+	}
+	fmt.Println("\nlegacy software integrated unchanged; timing deterministic and fault-contained")
+}

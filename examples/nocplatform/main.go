@@ -1,0 +1,91 @@
+// NoC platform: hosts distributed application subsystems of different
+// criticality on a 4x4 MPSoC mesh (§4's integrated execution platform).
+// Each DAS component lives on its own IP core and communicates only by
+// messages. The example checks the four composability requirements under
+// best-effort routing and under the time-triggered NoC, then injects a
+// babbling core and a crash to demonstrate error containment.
+//
+// Run with:
+//
+//	go run ./examples/nocplatform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorte/internal/noc"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// vehicleFlows places the chassis and power-train DAS traffic on specific
+// cores; telematics shares the same mesh rows, so in best-effort mode it
+// can interfere with the safety traffic.
+func vehicleFlows() []*noc.Flow {
+	return []*noc.Flow{
+		{Name: "chassis.wheelSpeed", Src: noc.Coord{X: 0, Y: 0}, Dst: noc.Coord{X: 3, Y: 0}, Flits: 4, Period: sim.US(3200)},
+		{Name: "chassis.brakeCmd", Src: noc.Coord{X: 3, Y: 0}, Dst: noc.Coord{X: 0, Y: 0}, Flits: 4, Period: sim.US(3200), Offset: sim.US(3)},
+		{Name: "powertrain.torque", Src: noc.Coord{X: 0, Y: 2}, Dst: noc.Coord{X: 3, Y: 2}, Flits: 6, Period: sim.US(6400)},
+		{Name: "telematics.stream", Src: noc.Coord{X: 1, Y: 0}, Dst: noc.Coord{X: 3, Y: 0}, Flits: 14, Period: sim.US(3200), Offset: sim.US(1)},
+	}
+}
+
+func checkRequirements(name string, cfg noc.Config) {
+	base := vehicleFlows()
+	added := []*noc.Flow{
+		{Name: "diagnostics.new", Src: noc.Coord{X: 2, Y: 0}, Dst: noc.Coord{X: 3, Y: 0}, Flits: 8, Period: sim.US(6400)},
+	}
+	rep, err := noc.CheckComposition(cfg, base, added, 50*sim.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s R1 precise=%v  R2 stable=%v  R3 non-interfering=%v\n",
+		name, rep.PreciseInterfaces, rep.StablePriorServices, rep.NonInterfering)
+	for _, f := range base {
+		fmt.Printf("    %-22s isolated %-8v composed %v\n",
+			f.Name, rep.IsolatedWorst[f.Name], rep.PriorWorst[f.Name])
+	}
+}
+
+func main() {
+	be := noc.Config{Width: 4, Height: 4, FlitTime: sim.US(1), Mode: noc.BestEffort}
+	tt := noc.Config{Width: 4, Height: 4, FlitTime: sim.US(1), Mode: noc.TDMA, SlotLength: sim.US(100)}
+
+	fmt.Println("composability requirements (R1-R3) by arbitration mode:")
+	checkRequirements("best-effort", be)
+	checkRequirements("tdma", tt)
+
+	// R4: error containment under a babbling IP core and a crashed core.
+	fmt.Println("\nfault injection on the TDMA mesh (R4):")
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	net := noc.MustNewNetwork(k, tt, rec)
+	for _, f := range vehicleFlows() {
+		net.MustAddFlow(f)
+	}
+	// The telematics core turns babbling idiot at 10ms; the power-train
+	// sensor core crashes at 30ms.
+	net.BabbleCore(noc.Coord{X: 1, Y: 0}, 10*sim.Millisecond, 40*sim.Millisecond)
+	net.CrashCore(noc.Coord{X: 0, Y: 2}, 30*sim.Millisecond)
+	net.Start()
+	k.Run(60 * sim.Millisecond)
+
+	st := trace.Compute(rec.Latencies("chassis.wheelSpeed"))
+	fmt.Printf("  chassis.wheelSpeed: %d delivered, jitter %v (babbler blocked %d injections)\n",
+		st.N, st.Jitter, net.BlockedInjections())
+	if st.Jitter != 0 {
+		log.Fatal("babbling idiot perturbed the safety flow on the TT NoC")
+	}
+	delivered := rec.Count(trace.Finish, "powertrain.torque")
+	dropped := rec.Count(trace.Drop, "powertrain.torque")
+	fmt.Printf("  powertrain.torque: %d delivered before crash, %d dropped after\n", delivered, dropped)
+	if dropped == 0 {
+		log.Fatal("crash fault had no effect")
+	}
+	// Crash containment: the chassis flows keep their full delivery count.
+	if miss := rec.Count(trace.Miss, "chassis.wheelSpeed"); miss != 0 {
+		log.Fatalf("crash propagated to chassis flow: %d misses", miss)
+	}
+	fmt.Println("\nfaulty cores contained: safety traffic unaffected (R4 holds)")
+}

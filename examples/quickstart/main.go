@@ -1,0 +1,81 @@
+// Quickstart: model two software components (a wheel-speed sensor and a
+// display), connect them on the Virtual Functional Bus, deploy both onto
+// one ECU, attach behaviours, and simulate.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+func main() {
+	// 1. A standardized port interface, published in the catalogue.
+	ifSpeed := &model.PortInterface{
+		Name: "IfWheelSpeed", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "kmh", Type: model.UInt16}},
+	}
+
+	// 2. Two atomic software components with ports and runnables.
+	sensor := &model.SWC{
+		Name: "WheelSensor", Supplier: "tier1",
+		Ports: []model.Port{{Name: "out", Direction: model.Provided, Interface: ifSpeed}},
+		Runnables: []model.Runnable{{
+			Name:        "sample",
+			WCETNominal: sim.US(80),
+			Trigger:     model.Trigger{Kind: model.TimingEvent, Period: sim.MS(20)},
+			Writes:      []model.PortRef{{Port: "out", Elem: "kmh"}},
+		}},
+	}
+	display := &model.SWC{
+		Name: "Dashboard", Supplier: "oem",
+		Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: ifSpeed}},
+		Runnables: []model.Runnable{{
+			Name:        "refresh",
+			WCETNominal: sim.US(200),
+			Trigger:     model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "kmh"},
+			Reads:       []model.PortRef{{Port: "in", Elem: "kmh"}},
+		}},
+	}
+
+	// 3. The system: components, one ECU, the VFB connector, a mapping.
+	sys := &model.System{
+		Name:       "quickstart",
+		Interfaces: []*model.PortInterface{ifSpeed},
+		Components: []*model.SWC{sensor, display},
+		ECUs:       []*model.ECU{{Name: "ecu1", Speed: 1, MemoryKB: 128}},
+		Connectors: []model.Connector{
+			{FromSWC: "WheelSensor", FromPort: "out", ToSWC: "Dashboard", ToPort: "in"},
+		},
+		Mapping: map[string]string{"WheelSensor": "ecu1", "Dashboard": "ecu1"},
+	}
+
+	// 4. Generate the RTE and attach application behaviours.
+	p, err := rte.Build(sys, rte.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	speed := 0.0
+	p.SetBehavior("WheelSensor", "sample", func(c *rte.Context) {
+		speed += 1.5 // the car accelerates
+		c.Write("out", "kmh", speed)
+	})
+	var lastShown float64
+	p.SetBehavior("Dashboard", "refresh", func(c *rte.Context) {
+		lastShown = c.Read("in", "kmh")
+	})
+
+	// 5. Simulate one virtual second and inspect the results.
+	p.Run(sim.Second)
+	fmt.Printf("dashboard shows %.1f km/h after 1s\n", lastShown)
+	fmt.Printf("sensor:    %s\n", p.Stats("WheelSensor.sample"))
+	fmt.Printf("dashboard: %s\n", p.Stats("Dashboard.refresh"))
+	fmt.Printf("ecu1 utilization: %.4f\n", p.CPU("ecu1").Utilization())
+}

@@ -1,0 +1,3 @@
+module autorte
+
+go 1.22

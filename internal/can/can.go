@@ -1,0 +1,120 @@
+// Package can simulates the CAN bus — the event-triggered, priority-
+// arbitrated channel the paper contrasts with time-triggered protocols —
+// and provides the classic worst-case response-time analysis for it.
+//
+// The simulator models ID arbitration, non-preemptive transmission with
+// worst-case bit stuffing, error frames and automatic retransmission.
+// CAN's characteristic behaviour for the experiments is that message
+// latency depends on the load other nodes offer: there is no temporal
+// isolation between frames, only priority.
+package can
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+)
+
+// Config describes one CAN channel.
+type Config struct {
+	BitRate  int64 // bits per second (classic CAN: up to 1 Mbit/s)
+	Extended bool  // 29-bit identifiers
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BitRate <= 0 {
+		return fmt.Errorf("can: non-positive bit rate")
+	}
+	if c.BitRate > 1_000_000 {
+		return fmt.Errorf("can: bit rate %d above classic CAN limit 1 Mbit/s", c.BitRate)
+	}
+	return nil
+}
+
+// BitTime returns the duration of one bit on the channel.
+func (c Config) BitTime() sim.Duration {
+	return sim.Duration(int64(sim.Second) / c.BitRate)
+}
+
+// FrameBits returns the worst-case (maximally stuffed) frame length in
+// bits for a payload of dlc bytes, per the standard analysis
+// (Davis, Burns, Bril, Lukkien, 2007):
+//
+//	standard ID:  8n + 47 + floor((34 + 8n - 1) / 4)
+//	extended ID:  8n + 67 + floor((54 + 8n - 1) / 4)
+func FrameBits(dlc int, extended bool) int {
+	if dlc < 0 {
+		dlc = 0
+	}
+	if dlc > 8 {
+		dlc = 8
+	}
+	n := 8 * dlc
+	if extended {
+		return n + 67 + (54+n-1)/4
+	}
+	return n + 47 + (34+n-1)/4
+}
+
+// FrameTime returns the worst-case transmission time of a frame.
+func (c Config) FrameTime(dlc int) sim.Duration {
+	return sim.Duration(FrameBits(dlc, c.Extended)) * c.BitTime()
+}
+
+// errorFrameBits is the worst-case length of an error flag plus delimiter
+// plus interframe space that follows a detected error (CAN 2.0: up to 31
+// bit times).
+const errorFrameBits = 31
+
+// Message is one CAN frame stream. Lower ID wins arbitration.
+type Message struct {
+	Name string
+	ID   uint32
+	DLC  int // payload bytes, 0..8
+	// Period/Offset make the message periodically queued. Period 0 means
+	// the message is queued only via Bus.Queue (sporadic/COM-driven).
+	Period sim.Duration
+	Offset sim.Duration
+	// Jitter is the queuing jitter bound used by the analysis (release
+	// may lag the period start by up to Jitter).
+	Jitter sim.Duration
+	// Deadline (relative to queuing) is monitored by the simulator and
+	// used by schedulability verdicts; 0 defaults to Period.
+	Deadline sim.Duration
+	// OnDeliver is invoked at successful end of transmission.
+	OnDeliver func(queued, delivered sim.Time, payload []byte)
+
+	sender  string // optional node name (membership/fault attribution)
+	nextJob int64  // per-stream instance counter
+}
+
+// SetSender tags the transmitting node.
+func (m *Message) SetSender(node string) { m.sender = node }
+
+// Sender returns the transmitting node tag.
+func (m *Message) Sender() string { return m.sender }
+
+func (m *Message) validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("can: message with empty name")
+	}
+	if m.DLC < 0 || m.DLC > 8 {
+		return fmt.Errorf("can: message %s: DLC %d outside 0..8", m.Name, m.DLC)
+	}
+	if m.ID > 0x1FFFFFFF {
+		return fmt.Errorf("can: message %s: ID %#x above 29 bits", m.Name, m.ID)
+	}
+	if m.Period < 0 || m.Offset < 0 || m.Jitter < 0 || m.Deadline < 0 {
+		return fmt.Errorf("can: message %s: negative timing parameter", m.Name)
+	}
+	return nil
+}
+
+// relativeDeadline returns the monitored deadline (0 = none).
+func (m *Message) relativeDeadline() sim.Duration {
+	if m.Deadline > 0 {
+		return m.Deadline
+	}
+	return m.Period
+}

@@ -1,0 +1,324 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+func cfg500k() Config { return Config{BitRate: 500_000} }
+
+func TestFrameBits(t *testing.T) {
+	// Standard formula: 8n + 47 + floor((34+8n-1)/4).
+	cases := []struct {
+		dlc, want int
+		extended  bool
+	}{
+		{0, 47 + 8, false},        // 47 + floor(33/4)=8 -> 55
+		{8, 64 + 47 + 24, false},  // 64+47+floor(97/4)=24 -> 135
+		{8, 64 + 67 + 29, true},   // 64+67+floor(117/4)=29 -> 160
+		{-1, 47 + 8, false},       // clamped to 0
+		{99, 64 + 47 + 24, false}, // clamped to 8
+	}
+	for _, c := range cases {
+		if got := FrameBits(c.dlc, c.extended); got != c.want {
+			t.Errorf("FrameBits(%d, %v) = %d, want %d", c.dlc, c.extended, got, c.want)
+		}
+	}
+}
+
+func TestFrameTime(t *testing.T) {
+	c := cfg500k()
+	// 135 bits at 500 kbit/s = 270 us.
+	if got := c.FrameTime(8); got != sim.US(270) {
+		t.Fatalf("FrameTime(8) = %v, want 270us", got)
+	}
+	if c.BitTime() != sim.US(2) {
+		t.Fatalf("BitTime = %v, want 2us", c.BitTime())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{BitRate: 0}).Validate() == nil {
+		t.Fatal("zero bit rate accepted")
+	}
+	if (Config{BitRate: 2_000_000}).Validate() == nil {
+		t.Fatal("2 Mbit/s classic CAN accepted")
+	}
+	if cfg500k().Validate() != nil {
+		t.Fatal("500k rejected")
+	}
+}
+
+func TestMessageValidation(t *testing.T) {
+	k := sim.NewKernel()
+	b := MustNewBus(k, "can0", cfg500k(), nil)
+	if err := b.AddMessage(&Message{Name: "", ID: 1, DLC: 8}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := b.AddMessage(&Message{Name: "x", ID: 1, DLC: 9}); err == nil {
+		t.Fatal("DLC 9 accepted")
+	}
+	if err := b.AddMessage(&Message{Name: "x", ID: 0x3FFFFFFF, DLC: 1}); err == nil {
+		t.Fatal("30-bit ID accepted")
+	}
+	b.MustAddMessage(&Message{Name: "a", ID: 1, DLC: 8, Period: sim.MS(10)})
+	if err := b.AddMessage(&Message{Name: "a", ID: 2, DLC: 8}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := b.AddMessage(&Message{Name: "b", ID: 1, DLC: 8}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestArbitrationByID(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	hi := &Message{Name: "hi", ID: 0x10, DLC: 8}
+	lo := &Message{Name: "lo", ID: 0x20, DLC: 8}
+	b.MustAddMessage(hi)
+	b.MustAddMessage(lo)
+	b.Start()
+	// Queue the low-ID message *after* the high-ID one, while the bus is
+	// idle-free: queue both at t=0; lower ID must win.
+	k.At(0, func() { b.Queue(lo); b.Queue(hi) })
+	k.Run(sim.MS(5))
+	frameT := cfg500k().FrameTime(8)
+	hiLat := rec.Latencies("hi")
+	loLat := rec.Latencies("lo")
+	if len(hiLat) != 1 || hiLat[0] != frameT {
+		t.Fatalf("hi latency %v, want [%v]", hiLat, frameT)
+	}
+	if len(loLat) != 1 || loLat[0] != 2*frameT {
+		t.Fatalf("lo latency %v, want [%v]", loLat, 2*frameT)
+	}
+}
+
+func TestNonPreemptiveTransmission(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	hi := &Message{Name: "hi", ID: 1, DLC: 8}
+	lo := &Message{Name: "lo", ID: 9, DLC: 8}
+	b.MustAddMessage(hi)
+	b.MustAddMessage(lo)
+	b.Start()
+	frameT := cfg500k().FrameTime(8)
+	// lo starts at 0; hi arrives mid-transmission and must wait.
+	k.At(0, func() { b.Queue(lo) })
+	k.At(frameT/2, func() { b.Queue(hi) })
+	k.Run(sim.MS(5))
+	hiLat := rec.Latencies("hi")
+	if len(hiLat) != 1 || hiLat[0] != frameT/2+frameT {
+		t.Fatalf("hi latency %v, want [%v] (blocked by lower priority)", hiLat, frameT/2+frameT)
+	}
+}
+
+func TestPeriodicQueuing(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	b.MustAddMessage(&Message{Name: "p", ID: 1, DLC: 4, Period: sim.MS(10)})
+	b.Start()
+	k.Run(sim.MS(95))
+	if got := rec.Count(trace.Finish, "p"); got != 10 {
+		t.Fatalf("delivered %d frames, want 10", got)
+	}
+}
+
+func TestErrorRetransmission(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	m := &Message{Name: "m", ID: 1, DLC: 8}
+	b.MustAddMessage(m)
+	// First attempt corrupted, second succeeds.
+	b.ErrorInjector = func(_ *Message, attempt int, _ sim.Time) bool { return attempt == 0 }
+	b.Start()
+	k.At(0, func() { b.Queue(m) })
+	k.Run(sim.MS(5))
+	if b.Retransmissions() != 1 {
+		t.Fatalf("retransmissions = %d, want 1", b.Retransmissions())
+	}
+	lat := rec.Latencies("m")
+	c := cfg500k()
+	want := c.FrameTime(8) + sim.Duration(errorFrameBits)*c.BitTime() + c.FrameTime(8)
+	if len(lat) != 1 || lat[0] != want {
+		t.Fatalf("latency with one error %v, want [%v]", lat, want)
+	}
+	if rec.Count(trace.Error, "m") != 1 {
+		t.Fatal("error frame not recorded")
+	}
+}
+
+func TestMutedNodeDropsFrames(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	m := &Message{Name: "m", ID: 1, DLC: 8, Period: sim.MS(10)}
+	m.SetSender("node3")
+	b.MustAddMessage(m)
+	b.Mute = map[string]bool{"node3": true}
+	b.Start()
+	k.Run(sim.MS(50))
+	if rec.Count(trace.Finish, "m") != 0 {
+		t.Fatal("muted node delivered frames")
+	}
+	if rec.Count(trace.Drop, "m") == 0 {
+		t.Fatal("mute drops not recorded")
+	}
+}
+
+func TestDeadlineMissRecorded(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	b := MustNewBus(k, "can0", cfg500k(), rec)
+	// Hog the bus with a high-priority 1ms-period message so the victim
+	// (deadline 500us) misses.
+	b.MustAddMessage(&Message{Name: "hog", ID: 1, DLC: 8, Period: sim.US(280)})
+	b.MustAddMessage(&Message{Name: "victim", ID: 100, DLC: 8, Period: sim.MS(10), Deadline: sim.US(500)})
+	b.Start()
+	k.Run(sim.MS(50))
+	if rec.Count(trace.Miss, "victim") == 0 {
+		t.Fatal("starved victim reported no deadline miss")
+	}
+}
+
+func TestAnalyzeSimpleSet(t *testing.T) {
+	c := cfg500k()
+	frame := c.FrameTime(8) // 270us
+	msgs := []*Message{
+		{Name: "m1", ID: 1, DLC: 8, Period: sim.MS(5)},
+		{Name: "m2", ID: 2, DLC: 8, Period: sim.MS(10)},
+		{Name: "m3", ID: 3, DLC: 8, Period: sim.MS(20)},
+	}
+	rs, err := Analyze(c, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1: blocking = one lower frame, R = B + C = 540us.
+	if rs[0].WCRT != 2*frame {
+		t.Errorf("m1 WCRT %v, want %v", rs[0].WCRT, 2*frame)
+	}
+	// m2: blocked by m3 frame + one m1 frame + own: 3 frames.
+	if rs[1].WCRT != 3*frame {
+		t.Errorf("m2 WCRT %v, want %v", rs[1].WCRT, 3*frame)
+	}
+	// m3: no lower blocking, interference from m1 and m2.
+	if rs[2].WCRT != 3*frame {
+		t.Errorf("m3 WCRT %v, want %v", rs[2].WCRT, 3*frame)
+	}
+	for _, r := range rs {
+		if !r.Schedulable {
+			t.Errorf("%s unschedulable at trivial load", r.Message.Name)
+		}
+	}
+}
+
+func TestAnalyzeDetectsOverload(t *testing.T) {
+	c := cfg500k()
+	msgs := []*Message{
+		{Name: "m1", ID: 1, DLC: 8, Period: sim.US(300)}, // U = 0.9
+		{Name: "m2", ID: 2, DLC: 8, Period: sim.US(600)}, // U = 0.45 -> total 1.35
+	}
+	rs, err := Analyze(c, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Schedulable {
+		t.Fatal("overloaded message reported schedulable")
+	}
+}
+
+func TestAnalyzeRequiresPeriod(t *testing.T) {
+	if _, err := Analyze(cfg500k(), []*Message{{Name: "m", ID: 1, DLC: 8}}); err == nil {
+		t.Fatal("aperiodic message analyzed without MINT")
+	}
+}
+
+// TestAnalysisDominatesSimulation is the package-level version of E5:
+// the analytic WCRT must upper-bound every observed response time.
+func TestAnalysisDominatesSimulation(t *testing.T) {
+	c := cfg500k()
+	r := sim.NewRand(7)
+	periods := []sim.Duration{sim.MS(5), sim.MS(10), sim.MS(20), sim.MS(50), sim.MS(100)}
+	for trial := 0; trial < 10; trial++ {
+		var msgs []*Message
+		n := 5 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			msgs = append(msgs, &Message{
+				Name:   "m" + string(rune('A'+i)),
+				ID:     uint32(i + 1),
+				DLC:    1 + r.Intn(8),
+				Period: periods[r.Intn(len(periods))],
+			})
+		}
+		if TotalUtilization(c, msgs) > 0.9 {
+			continue
+		}
+		rs, err := Analyze(c, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcrt := map[string]sim.Duration{}
+		for _, resp := range rs {
+			wcrt[resp.Message.Name] = resp.WCRT
+		}
+		k := sim.NewKernel()
+		rec := &trace.Recorder{}
+		b := MustNewBus(k, "can0", c, rec)
+		for _, m := range msgs {
+			b.MustAddMessage(m)
+		}
+		b.Start()
+		k.Run(sim.Second)
+		for _, m := range msgs {
+			st := trace.Compute(rec.Latencies(m.Name))
+			if st.N == 0 {
+				t.Fatalf("trial %d: %s never delivered", trial, m.Name)
+			}
+			if st.Max > wcrt[m.Name] {
+				t.Fatalf("trial %d: %s simulated max %v exceeds analytic WCRT %v",
+					trial, m.Name, st.Max, wcrt[m.Name])
+			}
+		}
+	}
+}
+
+func TestTotalUtilization(t *testing.T) {
+	c := cfg500k()
+	msgs := []*Message{{Name: "m", ID: 1, DLC: 8, Period: sim.US(540)}}
+	// 270us frame / 540us period = 0.5.
+	if u := TotalUtilization(c, msgs); u < 0.499 || u > 0.501 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+}
+
+func TestBusLoadAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	b := MustNewBus(k, "can0", cfg500k(), nil)
+	b.MustAddMessage(&Message{Name: "m", ID: 1, DLC: 8, Period: sim.US(540)})
+	b.Start()
+	k.Run(sim.MS(100))
+	if l := b.Load(); l < 0.45 || l > 0.55 {
+		t.Fatalf("bus load %v, want ~0.5", l)
+	}
+}
+
+func TestFrameBitsMonotonic(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%9), int(b%9)
+		if x > y {
+			x, y = y, x
+		}
+		return FrameBits(x, false) <= FrameBits(y, false) &&
+			FrameBits(x, true) <= FrameBits(y, true) &&
+			FrameBits(x, true) > FrameBits(x, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

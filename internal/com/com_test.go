@@ -1,0 +1,332 @@
+package com
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autorte/internal/sim"
+)
+
+func speedPdu() *IPdu {
+	return &IPdu{
+		Name: "PduChassis1", Length: 8,
+		Signals: []Signal{
+			{Name: "wheelSpeed", StartBit: 0, Bits: 16, Scale: 0.01},           // 0..655.35
+			{Name: "brakePressed", StartBit: 16, Bits: 1},                      // flag
+			{Name: "temp", StartBit: 17, Bits: 8, Scale: 0.5, ZeroOffset: -40}, // -40..87.5
+		},
+		Mode: Periodic, Period: sim.MS(10),
+	}
+}
+
+func TestPduValidate(t *testing.T) {
+	if err := speedPdu().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := speedPdu()
+	bad.Signals[1].StartBit = 10 // overlaps wheelSpeed
+	if bad.Validate() == nil {
+		t.Fatal("overlapping signals accepted")
+	}
+	bad = speedPdu()
+	bad.Signals[0].Bits = 70
+	if bad.Validate() == nil {
+		t.Fatal("65+ bit signal accepted")
+	}
+	bad = speedPdu()
+	bad.Signals[2].StartBit = 60 // 60+8 > 64
+	if bad.Validate() == nil {
+		t.Fatal("signal past payload accepted")
+	}
+	bad = speedPdu()
+	bad.Period = 0
+	if bad.Validate() == nil {
+		t.Fatal("periodic PDU without period accepted")
+	}
+	bad = speedPdu()
+	bad.Signals[2].Name = "wheelSpeed"
+	if bad.Validate() == nil {
+		t.Fatal("duplicate signal name accepted")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	pdu := speedPdu()
+	in := map[string]float64{"wheelSpeed": 123.45, "brakePressed": 1, "temp": 21.5}
+	payload := pdu.Pack(in)
+	out, err := pdu.Unpack(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["wheelSpeed"] != 123.45 {
+		t.Errorf("wheelSpeed = %v, want 123.45", out["wheelSpeed"])
+	}
+	if out["brakePressed"] != 1 {
+		t.Errorf("brakePressed = %v, want 1", out["brakePressed"])
+	}
+	if out["temp"] != 21.5 {
+		t.Errorf("temp = %v, want 21.5", out["temp"])
+	}
+}
+
+func TestPackSaturates(t *testing.T) {
+	pdu := speedPdu()
+	out, err := pdu.Unpack(pdu.Pack(map[string]float64{"wheelSpeed": 1e9, "temp": -300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["wheelSpeed"] != 655.35 {
+		t.Errorf("over-range wheelSpeed = %v, want saturation at 655.35", out["wheelSpeed"])
+	}
+	if out["temp"] != -40 {
+		t.Errorf("under-range temp = %v, want saturation at -40", out["temp"])
+	}
+}
+
+func TestUnpackShortPayload(t *testing.T) {
+	if _, err := speedPdu().Unpack([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestPackMissingSignalIsZeroRaw(t *testing.T) {
+	pdu := speedPdu()
+	out, err := pdu.Unpack(pdu.Pack(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["temp"] != -40 { // raw 0 -> phys -40
+		t.Errorf("missing temp unpacked to %v, want -40 (raw zero)", out["temp"])
+	}
+}
+
+func TestBitPackingQuick(t *testing.T) {
+	// Round-trip property across arbitrary aligned layouts.
+	f := func(a uint16, b uint8, flag bool) bool {
+		pdu := &IPdu{Name: "p", Length: 5, Mode: Direct, Signals: []Signal{
+			{Name: "a", StartBit: 3, Bits: 16},
+			{Name: "b", StartBit: 19, Bits: 8},
+			{Name: "f", StartBit: 27, Bits: 1},
+		}}
+		if pdu.Validate() != nil {
+			return false
+		}
+		fv := 0.0
+		if flag {
+			fv = 1
+		}
+		out, err := pdu.Unpack(pdu.Pack(map[string]float64{"a": float64(a), "b": float64(b), "f": fv}))
+		if err != nil {
+			return false
+		}
+		return out["a"] == float64(a) && out["b"] == float64(b) && out["f"] == fv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type captureChannel struct {
+	payloads [][]byte
+}
+
+func (c *captureChannel) SendPDU(_ *IPdu, payload []byte) {
+	c.payloads = append(c.payloads, payload)
+}
+
+func TestRouterFanOut(t *testing.T) {
+	r := NewRouter()
+	a, b := &captureChannel{}, &captureChannel{}
+	pdu := speedPdu()
+	r.AddRoute(pdu.Name, a)
+	r.AddRoute(pdu.Name, b)
+	if n := r.Route(pdu, []byte{1}); n != 2 {
+		t.Fatalf("routed to %d channels, want 2", n)
+	}
+	if len(a.payloads) != 1 || len(b.payloads) != 1 {
+		t.Fatal("fan-out failed")
+	}
+	other := &IPdu{Name: "other", Length: 1, Mode: Direct}
+	if n := r.Route(other, []byte{2}); n != 0 {
+		t.Fatal("unrouted PDU delivered")
+	}
+}
+
+func TestPeriodicTransmitter(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRouter()
+	ch := &captureChannel{}
+	pdu := speedPdu()
+	r.AddRoute(pdu.Name, ch)
+	tx, err := NewTransmitter(k, pdu, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Start()
+	k.Run(sim.MS(95))
+	// Initial send at 0 plus sends at 10..90: 10 payloads.
+	if tx.Sent() != 10 {
+		t.Fatalf("sent %d, want 10", tx.Sent())
+	}
+	// Latest value rides the next periodic send.
+	if err := tx.Update("wheelSpeed", 50); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(sim.MS(105))
+	last := ch.payloads[len(ch.payloads)-1]
+	vals, _ := pdu.Unpack(last)
+	if vals["wheelSpeed"] != 50 {
+		t.Fatalf("periodic payload carries %v, want 50", vals["wheelSpeed"])
+	}
+}
+
+func TestDirectTransmitterMinDelay(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRouter()
+	ch := &captureChannel{}
+	pdu := &IPdu{
+		Name: "evt", Length: 1, Mode: Direct, MinDelay: sim.MS(5),
+		Signals: []Signal{{Name: "x", StartBit: 0, Bits: 8}},
+	}
+	r.AddRoute("evt", ch)
+	tx, err := NewTransmitter(k, pdu, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Start()
+	k.At(0, func() { tx.Update("x", 1) })
+	k.At(sim.MS(1), func() { tx.Update("x", 2) }) // inside MinDelay: suppressed
+	k.At(sim.MS(6), func() { tx.Update("x", 3) }) // past MinDelay: sent
+	k.Run(sim.MS(20))
+	if tx.Sent() != 2 {
+		t.Fatalf("sent %d, want 2 (one rate-limited)", tx.Sent())
+	}
+	vals, _ := pdu.Unpack(ch.payloads[1])
+	if vals["x"] != 3 {
+		t.Fatalf("second send carries %v, want 3", vals["x"])
+	}
+}
+
+func TestMixedTransmitter(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRouter()
+	ch := &captureChannel{}
+	pdu := &IPdu{
+		Name: "mix", Length: 1, Mode: Mixed, Period: sim.MS(10),
+		Signals: []Signal{{Name: "x", StartBit: 0, Bits: 8}},
+	}
+	r.AddRoute("mix", ch)
+	tx, _ := NewTransmitter(k, pdu, r)
+	tx.Start()
+	k.At(sim.MS(3), func() { tx.Update("x", 7) })
+	k.Run(sim.MS(15))
+	// Sends: t=0 (initial), t=3 (event), t=10 (periodic) = 3.
+	if tx.Sent() != 3 {
+		t.Fatalf("sent %d, want 3", tx.Sent())
+	}
+}
+
+func TestTransmitterValidation(t *testing.T) {
+	k := sim.NewKernel()
+	bad := speedPdu()
+	bad.Period = 0
+	if _, err := NewTransmitter(k, bad, NewRouter()); err == nil {
+		t.Fatal("invalid PDU accepted")
+	}
+	if _, err := NewTransmitter(k, speedPdu(), nil); err == nil {
+		t.Fatal("nil router accepted")
+	}
+	tx, _ := NewTransmitter(k, speedPdu(), NewRouter())
+	if err := tx.Update("ghost", 1); err == nil {
+		t.Fatal("unknown signal update accepted")
+	}
+}
+
+func TestGatewayForwardsBetweenChannels(t *testing.T) {
+	// A PDU received from "CAN" is routed onto "FlexRay": router as
+	// gateway for legacy traffic.
+	r := NewRouter()
+	flexray := &captureChannel{}
+	pdu := speedPdu()
+	r.AddRoute(pdu.Name, flexray)
+	// Simulated reception callback from the CAN side:
+	onCanRx := func(payload []byte) { r.Route(pdu, payload) }
+	payload := pdu.Pack(map[string]float64{"wheelSpeed": 99.99})
+	onCanRx(payload)
+	if len(flexray.payloads) != 1 {
+		t.Fatal("gateway did not forward")
+	}
+	vals, _ := pdu.Unpack(flexray.payloads[0])
+	if v := vals["wheelSpeed"]; v < 99.989 || v > 99.991 {
+		t.Fatalf("gatewayed value %v, want ~99.99 (one quantum = 0.01)", v)
+	}
+}
+
+func TestTxModeString(t *testing.T) {
+	if Periodic.String() != "periodic" || Direct.String() != "direct" || Mixed.String() != "mixed" {
+		t.Fatal("tx mode names")
+	}
+}
+
+func TestMotorolaRoundTrip(t *testing.T) {
+	// Classic DBC Motorola example: 16-bit signal with MSB at bit 7
+	// occupies byte0 (bits 7..0) then byte1 (bits 7..0).
+	pdu := &IPdu{Name: "mot", Length: 4, Mode: Direct, Signals: []Signal{
+		{Name: "a", StartBit: 7, Bits: 16, BigEndian: true},
+		{Name: "b", StartBit: 23, Bits: 8, BigEndian: true},
+	}}
+	if err := pdu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	payload := pdu.Pack(map[string]float64{"a": 0xABCD, "b": 0x5A})
+	// Big-endian layout: byte0 = 0xAB, byte1 = 0xCD, byte2 = 0x5A.
+	if payload[0] != 0xAB || payload[1] != 0xCD || payload[2] != 0x5A {
+		t.Fatalf("motorola layout wrong: % X", payload)
+	}
+	out, err := pdu.Unpack(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a"] != 0xABCD || out["b"] != 0x5A {
+		t.Fatalf("round trip wrong: %v", out)
+	}
+}
+
+func TestMixedEndiannessOverlapDetected(t *testing.T) {
+	pdu := &IPdu{Name: "mix", Length: 2, Mode: Direct, Signals: []Signal{
+		{Name: "intel", StartBit: 0, Bits: 8},
+		{Name: "mot", StartBit: 15, Bits: 12, BigEndian: true}, // walks into byte 0
+	}}
+	if pdu.Validate() == nil {
+		t.Fatal("cross-endian overlap accepted")
+	}
+}
+
+func TestMotorolaOutOfPayloadDetected(t *testing.T) {
+	pdu := &IPdu{Name: "bad", Length: 1, Mode: Direct, Signals: []Signal{
+		{Name: "x", StartBit: 3, Bits: 8, BigEndian: true}, // runs past bit 0 into byte 1 (absent)
+	}}
+	if pdu.Validate() == nil {
+		t.Fatal("motorola overflow accepted")
+	}
+}
+
+func TestIntelMotorolaQuick(t *testing.T) {
+	f := func(v uint16, big bool) bool {
+		start := 0
+		if big {
+			start = 7
+		}
+		pdu := &IPdu{Name: "q", Length: 2, Mode: Direct, Signals: []Signal{
+			{Name: "v", StartBit: start, Bits: 16, BigEndian: big},
+		}}
+		if pdu.Validate() != nil {
+			return false
+		}
+		out, err := pdu.Unpack(pdu.Pack(map[string]float64{"v": float64(v)}))
+		return err == nil && out["v"] == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package com
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+)
+
+// Channel is anything that can carry a PDU payload: the bus adapters in
+// package rte implement it over CAN and FlexRay, and tests use in-memory
+// channels.
+type Channel interface {
+	// SendPDU queues the payload for transmission on the channel.
+	SendPDU(pdu *IPdu, payload []byte)
+}
+
+// ChannelFunc adapts a function to the Channel interface.
+type ChannelFunc func(pdu *IPdu, payload []byte)
+
+// SendPDU implements Channel.
+func (f ChannelFunc) SendPDU(pdu *IPdu, payload []byte) { f(pdu, payload) }
+
+// Router is the PDU router: it fans each PDU out to its destination
+// channels. Routing a PDU received from one bus onto another makes the
+// router a gateway (legacy CAN overlay traffic onto an integrated
+// architecture, §4).
+type Router struct {
+	routes map[string][]Channel
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{routes: map[string][]Channel{}} }
+
+// AddRoute appends a destination channel for the named PDU.
+func (r *Router) AddRoute(pduName string, ch Channel) {
+	r.routes[pduName] = append(r.routes[pduName], ch)
+}
+
+// Route forwards a payload to every channel registered for the PDU.
+// It returns how many channels received it.
+func (r *Router) Route(pdu *IPdu, payload []byte) int {
+	chs := r.routes[pdu.Name]
+	for _, ch := range chs {
+		ch.SendPDU(pdu, payload)
+	}
+	return len(chs)
+}
+
+// Transmitter drives one I-PDU's transmission mode: it keeps the latest
+// signal values and emits payloads to a router according to the PDU's
+// mode (periodic timer, update-triggered, or both).
+type Transmitter struct {
+	Pdu    *IPdu
+	router *Router
+	k      *sim.Kernel
+
+	values   map[string]float64
+	lastSend sim.Time
+	sent     int64
+	started  bool
+}
+
+// NewTransmitter validates the PDU and binds a transmitter to the kernel
+// and router.
+func NewTransmitter(k *sim.Kernel, pdu *IPdu, router *Router) (*Transmitter, error) {
+	if err := pdu.Validate(); err != nil {
+		return nil, err
+	}
+	if router == nil {
+		return nil, fmt.Errorf("com: transmitter for %s: nil router", pdu.Name)
+	}
+	return &Transmitter{Pdu: pdu, router: router, k: k, values: map[string]float64{}, lastSend: -1}, nil
+}
+
+// Start arms the periodic timer for Periodic/Mixed PDUs.
+func (t *Transmitter) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	if t.Pdu.Mode == Periodic || t.Pdu.Mode == Mixed {
+		t.schedule(t.k.Now() + t.Pdu.Period)
+		t.send() // initial transmission at start
+	}
+}
+
+func (t *Transmitter) schedule(at sim.Time) {
+	t.k.AtPrio(at, 15, func() {
+		t.send()
+		t.schedule(at + t.Pdu.Period)
+	})
+}
+
+// Update stores a new physical value for a signal; Direct and Mixed PDUs
+// transmit immediately unless inside the MinDelay window.
+func (t *Transmitter) Update(signal string, value float64) error {
+	if t.Pdu.Signal(signal) == nil {
+		return fmt.Errorf("com: PDU %s has no signal %s", t.Pdu.Name, signal)
+	}
+	t.values[signal] = value
+	if t.Pdu.Mode == Direct || t.Pdu.Mode == Mixed {
+		now := t.k.Now()
+		if t.lastSend >= 0 && now-t.lastSend < t.Pdu.MinDelay {
+			return nil // rate-limited; value rides the next transmission
+		}
+		t.send()
+	}
+	return nil
+}
+
+// Sent returns how many payloads this transmitter emitted.
+func (t *Transmitter) Sent() int64 { return t.sent }
+
+func (t *Transmitter) send() {
+	t.lastSend = t.k.Now()
+	t.sent++
+	t.router.Route(t.Pdu, t.Pdu.Pack(t.values))
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// TaskDelta compares one task's worst-case response before and after a
+// system change.
+type TaskDelta struct {
+	Task          string
+	Before, After sim.Duration
+	MissesBefore  int
+	MissesAfter   int
+	Degraded      bool // response moved or new misses appeared
+}
+
+// ExtensionReport is the outcome of a stability-of-prior-services check
+// (composability requirement R2 applied to ECUs): simulate the base
+// system, simulate the extended system, compare every base task.
+type ExtensionReport struct {
+	Deltas []TaskDelta
+	// Stable is true when no base task's worst response or miss count
+	// increased — integration preserved prior services.
+	Stable bool
+}
+
+// CheckExtension simulates base and extended (which must contain every
+// base component, typically base plus new SWCs) under the same RTE
+// options and reports per-task response-time movement. This is the
+// dynamic composability check: with timing isolation the report must come
+// back Stable; under plain fixed priority it generally does not (E9).
+func CheckExtension(base, extended *model.System, opts rte.Options, horizon sim.Time) (*ExtensionReport, error) {
+	baseMax, baseMiss, err := simulate(base, opts, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("core: base simulation: %w", err)
+	}
+	extMax, extMiss, err := simulate(extended, opts, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("core: extended simulation: %w", err)
+	}
+	rep := &ExtensionReport{Stable: true}
+	var names []string
+	for name := range baseMax {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		after, ok := extMax[name]
+		if !ok {
+			return nil, fmt.Errorf("core: task %s disappeared in extended system", name)
+		}
+		d := TaskDelta{
+			Task: name, Before: baseMax[name], After: after,
+			MissesBefore: baseMiss[name], MissesAfter: extMiss[name],
+		}
+		d.Degraded = d.After > d.Before || d.MissesAfter > d.MissesBefore
+		if d.Degraded {
+			rep.Stable = false
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep, nil
+}
+
+// simulate runs a system and returns per-task worst response and miss
+// counts.
+func simulate(sys *model.System, opts rte.Options, horizon sim.Time) (map[string]sim.Duration, map[string]int, error) {
+	p, err := rte.Build(sys.Clone(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Run(horizon)
+	worst := map[string]sim.Duration{}
+	misses := map[string]int{}
+	for _, comp := range sys.Components {
+		for i := range comp.Runnables {
+			name := comp.Name + "." + comp.Runnables[i].Name
+			st := trace.Summarize(p.Trace, name)
+			worst[name] = st.Max
+			misses[name] = st.MissCount
+		}
+	}
+	return worst, misses, nil
+}
+
+// Simulate is the public convenience: build, run, and return the platform
+// for inspection.
+func Simulate(sys *model.System, opts rte.Options, horizon sim.Time) (*rte.Platform, error) {
+	p, err := rte.Build(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Run(horizon)
+	return p, nil
+}

@@ -1,0 +1,466 @@
+// Package core is the paper's contribution layer: given a deployed
+// component system it (a) statically verifies schedulability on every ECU
+// and bus, contract compatibility, and end-to-end latency constraints —
+// the "prior to implementation system configuration checks" §2 calls for —
+// and (b) checks composability dynamically, by comparing component timing
+// before and after integration or extension (§4's "stability of prior
+// services").
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/can"
+	"autorte/internal/contract"
+	"autorte/internal/e2e"
+	"autorte/internal/flexray"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sched"
+	"autorte/internal/sim"
+	"autorte/internal/vfb"
+)
+
+// ECUReport is one ECU's schedulability verdict.
+type ECUReport struct {
+	Name        string
+	Utilization float64
+	Results     []sched.Result
+	Schedulable bool
+}
+
+// BusReport is one bus's schedulability verdict.
+type BusReport struct {
+	Name        string
+	Kind        model.BusKind
+	Load        float64
+	Schedulable bool
+	Detail      string
+}
+
+// ChainReport is one latency constraint's verdict.
+type ChainReport struct {
+	Name   string
+	Bound  sim.Duration
+	Budget sim.Duration
+	OK     bool
+	Err    string
+}
+
+// Report aggregates static verification.
+type Report struct {
+	ECUs      []ECUReport
+	Buses     []BusReport
+	Chains    []ChainReport
+	Contracts *contract.Report
+	Warnings  []string
+}
+
+// OK reports overall static admissibility.
+func (r *Report) OK() bool {
+	for _, e := range r.ECUs {
+		if !e.Schedulable {
+			return false
+		}
+	}
+	for _, b := range r.Buses {
+		if !b.Schedulable {
+			return false
+		}
+	}
+	for _, c := range r.Chains {
+		if !c.OK {
+			return false
+		}
+	}
+	return r.Contracts == nil || r.Contracts.OK()
+}
+
+// Verify statically checks a deployed system: model + VFB validity,
+// fixed-priority schedulability per ECU (with the same priority assignment
+// the RTE generates), bus schedulability per channel, contract
+// compatibility, and every declared end-to-end latency constraint.
+func Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte.Options) (*Report, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := vfb.CheckConnectivity(sys); err != nil {
+		return nil, err
+	}
+	routes, err := vfb.Resolve(sys)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+
+	taskSets, warnings := BuildTaskSets(sys)
+	rep.Warnings = append(rep.Warnings, warnings...)
+	var ecus []string
+	for e := range taskSets {
+		ecus = append(ecus, e)
+	}
+	sort.Strings(ecus)
+	for _, ecu := range ecus {
+		tasks := taskSets[ecu]
+		ok, results, err := sched.Schedulable(tasks)
+		if err != nil {
+			return nil, err
+		}
+		rep.ECUs = append(rep.ECUs, ECUReport{
+			Name: ecu, Utilization: sched.TotalUtilization(tasks),
+			Results: results, Schedulable: ok,
+		})
+	}
+
+	byBus := vfb.ByBus(routes)
+	for _, b := range sys.Buses {
+		busRoutes := byBus[b.Name]
+		if len(busRoutes) == 0 {
+			continue
+		}
+		br := BusReport{Name: b.Name, Kind: b.Kind, Schedulable: true}
+		switch b.Kind {
+		case model.BusCAN:
+			msgs := canMessages(busRoutes, b.BitRate)
+			cfg := can.Config{BitRate: b.BitRate}
+			rs, err := can.Analyze(cfg, msgs)
+			if err != nil {
+				return nil, err
+			}
+			br.Load = can.TotalUtilization(cfg, msgs)
+			for _, r := range rs {
+				if !r.Schedulable {
+					br.Schedulable = false
+					br.Detail = fmt.Sprintf("%s unschedulable (WCRT %v)", r.Message.Name, r.WCRT)
+				}
+			}
+		case model.BusFlexRay:
+			if _, err := flexraySchedule(defaultFlexRay(opts), busRoutes); err != nil {
+				br.Schedulable = false
+				br.Detail = err.Error()
+			}
+		case model.BusTTP:
+			// TDMA capacity: each sender ECU gets one slot per round; a
+			// signal's period must exceed the round length.
+			round := opts.TTPSlotLength
+			if round == 0 {
+				round = sim.US(250)
+			}
+			nodes := 0
+			for _, e := range sys.ECUs {
+				for _, eb := range e.Buses {
+					if eb == b.Name {
+						nodes++
+					}
+				}
+			}
+			roundLen := sim.Duration(nodes) * round
+			for _, r := range busRoutes {
+				if r.Period > 0 && sim.Duration(r.Period) < roundLen {
+					br.Schedulable = false
+					br.Detail = fmt.Sprintf("%s period %v below TDMA round %v", r.SignalName, sim.Duration(r.Period), roundLen)
+				}
+			}
+		}
+		rep.Buses = append(rep.Buses, br)
+	}
+
+	if contracts != nil {
+		crep, err := contract.CheckSystem(sys, contracts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Contracts = crep
+	}
+
+	for _, lc := range sys.Constraints {
+		cr := ChainReport{Name: lc.Name, Budget: lc.Budget}
+		bound, err := chainBound(sys, lc, taskSets, byBus, opts)
+		if err != nil {
+			cr.Err = err.Error()
+		} else {
+			cr.Bound = bound
+			cr.OK = bound <= lc.Budget
+		}
+		rep.Chains = append(rep.Chains, cr)
+	}
+	return rep, nil
+}
+
+// BuildTaskSets derives the analyzable task set per ECU, using the same
+// priority assignment the RTE generator applies (event-driven first, then
+// rate-monotonic). Event-driven runnables inherit the period of their
+// triggering producer; runnables whose rate cannot be derived are skipped
+// with a warning.
+func BuildTaskSets(sys *model.System) (map[string][]sched.Task, []string) {
+	type tinfo struct {
+		comp *model.SWC
+		run  *model.Runnable
+	}
+	var warnings []string
+	perECU := map[string][]tinfo{}
+	for _, comp := range sys.Components {
+		ecu := sys.Mapping[comp.Name]
+		for i := range comp.Runnables {
+			perECU[ecu] = append(perECU[ecu], tinfo{comp, &comp.Runnables[i]})
+		}
+	}
+	out := map[string][]sched.Task{}
+	for ecu, infos := range perECU {
+		speed := 1.0
+		if e := sys.ECUByName(ecu); e != nil {
+			speed = e.Speed
+		}
+		// Rate-monotonic on the derived rate, matching the RTE generator
+		// exactly; rate-less runnables sort first (treated as urgent
+		// sporadic handlers) but are excluded from the analysis below.
+		sort.SliceStable(infos, func(i, j int) bool {
+			pi := sys.EffectivePeriod(infos[i].comp, infos[i].run)
+			pj := sys.EffectivePeriod(infos[j].comp, infos[j].run)
+			if pi != pj {
+				return pi < pj
+			}
+			return infos[i].comp.Name+infos[i].run.Name < infos[j].comp.Name+infos[j].run.Name
+		})
+		for rank, ti := range infos {
+			period := sys.EffectivePeriod(ti.comp, ti.run)
+			if period <= 0 {
+				warnings = append(warnings, fmt.Sprintf("%s.%s: no derivable rate; excluded from analysis", ti.comp.Name, ti.run.Name))
+				continue
+			}
+			out[ecu] = append(out[ecu], sched.Task{
+				Name:     ti.comp.Name + "." + ti.run.Name,
+				C:        sim.Duration(float64(ti.run.WCETNominal) / speed),
+				T:        period,
+				D:        ti.run.Deadline,
+				Priority: 1000 - rank,
+			})
+		}
+	}
+	return out, warnings
+}
+
+// EffectivePeriod is a convenience wrapper over the model's shared rate
+// derivation (see model.System.EffectivePeriod).
+func EffectivePeriod(sys *model.System, comp *model.SWC, run *model.Runnable) sim.Duration {
+	return sys.EffectivePeriod(comp, run)
+}
+
+// canMessages reconstructs the analyzable message set the RTE would put on
+// a CAN bus for the given routes (same deterministic ID assignment).
+func canMessages(routes []vfb.Route, bitRate int64) []*can.Message {
+	sorted := append([]vfb.Route(nil), routes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SignalName < sorted[j].SignalName })
+	out := make([]*can.Message, 0, len(sorted))
+	for i, r := range sorted {
+		if r.Period <= 0 {
+			continue // sporadic routes need explicit MINTs; skipped here
+		}
+		out = append(out, &can.Message{
+			Name: r.SignalName, ID: uint32(0x100 + i),
+			DLC: (r.Bits + 7) / 8, Period: sim.Duration(r.Period),
+		})
+	}
+	return out
+}
+
+// chainBound composes the analytic end-to-end bound of a constraint chain
+// from task RTA, bus analysis and sampling stages, with jitter propagation
+// (package e2e).
+func chainBound(sys *model.System, lc model.LatencyConstraint,
+	taskSets map[string][]sched.Task, byBus map[string][]vfb.Route, opts rte.Options) (sim.Duration, error) {
+	var stages []e2e.Stage
+	for i := 0; i+1 < len(lc.Chain); i++ {
+		a, b := lc.Chain[i], lc.Chain[i+1]
+		if a.SWC == b.SWC {
+			// Internal hop: the runnable consuming a.Port and producing
+			// b.Port.
+			comp := sys.Component(a.SWC)
+			run := findInternalRunnable(comp, a.Port, b.Port)
+			if run == nil {
+				return 0, fmt.Errorf("chain %s: no runnable in %s from %s to %s", lc.Name, a.SWC, a.Port, b.Port)
+			}
+			ecu := sys.Mapping[a.SWC]
+			if run.Trigger.Kind == model.TimingEvent {
+				// Periodic sampler: waits up to one period, then executes.
+				stages = append(stages, &e2e.SamplingStage{
+					Name: a.SWC + "." + run.Name, Period: run.Trigger.Period,
+				})
+			}
+			stages = append(stages, &e2e.TaskStage{
+				Name: a.SWC + "." + run.Name, Tasks: taskSets[ecu],
+				Target: a.SWC + "." + run.Name,
+			})
+			continue
+		}
+		// Communication hop a -> b.
+		conn, err := findConnector(sys, a, b)
+		if err != nil {
+			return 0, err
+		}
+		if sys.Mapping[a.SWC] == sys.Mapping[b.SWC] {
+			continue // local: delivered at job completion, already counted
+		}
+		// The resolved route carries the bus path, including a gateway
+		// segment pair when the ECUs share no bus.
+		var signal *vfb.Route
+		for busName := range byBus {
+			if s := findRouteSignal(byBus[busName], conn); s != nil {
+				signal = s
+				break
+			}
+		}
+		if signal == nil {
+			return 0, fmt.Errorf("chain %s: no route for connector %s.%s -> %s.%s", lc.Name, a.SWC, a.Port, b.SWC, b.Port)
+		}
+		segBuses := []string{signal.Bus}
+		if signal.Via != "" {
+			segBuses = append(segBuses, signal.Bus2)
+		}
+		for _, busName := range segBuses {
+			if err := appendBusStage(&stages, sys, busName, signal, byBus[busName], opts); err != nil {
+				return 0, fmt.Errorf("chain %s: %w", lc.Name, err)
+			}
+		}
+	}
+	// Prepend the source stage: the runnable writing chain[0].
+	src := sys.Component(lc.Chain[0].SWC)
+	for i := range src.Runnables {
+		run := &src.Runnables[i]
+		for _, w := range run.Writes {
+			if w.Port == lc.Chain[0].Port {
+				stages = append([]e2e.Stage{&e2e.TaskStage{
+					Name: src.Name + "." + run.Name, Tasks: taskSets[sys.Mapping[src.Name]],
+					Target: src.Name + "." + run.Name,
+				}}, stages...)
+			}
+		}
+	}
+	return e2e.ChainBound(stages)
+}
+
+// defaultFlexRay resolves the effective FlexRay configuration.
+func defaultFlexRay(opts rte.Options) flexray.Config {
+	if opts.FlexRayConfig.CycleLength() != 0 {
+		return opts.FlexRayConfig
+	}
+	return flexray.Config{
+		StaticSlots: 8, SlotLength: sim.US(100),
+		Minislots: 40, MinislotLength: sim.US(5), NIT: sim.US(100),
+	}
+}
+
+// flexraySchedule synthesizes the static schedule for a bus's periodic
+// routes and indexes it by signal name.
+func flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[string]flexray.Assignment, error) {
+	var sigs []flexray.Signal
+	for _, r := range routes {
+		if r.Period > 0 {
+			sigs = append(sigs, flexray.Signal{Name: r.SignalName, Period: sim.Duration(r.Period)})
+		}
+	}
+	as, err := flexray.Synthesize(cfg, sigs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]flexray.Assignment, len(as))
+	for _, a := range as {
+		out[a.Signal.Name] = a
+	}
+	return out, nil
+}
+
+// appendBusStage adds the analytic stage for one bus segment of a route.
+func appendBusStage(stages *[]e2e.Stage, sys *model.System, busName string,
+	signal *vfb.Route, routes []vfb.Route, opts rte.Options) error {
+	bus := sys.BusByName(busName)
+	if bus == nil {
+		return fmt.Errorf("unknown bus %q", busName)
+	}
+	switch bus.Kind {
+	case model.BusCAN:
+		*stages = append(*stages, &e2e.CANStage{
+			Name: busName, Cfg: can.Config{BitRate: bus.BitRate},
+			Messages: canMessages(routes, bus.BitRate), Target: signal.SignalName,
+		})
+	case model.BusFlexRay:
+		cfg := defaultFlexRay(opts)
+		// The bound must reflect the actual synthesized slot position:
+		// worst case is one full repetition of waiting plus the slot.
+		as, err := flexraySchedule(cfg, routes)
+		if err != nil {
+			return err
+		}
+		a, ok := as[signal.SignalName]
+		if !ok {
+			return fmt.Errorf("signal %s not in static schedule of %s", signal.SignalName, busName)
+		}
+		*stages = append(*stages, &e2e.SamplingStage{
+			Name:   busName,
+			Period: sim.Duration(a.Repetition) * cfg.CycleLength(),
+			// Delivery completes at the slot end within the cycle.
+			Transfer: sim.Duration(a.SlotID) * cfg.SlotLength,
+		})
+	case model.BusTTP:
+		slot := opts.TTPSlotLength
+		if slot == 0 {
+			slot = sim.US(250)
+		}
+		nodes := 0
+		for _, e := range sys.ECUs {
+			for _, eb := range e.Buses {
+				if eb == busName {
+					nodes++
+				}
+			}
+		}
+		*stages = append(*stages, &e2e.SamplingStage{
+			Name: busName, Period: sim.Duration(nodes) * slot, Transfer: slot,
+		})
+	}
+	return nil
+}
+
+func findInternalRunnable(comp *model.SWC, inPort, outPort string) *model.Runnable {
+	for i := range comp.Runnables {
+		run := &comp.Runnables[i]
+		reads := run.Trigger.Port == inPort
+		for _, rr := range run.Reads {
+			if rr.Port == inPort {
+				reads = true
+			}
+		}
+		writes := false
+		for _, w := range run.Writes {
+			if w.Port == outPort {
+				writes = true
+			}
+		}
+		if reads && writes {
+			return run
+		}
+	}
+	return nil
+}
+
+func findConnector(sys *model.System, a, b model.PortRef2) (*model.Connector, error) {
+	for i := range sys.Connectors {
+		c := &sys.Connectors[i]
+		if c.FromSWC == a.SWC && c.FromPort == a.Port && c.ToSWC == b.SWC && c.ToPort == b.Port {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("no connector %s.%s -> %s.%s", a.SWC, a.Port, b.SWC, b.Port)
+}
+
+func findRouteSignal(routes []vfb.Route, conn *model.Connector) *vfb.Route {
+	for i := range routes {
+		r := &routes[i]
+		if r.Conn.FromSWC == conn.FromSWC && r.Conn.FromPort == conn.FromPort &&
+			r.Conn.ToSWC == conn.ToSWC && r.Conn.ToPort == conn.ToPort {
+			return r
+		}
+	}
+	return nil
+}

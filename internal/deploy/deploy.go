@@ -1,0 +1,288 @@
+// Package deploy explores the design space of SWC-to-ECU mappings: the
+// federated → integrated consolidation study of §4. Given a vehicle with a
+// federated mapping (one subsystem per ECU cluster), it searches for
+// mappings that minimize ECU count, wiring harness length and load
+// imbalance while respecting schedulability, memory and criticality
+// constraints.
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autorte/internal/model"
+	"autorte/internal/sim"
+	"autorte/internal/vfb"
+)
+
+// Constraints bound feasible mappings.
+type Constraints struct {
+	// MaxUtilization caps per-ECU load (default 0.69, the asymptotic
+	// rate-monotonic bound — conservative on purpose so a verified DSE
+	// result stays schedulable under RTA).
+	MaxUtilization float64
+	// RespectASIL requires ECU.MaxASIL >= every hosted component's ASIL.
+	RespectASIL bool
+	// RespectMemory enforces ECU memory capacity.
+	RespectMemory bool
+}
+
+func (c *Constraints) fill() {
+	if c.MaxUtilization == 0 {
+		c.MaxUtilization = 0.69
+	}
+}
+
+// Objective weighs the cost terms.
+type Objective struct {
+	WECU     float64 // per used ECU (hardware + wiring + contact points)
+	WHarness float64 // per meter of harness
+	WLoad    float64 // per unit of load variance (balance)
+}
+
+// DefaultObjective prioritizes ECU elimination, then harness, then balance.
+func DefaultObjective() Objective { return Objective{WECU: 1000, WHarness: 10, WLoad: 1} }
+
+// Metrics evaluates one mapping.
+type Metrics struct {
+	ECUs       int
+	Harness    float64
+	MaxLoad    float64
+	LoadVar    float64
+	Feasible   bool
+	Violations []string
+}
+
+// Cost folds metrics into a scalar (infeasible mappings are +Inf).
+func (m Metrics) Cost(obj Objective) float64 {
+	if !m.Feasible {
+		return math.Inf(1)
+	}
+	return obj.WECU*float64(m.ECUs) + obj.WHarness*m.Harness + obj.WLoad*m.LoadVar
+}
+
+// Evaluate computes the metrics of the system's current mapping.
+func Evaluate(sys *model.System, cons Constraints) Metrics {
+	cons.fill()
+	m := Metrics{Feasible: true}
+	m.ECUs = len(sys.UsedECUs())
+	m.Harness = sys.HarnessLength()
+	// Per-ECU checks.
+	var loads []float64
+	for _, e := range sys.ECUs {
+		load := sys.AnalyzedLoad(e.Name)
+		memory := 0
+		hosts := false
+		worstASIL := model.QM
+		for _, c := range sys.Components {
+			if sys.Mapping[c.Name] != e.Name {
+				continue
+			}
+			hosts = true
+			memory += c.MemoryKB
+			if c.ASIL > worstASIL {
+				worstASIL = c.ASIL
+			}
+		}
+		if !hosts {
+			continue
+		}
+		loads = append(loads, load)
+		if load > m.MaxLoad {
+			m.MaxLoad = load
+		}
+		if load > cons.MaxUtilization {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s overloaded: %.3f > %.3f", e.Name, load, cons.MaxUtilization))
+		}
+		if cons.RespectMemory && e.MemoryKB > 0 && memory > e.MemoryKB {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s out of memory: %d > %d KB", e.Name, memory, e.MemoryKB))
+		}
+		if cons.RespectASIL && worstASIL > e.MaxASIL {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s hosts %v components but qualifies only for %v", e.Name, worstASIL, e.MaxASIL))
+		}
+	}
+	// Communication feasibility: every remote connector needs a shared bus.
+	if _, err := vfb.Resolve(sys); err != nil {
+		m.Feasible = false
+		m.Violations = append(m.Violations, err.Error())
+	}
+	// Load variance over used ECUs.
+	if len(loads) > 0 {
+		mean := 0.0
+		for _, l := range loads {
+			mean += l
+		}
+		mean /= float64(len(loads))
+		for _, l := range loads {
+			m.LoadVar += (l - mean) * (l - mean)
+		}
+		m.LoadVar /= float64(len(loads))
+	}
+	return m
+}
+
+// Greedy consolidates with first-fit decreasing: components sorted by
+// descending utilization are packed onto the fewest ECUs that satisfy the
+// constraints. ECUs are tried in name order (deterministic). The input is
+// not modified; the returned clone carries the new mapping.
+func Greedy(sys *model.System, cons Constraints) (*model.System, error) {
+	cons.fill()
+	out := sys.Clone()
+	comps := append([]*model.SWC(nil), out.Components...)
+	sort.SliceStable(comps, func(i, j int) bool {
+		ui, uj := comps[i].Utilization(), comps[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return comps[i].Name < comps[j].Name
+	})
+	ecus := append([]*model.ECU(nil), out.ECUs...)
+	sort.SliceStable(ecus, func(i, j int) bool { return ecus[i].Name < ecus[j].Name })
+	out.Mapping = map[string]string{}
+	for _, c := range comps {
+		placed := false
+		for _, e := range ecus {
+			out.Mapping[c.Name] = e.Name
+			if fits(out, c, e, cons) {
+				placed = true
+				break
+			}
+			delete(out.Mapping, c.Name)
+		}
+		if !placed {
+			return nil, fmt.Errorf("deploy: cannot place %s (u=%.3f) on any ECU", c.Name, c.Utilization())
+		}
+	}
+	// The packing respects local constraints; verify globally (bus
+	// reachability included).
+	if m := Evaluate(out, cons); !m.Feasible {
+		return nil, fmt.Errorf("deploy: greedy result infeasible: %v", m.Violations)
+	}
+	return out, nil
+}
+
+// fits checks the per-ECU constraints for c on e under the current
+// (partial) mapping of out.
+func fits(out *model.System, c *model.SWC, e *model.ECU, cons Constraints) bool {
+	if out.AnalyzedLoad(e.Name) > cons.MaxUtilization {
+		return false
+	}
+	if cons.RespectASIL && c.ASIL > e.MaxASIL {
+		return false
+	}
+	if cons.RespectMemory && e.MemoryKB > 0 {
+		mem := 0
+		for _, o := range out.Components {
+			if out.Mapping[o.Name] == e.Name {
+				mem += o.MemoryKB
+			}
+		}
+		if mem > e.MemoryKB {
+			return false
+		}
+	}
+	return true
+}
+
+// Place maps only the unmapped components of a system into the existing
+// deployment without moving anything already placed — incremental
+// integration of new supplier content into a vehicle already in
+// production (the tooling face of E9's extensibility scenario). Existing
+// mappings are never touched; an error is returned when a new component
+// fits nowhere.
+func Place(sys *model.System, cons Constraints) (*model.System, error) {
+	cons.fill()
+	out := sys.Clone()
+	if out.Mapping == nil {
+		out.Mapping = map[string]string{}
+	}
+	ecus := append([]*model.ECU(nil), out.ECUs...)
+	sort.SliceStable(ecus, func(i, j int) bool { return ecus[i].Name < ecus[j].Name })
+	var pending []*model.SWC
+	for _, c := range out.Components {
+		if out.Mapping[c.Name] == "" {
+			pending = append(pending, c)
+		}
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		ui, uj := pending[i].Utilization(), pending[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return pending[i].Name < pending[j].Name
+	})
+	for _, c := range pending {
+		placed := false
+		for _, e := range ecus {
+			out.Mapping[c.Name] = e.Name
+			if fits(out, c, e, cons) {
+				placed = true
+				break
+			}
+			delete(out.Mapping, c.Name)
+		}
+		if !placed {
+			return nil, fmt.Errorf("deploy: no spare capacity for new component %s", c.Name)
+		}
+	}
+	if m := Evaluate(out, cons); !m.Feasible {
+		return nil, fmt.Errorf("deploy: incremental placement infeasible: %v", m.Violations)
+	}
+	return out, nil
+}
+
+// Anneal refines a feasible mapping by simulated annealing: random
+// single-component moves, accepting cost increases with a geometrically
+// cooling probability. Deterministic for a given seed.
+func Anneal(sys *model.System, cons Constraints, obj Objective, seed uint64, iters int) (*model.System, error) {
+	cons.fill()
+	cur := sys.Clone()
+	curM := Evaluate(cur, cons)
+	if !curM.Feasible {
+		// Bootstrap from greedy if the incoming mapping is infeasible.
+		g, err := Greedy(sys, cons)
+		if err != nil {
+			return nil, err
+		}
+		cur = g
+		curM = Evaluate(cur, cons)
+	}
+	best := cur.Clone()
+	bestCost := curM.Cost(obj)
+	curCost := bestCost
+	r := sim.NewRand(seed)
+	temp := bestCost * 0.05
+	if temp <= 0 {
+		temp = 1
+	}
+	for i := 0; i < iters; i++ {
+		cand := cur.Clone()
+		c := cand.Components[r.Intn(len(cand.Components))]
+		e := cand.ECUs[r.Intn(len(cand.ECUs))]
+		if cand.Mapping[c.Name] == e.Name {
+			continue
+		}
+		cand.Mapping[c.Name] = e.Name
+		m := Evaluate(cand, cons)
+		cost := m.Cost(obj)
+		accept := cost <= curCost
+		if !accept && !math.IsInf(cost, 1) {
+			accept = r.Float64() < math.Exp((curCost-cost)/temp)
+		}
+		if accept {
+			cur, curCost = cand, cost
+			if cost < bestCost {
+				best, bestCost = cand.Clone(), cost
+			}
+		}
+		temp *= 0.995
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, fmt.Errorf("deploy: annealing found no feasible mapping")
+	}
+	return best, nil
+}

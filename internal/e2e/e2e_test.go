@@ -1,0 +1,232 @@
+package e2e
+
+import (
+	"testing"
+
+	"autorte/internal/can"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sched"
+	"autorte/internal/sim"
+)
+
+func TestTaskStageBound(t *testing.T) {
+	st := &TaskStage{
+		Name: "ctrl",
+		Tasks: []sched.Task{
+			{Name: "hp", C: sim.MS(1), T: sim.MS(4), Priority: 2},
+			{Name: "law", C: sim.MS(2), T: sim.MS(8), Priority: 1},
+		},
+		Target: "law",
+	}
+	b, err := st.Bound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != sim.MS(3) {
+		t.Fatalf("bound %v, want 3ms", b)
+	}
+	// Upstream jitter increases the bound.
+	b2, _ := st.Bound(sim.MS(2))
+	if b2 != sim.MS(5) {
+		t.Fatalf("bound with 2ms jitter %v, want 5ms (R = w + J)", b2)
+	}
+	st.Target = "ghost"
+	if _, err := st.Bound(0); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestCANStageBound(t *testing.T) {
+	cfg := can.Config{BitRate: 500_000}
+	st := &CANStage{
+		Name: "bus",
+		Cfg:  cfg,
+		Messages: []*can.Message{
+			{Name: "m1", ID: 1, DLC: 8, Period: sim.MS(5)},
+			{Name: "m2", ID: 2, DLC: 8, Period: sim.MS(10)},
+		},
+		Target: "m2",
+	}
+	b, err := st.Bound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Fatal("zero CAN bound")
+	}
+	b2, _ := st.Bound(sim.MS(1))
+	if b2 <= b {
+		t.Fatalf("jitter did not increase CAN bound: %v vs %v", b2, b)
+	}
+	// Original message set must not be mutated.
+	if st.Messages[1].Jitter != 0 {
+		t.Fatal("stage mutated shared message set")
+	}
+}
+
+func TestSamplingStageAbsorbsJitter(t *testing.T) {
+	st := &SamplingStage{Name: "slot", Period: sim.MS(5), Transfer: sim.US(200)}
+	b, err := st.Bound(sim.MS(100)) // input jitter irrelevant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != sim.MS(5)+sim.US(200) {
+		t.Fatalf("bound %v", b)
+	}
+	bad := &SamplingStage{Name: "x"}
+	if _, err := bad.Bound(0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestChainBoundComposition(t *testing.T) {
+	stages := []Stage{
+		&TaskStage{Name: "s1", Tasks: []sched.Task{{Name: "a", C: sim.MS(1), T: sim.MS(10), Priority: 1}}, Target: "a"},
+		&SamplingStage{Name: "bus", Period: sim.MS(2), Transfer: sim.US(100)},
+		&TaskStage{Name: "s2", Tasks: []sched.Task{{Name: "b", C: sim.MS(1), T: sim.MS(10), Priority: 1}}, Target: "b"},
+	}
+	b, err := ChainBound(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1ms + (2ms + 0.1ms) + 1ms = 4.1ms; sampling absorbed the jitter so
+	// stage 3 sees J=0.
+	if b != sim.MS(4)+sim.US(100) {
+		t.Fatalf("chain bound %v, want 4.1ms", b)
+	}
+}
+
+func TestChainBoundPropagatesJitter(t *testing.T) {
+	mk := func() []sched.Task {
+		return []sched.Task{{Name: "x", C: sim.MS(1), T: sim.MS(10), Priority: 1}}
+	}
+	noSampling := []Stage{
+		&TaskStage{Name: "s1", Tasks: mk(), Target: "x"},
+		&TaskStage{Name: "s2", Tasks: mk(), Target: "x"},
+	}
+	b, err := ChainBound(noSampling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1: R=1ms. Stage 2: J=1ms + R=1ms -> contributes 2ms. Total 3ms.
+	if b != sim.MS(3) {
+		t.Fatalf("chain bound %v, want 3ms with jitter propagation", b)
+	}
+}
+
+// The integration check: the probe measures a real platform chain and the
+// measured max must stay under a generously composed analytic bound.
+func TestProbeMeasuresChain(t *testing.T) {
+	sys := probeSystem()
+	p := rte.MustBuild(sys, rte.Options{})
+	probe, err := Attach(p,
+		Endpoint{SWC: "Sensor", Runnable: "sample", Port: "out", Elem: "v"},
+		Endpoint{SWC: "Act", Runnable: "apply", Port: "in", Elem: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(sim.MS(200))
+	if len(probe.Latencies) < 18 {
+		t.Fatalf("probe captured %d tokens, want ~20", len(probe.Latencies))
+	}
+	if probe.Max() <= 0 {
+		t.Fatal("non-positive measured latency")
+	}
+	// Generous sanity bound: the chain must complete well within one
+	// sensor period.
+	if probe.Max() >= sim.MS(10) {
+		t.Fatalf("measured chain latency %v implausibly large", probe.Max())
+	}
+}
+
+func TestAttachValidatesEndpoints(t *testing.T) {
+	p := rte.MustBuild(probeSystem(), rte.Options{})
+	if _, err := Attach(p, Endpoint{SWC: "Ghost"}, Endpoint{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Attach(p,
+		Endpoint{SWC: "Sensor", Runnable: "sample", Port: "out", Elem: "v"},
+		Endpoint{SWC: "Act", Runnable: "ghost"}); err == nil {
+		t.Fatal("bad sink accepted")
+	}
+}
+
+func probeSystem() *model.System {
+	ifV := &model.PortInterface{
+		Name: "IfV", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "v", Type: model.UInt16}},
+	}
+	ifU := &model.PortInterface{
+		Name: "IfU", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "u", Type: model.UInt16}},
+	}
+	return &model.System{
+		Name:       "probe",
+		Interfaces: []*model.PortInterface{ifV, ifU},
+		Components: []*model.SWC{
+			{
+				Name:  "Sensor",
+				Ports: []model.Port{{Name: "out", Direction: model.Provided, Interface: ifV}},
+				Runnables: []model.Runnable{{
+					Name: "sample", WCETNominal: sim.US(50),
+					Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(10)},
+					Writes:  []model.PortRef{{Port: "out", Elem: "v"}},
+				}},
+			},
+			{
+				Name: "Ctrl",
+				Ports: []model.Port{
+					{Name: "in", Direction: model.Required, Interface: ifV},
+					{Name: "cmd", Direction: model.Provided, Interface: ifU},
+				},
+				Runnables: []model.Runnable{{
+					Name: "law", WCETNominal: sim.US(200),
+					Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "v"},
+					Reads:   []model.PortRef{{Port: "in", Elem: "v"}},
+					Writes:  []model.PortRef{{Port: "cmd", Elem: "u"}},
+				}},
+			},
+			{
+				Name:  "Act",
+				Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: ifU}},
+				Runnables: []model.Runnable{{
+					Name: "apply", WCETNominal: sim.US(80),
+					Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "u"},
+					Reads:   []model.PortRef{{Port: "in", Elem: "u"}},
+				}},
+			},
+		},
+		ECUs: []*model.ECU{
+			{Name: "e1", Speed: 1, Buses: []string{"can0"}},
+			{Name: "e2", Speed: 1, Buses: []string{"can0"}},
+		},
+		Buses: []*model.Bus{{Name: "can0", Kind: model.BusCAN, BitRate: 500_000}},
+		Connectors: []model.Connector{
+			{FromSWC: "Sensor", FromPort: "out", ToSWC: "Ctrl", ToPort: "in"},
+			{FromSWC: "Ctrl", FromPort: "cmd", ToSWC: "Act", ToPort: "in"},
+		},
+		Mapping: map[string]string{"Sensor": "e1", "Ctrl": "e2", "Act": "e1"},
+	}
+}
+
+func TestProbeMeasuresDataAge(t *testing.T) {
+	sys := probeSystem()
+	p := rte.MustBuild(sys, rte.Options{})
+	probe, err := Attach(p,
+		Endpoint{SWC: "Sensor", Runnable: "sample", Port: "out", Elem: "v"},
+		Endpoint{SWC: "Act", Runnable: "apply", Port: "in", Elem: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(sim.MS(200))
+	if len(probe.Ages) == 0 {
+		t.Fatal("no data ages sampled")
+	}
+	// The sink is data-triggered: every execution sees freshly delivered
+	// data, so ages stay tiny (well under the 10ms producer period) and
+	// MaxAge <= Max first-through latency.
+	if probe.MaxAge() > probe.Max() {
+		t.Fatalf("max age %v exceeds max reaction %v for a data-triggered sink", probe.MaxAge(), probe.Max())
+	}
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autorte/internal/osek"
+	"autorte/internal/protection"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// Policy is the per-supplier scheduling policy under test.
+type Policy uint8
+
+// Policies compared in E1–E3.
+const (
+	PlainFP Policy = iota
+	DeferrableServerPolicy
+	PollingServerPolicy
+	SporadicServerPolicy
+	TTTable
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PlainFP:
+		return "fixed-priority"
+	case DeferrableServerPolicy:
+		return "deferrable-server"
+	case PollingServerPolicy:
+		return "polling-server"
+	case SporadicServerPolicy:
+		return "sporadic-server"
+	default:
+		return "tt-table"
+	}
+}
+
+// victimSet is supplier A's task set: three periodic tasks, U = 0.30.
+func victimSet() []*osek.Task {
+	return []*osek.Task{
+		{Name: "A.fast", Priority: 30, WCET: sim.US(500), Period: sim.MS(5), Supplier: "A"},
+		{Name: "A.mid", Priority: 20, WCET: sim.MS(1), Period: sim.MS(10), Supplier: "A"},
+		{Name: "A.slow", Priority: 10, WCET: sim.MS(2), Period: sim.MS(20), Supplier: "A"},
+	}
+}
+
+// aggressorSet is supplier B's task set at the given utilization, running
+// at priorities interleaved above A's (the worst case for A).
+func aggressorSet(util float64) []*osek.Task {
+	// Two tasks splitting the utilization, periods 4ms and 8ms.
+	return []*osek.Task{
+		{Name: "B.hi", Priority: 35, WCET: sim.Duration(util / 2 * float64(sim.MS(4))), Period: sim.MS(4), Supplier: "B"},
+		{Name: "B.lo", Priority: 25, WCET: sim.Duration(util / 2 * float64(sim.MS(8))), Period: sim.MS(8), Supplier: "B"},
+	}
+}
+
+// bReservation is supplier B's contractually planned CPU share. It is a
+// constant: reservations are agreed at integration time, not functions of
+// whatever load B later offers. B offering more than its reservation is
+// exactly the fault isolation must contain.
+const bReservation = 0.35
+
+// applyPolicy attaches throttles implementing the policy to supplier B.
+// Supplier A is left unthrottled under server policies: the question is
+// whether B can hurt A.
+func applyPolicy(tasks []*osek.Task, policy Policy) error {
+	if policy == PlainFP {
+		return nil
+	}
+	var throttle osek.Throttle
+	budget := sim.Duration(bReservation * float64(sim.MS(4)))
+	switch policy {
+	case DeferrableServerPolicy, PollingServerPolicy, SporadicServerPolicy:
+		kind := protection.Deferrable
+		if policy == PollingServerPolicy {
+			kind = protection.Polling
+		}
+		if policy == SporadicServerPolicy {
+			kind = protection.Sporadic
+		}
+		srv, err := protection.NewServer("B", kind, budget, sim.MS(4))
+		if err != nil {
+			return err
+		}
+		throttle = srv
+	case TTTable:
+		// Major frame 4ms: B owns its planned window, A the rest.
+		table, err := protection.NewTable(sim.MS(4), []protection.Window{
+			{Partition: "B", Start: 0, Length: budget},
+			{Partition: "A", Start: budget, Length: sim.MS(4) - budget},
+		})
+		if err != nil {
+			return err
+		}
+		for _, t := range tasks {
+			if t.Supplier == "A" {
+				t.Throttle = table.MustPartition("A")
+			}
+		}
+		throttle = table.MustPartition("B")
+	}
+	for _, t := range tasks {
+		if t.Supplier == "B" {
+			t.Throttle = throttle
+		}
+	}
+	return nil
+}
+
+// runECU simulates one ECU with the given tasks and returns the recorder.
+func runECU(tasks []*osek.Task, horizon sim.Time) (*trace.Recorder, *osek.CPU, error) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	cpu := osek.NewCPU(k, "ecu", 1, rec)
+	for _, t := range tasks {
+		if err := cpu.AddTask(t); err != nil {
+			return nil, nil, err
+		}
+	}
+	cpu.Start()
+	k.Run(horizon)
+	return rec, cpu, nil
+}
+
+// E1Config parameterizes the interference sweep.
+type E1Config struct {
+	Loads    []float64
+	Policies []Policy
+	Horizon  sim.Time
+}
+
+// DefaultE1 is the published configuration.
+func DefaultE1() E1Config {
+	return E1Config{
+		Loads:    []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Policies: []Policy{PlainFP, DeferrableServerPolicy, TTTable},
+		Horizon:  2 * sim.Second,
+	}
+}
+
+// E1Interference measures how supplier B's rising load perturbs supplier
+// A's lowest-priority task under each policy (§1: "the timing of software
+// tasks depends on the presence or absence of other tasks").
+func E1Interference(cfg E1Config) (*Table, error) {
+	tab := &Table{
+		Title:   "E1 timing interference: victim A.slow response vs aggressor load",
+		Columns: []string{"policy", "B util", "A.slow max", "A.slow jitter", "A misses"},
+		Notes: []string{
+			"paper claim: without isolation, A's timing is a function of B's load;",
+			"with reservation or TT isolation it is (nearly) flat.",
+		},
+	}
+	for _, pol := range cfg.Policies {
+		for _, load := range cfg.Loads {
+			tasks := append(victimSet(), aggressorSet(load)...)
+			if err := applyPolicy(tasks, pol); err != nil {
+				return nil, err
+			}
+			rec, _, err := runECU(tasks, cfg.Horizon)
+			if err != nil {
+				return nil, err
+			}
+			st := trace.Summarize(rec, "A.slow")
+			misses := rec.Count(trace.Miss, "A.fast") + rec.Count(trace.Miss, "A.mid") + rec.Count(trace.Miss, "A.slow")
+			tab.Add(pol, load, st.Max, st.Jitter, misses)
+		}
+	}
+	return tab, nil
+}
+
+// E2Config parameterizes the overhead study.
+type E2Config struct {
+	Policies []Policy
+	// UtilSweep probes the highest aggressor-load with zero misses.
+	UtilSweep []float64
+	Horizon   sim.Time
+}
+
+// DefaultE2 is the published configuration.
+func DefaultE2() E2Config {
+	return E2Config{
+		Policies:  []Policy{PlainFP, DeferrableServerPolicy, PollingServerPolicy, SporadicServerPolicy, TTTable},
+		UtilSweep: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65},
+		Horizon:   2 * sim.Second,
+	}
+}
+
+// E2IsolationOverhead quantifies the efficiency cost of isolation (§1:
+// "it will carry overhead, albeit potentially not prohibitive"): the
+// response-time penalty for a well-behaved B at low load, and the largest
+// B-utilization each policy sustains without any deadline miss.
+func E2IsolationOverhead(cfg E2Config) (*Table, error) {
+	tab := &Table{
+		Title:   "E2 isolation overhead: response penalty and sustainable load",
+		Columns: []string{"policy", "B.lo max @U=0.2", "penalty vs FP", "max miss-free B util"},
+		Notes: []string{
+			"penalty: worst response of the served task against plain FP;",
+			"sustainable load: the efficiency the policy gives up for isolation.",
+		},
+	}
+	baseline := sim.Duration(0)
+	for _, pol := range cfg.Policies {
+		// Response penalty at modest load.
+		tasks := append(victimSet(), aggressorSet(0.2)...)
+		if err := applyPolicy(tasks, pol); err != nil {
+			return nil, err
+		}
+		rec, _, err := runECU(tasks, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		bMax := trace.Summarize(rec, "B.lo").Max
+		if pol == PlainFP {
+			baseline = bMax
+		}
+		penalty := "0%"
+		if baseline > 0 && bMax > baseline {
+			penalty = fmt.Sprintf("+%.0f%%", 100*float64(bMax-baseline)/float64(baseline))
+		}
+		// Sustainable utilization sweep.
+		best := 0.0
+		for _, u := range cfg.UtilSweep {
+			tasks := append(victimSet(), aggressorSet(u)...)
+			if err := applyPolicy(tasks, pol); err != nil {
+				return nil, err
+			}
+			rec, _, err := runECU(tasks, cfg.Horizon)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Count(trace.Miss, "") == 0 {
+				best = u
+			}
+		}
+		tab.Add(pol, bMax, penalty, best)
+	}
+	return tab, nil
+}
+
+// E3Config parameterizes overrun containment.
+type E3Config struct {
+	Factors []float64
+	Horizon sim.Time
+}
+
+// DefaultE3 is the published configuration.
+func DefaultE3() E3Config {
+	return E3Config{Factors: []float64{1, 2, 4, 8, 16}, Horizon: 2 * sim.Second}
+}
+
+// E3OverrunContainment injects WCET overruns into supplier B and measures
+// the victim's misses with and without budget enforcement (§1/§4:
+// protecting each IP from the timing errors of other IPs).
+func E3OverrunContainment(cfg E3Config) (*Table, error) {
+	tab := &Table{
+		Title:   "E3 WCET-overrun containment: victim failures vs overrun factor",
+		Columns: []string{"overrun x", "victim fail (no budgets)", "victim fail (budgets)", "rogue aborts (budgets)"},
+		Notes: []string{
+			"rogue declares 1ms WCET at 10ms period and actually runs x times longer;",
+			"victim failures = deadline misses + dropped activations (starvation);",
+			"budget enforcement must cut the rogue off at its declared WCET.",
+		},
+	}
+	for _, factor := range cfg.Factors {
+		run := func(enforce bool) (int, int, error) {
+			rogue := &osek.Task{
+				Name: "B.rogue", Priority: 40, WCET: sim.MS(1), Period: sim.MS(10), Supplier: "B",
+				Demand: func(int64) sim.Duration { return sim.Duration(factor * float64(sim.MS(1))) },
+			}
+			if enforce {
+				rogue.Budget = sim.MS(1)
+			}
+			tasks := append(victimSet(), rogue)
+			rec, _, err := runECU(tasks, cfg.Horizon)
+			if err != nil {
+				return 0, 0, err
+			}
+			failures := 0
+			for _, victim := range []string{"A.fast", "A.mid", "A.slow"} {
+				failures += rec.Count(trace.Miss, victim) + rec.Count(trace.Drop, victim)
+			}
+			return failures, rec.Count(trace.Abort, "B.rogue"), nil
+		}
+		noBudget, _, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		withBudget, aborts, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		tab.Add(factor, noBudget, withBudget, aborts)
+	}
+	return tab, nil
+}

@@ -1,0 +1,94 @@
+// Package experiments implements the reproduction suite E1–E10 defined in
+// DESIGN.md. The paper is a position paper without quantitative results,
+// so each experiment operationalizes one of its claims; EXPERIMENTS.md
+// records the qualitative shape the paper predicts next to what these
+// functions measure. cmd/experiments prints the tables; bench_test.go
+// wraps each experiment as a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// All runs every experiment at its default scale and renders the tables.
+func All(w io.Writer) error {
+	runs := []func() (*Table, error){
+		func() (*Table, error) { return E1Interference(DefaultE1()) },
+		func() (*Table, error) { return E2IsolationOverhead(DefaultE2()) },
+		func() (*Table, error) { return E3OverrunContainment(DefaultE3()) },
+		func() (*Table, error) { return E4BusComparison(DefaultE4()) },
+		func() (*Table, error) { return E5AnalysisVsSim(DefaultE5()) },
+		func() (*Table, error) { return E6Contracts(DefaultE6()) },
+		func() (*Table, error) { return E7Consolidation(DefaultE7()) },
+		func() (*Table, error) { return E8NoC(DefaultE8()) },
+		func() (*Table, error) { return E9Extensibility(DefaultE9()) },
+		func() (*Table, error) { return E10ErrorHandling(DefaultE10()) },
+	}
+	for _, run := range runs {
+		tab, err := run()
+		if err != nil {
+			return err
+		}
+		tab.Render(w)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+// Reduced-scale configurations keep the test suite fast; the bench harness
+// runs the defaults.
+
+func TestE1ShowsIsolationEffect(t *testing.T) {
+	cfg := E1Config{
+		// 0.4 and 0.6 both exceed B's planned reservation (0.35): any
+		// isolating policy must clamp them to identical interference.
+		Loads:    []float64{0.4, 0.6},
+		Policies: []Policy{PlainFP, DeferrableServerPolicy, TTTable},
+		Horizon:  sim.Second,
+	}
+	tab, err := E1Interference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// Shape check: under plain FP the victim's worst response grows with
+	// load; under the TT table (and saturated server) it does not.
+	get := func(policy, load string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == policy && r[1] == load {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", policy, load)
+		return nil
+	}
+	fpLow, fpHigh := get("fixed-priority", "0.4"), get("fixed-priority", "0.6")
+	if fpLow[2] == fpHigh[2] {
+		t.Errorf("FP victim response flat across load: %v vs %v", fpLow, fpHigh)
+	}
+	ttLow, ttHigh := get("tt-table", "0.4"), get("tt-table", "0.6")
+	if ttLow[2] != ttHigh[2] {
+		t.Errorf("TT victim response moved with load: %v vs %v", ttLow, ttHigh)
+	}
+}
+
+func TestE2ReportsOverheadAndCapacity(t *testing.T) {
+	cfg := E2Config{
+		Policies:  []Policy{PlainFP, DeferrableServerPolicy},
+		UtilSweep: []float64{0.2, 0.4, 0.6},
+		Horizon:   sim.Second,
+	}
+	tab, err := E2IsolationOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// FP sustains at least as much load as the server (efficiency trade).
+	if tab.Rows[0][3] < tab.Rows[1][3] {
+		t.Errorf("server sustained more load than FP: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+func TestE3BudgetsContainOverrun(t *testing.T) {
+	tab, err := E3OverrunContainment(E3Config{Factors: []float64{1, 8}, Horizon: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// factor 8: without budgets the victims miss; with budgets they don't.
+	row := tab.Rows[1]
+	if row[1] == "0" {
+		t.Errorf("x8 overrun without budgets hurt nobody: %v", row)
+	}
+	if row[2] != "0" {
+		t.Errorf("x8 overrun with budgets still hurt victims: %v", row)
+	}
+	if row[3] == "0" {
+		t.Errorf("no aborts recorded: %v", row)
+	}
+}
+
+func TestE4FlexRayFlatCANGrowing(t *testing.T) {
+	tab, err := E4BusComparison(E4Config{Loads: []float64{0.2, 0.8}, Horizon: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canJitter, ttJitter []string
+	for _, r := range tab.Rows {
+		switch r[0] {
+		case "CAN":
+			canJitter = append(canJitter, r[4])
+		case "FlexRay", "TTEthernet":
+			ttJitter = append(ttJitter, r[4])
+		}
+	}
+	if canJitter[0] == canJitter[1] {
+		t.Errorf("CAN victim jitter flat across load: %v", canJitter)
+	}
+	for _, j := range ttJitter {
+		if j != "0ns" {
+			t.Errorf("time-triggered victim has jitter %v", j)
+		}
+	}
+}
+
+func TestE5AllSound(t *testing.T) {
+	tab, err := E5AnalysisVsSim(E5Config{Trials: 6, Seed: 1, Horizon: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[2] != "true" {
+			t.Fatalf("analysis unsound in %s", r[0])
+		}
+	}
+}
+
+func TestE6FindsSeededViolations(t *testing.T) {
+	tab, err := E6Contracts(E6Config{Sizes: []int{4, 16}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[3] != r[4] {
+			t.Fatalf("seeded %s, found %s", r[3], r[4])
+		}
+	}
+}
+
+func TestE7ConsolidationShape(t *testing.T) {
+	tab, err := E7Consolidation(E7Config{Seed: 5, AnnealIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ECU counts must drop federated -> greedy (compare numerically).
+	fed, _ := strconv.Atoi(tab.Rows[0][1])
+	grd, _ := strconv.Atoi(tab.Rows[1][1])
+	if fed <= grd {
+		t.Errorf("no ECU reduction: federated %d, greedy %d", fed, grd)
+	}
+	for _, r := range tab.Rows {
+		if r[4] != "true" || r[5] != "true" {
+			t.Errorf("architecture %s infeasible or unverified: %v", r[0], r)
+		}
+	}
+}
+
+func TestE8TDMASatisfiesAll(t *testing.T) {
+	tab, err := E8NoC(E8Config{Horizon: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		switch r[0] {
+		case "tdma":
+			for i := 1; i <= 4; i++ {
+				if r[i] != "true" {
+					t.Errorf("TDMA failed requirement column %d: %v", i, r)
+				}
+			}
+		case "best-effort":
+			if r[3] == "true" {
+				t.Errorf("best-effort reported non-interfering: %v", r)
+			}
+		}
+	}
+}
+
+func TestE9PlannedTableStable(t *testing.T) {
+	cfg := DefaultE9()
+	cfg.Intruders = []int{1}
+	cfg.Horizon = 100 * sim.Millisecond
+	tab, err := E9Extensibility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[1] == "planned tt-table" && r[3] != "true" {
+			t.Errorf("planned table unstable: %v", r)
+		}
+		if r[1] == "fixed-priority" && r[3] == "true" {
+			t.Errorf("plain FP reported stable: %v", r)
+		}
+	}
+}
+
+func TestE10AllDetected(t *testing.T) {
+	tab, err := E10ErrorHandling(DefaultE10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[1] != "true" {
+			t.Errorf("fault %s not detected", r[0])
+		}
+		if r[3] != "true" {
+			t.Errorf("fault %s not delivered to application layer", r[0])
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.Add(1, 2.5)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t ==", "a", "bb", "2.5", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package fault implements the fault-injection and error-detection
+// machinery behind the paper's §2 error handling use cases — broken
+// sensors, communication errors, memory failures — plus the timing faults
+// (WCET overruns, babbling idiots) §1/§4 require the platform to contain.
+//
+// Injectors wrap RTE behaviours or bus hooks; detectors are behaviours
+// that watch temporal validity and value plausibility and report through
+// the platform error manager. Experiment E10 measures detection latency
+// and containment for each use case.
+package fault
+
+import (
+	"math"
+
+	"autorte/internal/can"
+	"autorte/internal/osek"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+// SensorMode selects how a broken sensor misbehaves.
+type SensorMode uint8
+
+const (
+	// Silent sensors stop producing (detectable by age monitoring).
+	Silent SensorMode = iota
+	// Stuck sensors repeat their last value forever.
+	Stuck
+	// Noise sensors produce implausible out-of-range values.
+	Noise
+)
+
+func (m SensorMode) String() string {
+	switch m {
+	case Silent:
+		return "silent"
+	case Stuck:
+		return "stuck"
+	default:
+		return "noise"
+	}
+}
+
+// BreakSensor wraps a producing behaviour so the sensor fails at time at
+// in the given mode. noiseValue is the implausible output for Noise mode.
+func BreakSensor(at sim.Time, mode SensorMode, noiseValue float64, healthy rte.Behavior) rte.Behavior {
+	var lastWrite func(*rte.Context)
+	return func(c *rte.Context) {
+		if c.Now() < at {
+			healthy(c)
+			// Remember how to re-emit for Stuck mode: re-run the healthy
+			// behaviour (state semantics make re-writing idempotent).
+			lastWrite = healthy
+			return
+		}
+		switch mode {
+		case Silent:
+			// produce nothing
+		case Stuck:
+			if lastWrite != nil {
+				lastWrite(c)
+			}
+		case Noise:
+			// Emit the implausible value on every declared write port of
+			// the healthy behaviour by delegating the port knowledge to
+			// the caller-provided writer.
+			healthyNoise(c, noiseValue)
+		}
+	}
+}
+
+// healthyNoise writes noiseValue to every declared write of the runnable.
+func healthyNoise(c *rte.Context, v float64) {
+	for _, w := range c.Writes() {
+		c.Write(w.Port, w.Elem, v)
+	}
+}
+
+// OverrunTask makes an OS task exceed its declared WCET by factor starting
+// at virtual time from (the misbehaving-supplier fault of E3).
+func OverrunTask(k *sim.Kernel, task *osek.Task, from sim.Time, factor float64) {
+	nominal := task.WCET
+	task.Demand = func(int64) sim.Duration {
+		if k.Now() >= from {
+			return sim.Duration(float64(nominal) * factor)
+		}
+		return nominal
+	}
+}
+
+// CANBurst installs an error injector on a CAN bus corrupting every frame
+// attempt in [from, until) with the given probability.
+func CANBurst(bus *can.Bus, from, until sim.Time, probability float64, seed uint64) {
+	r := sim.NewRand(seed)
+	bus.ErrorInjector = func(_ *can.Message, _ int, at sim.Time) bool {
+		if at < from || at >= until {
+			return false
+		}
+		return r.Float64() < probability
+	}
+}
+
+// CorruptValue wraps a behaviour so that produced values get a high bit
+// flipped from time at on — the memory-failure use case (a corrupted
+// calibration or RAM cell).
+func CorruptValue(at sim.Time, healthy rte.Behavior) rte.Behavior {
+	return func(c *rte.Context) {
+		if c.Now() < at {
+			healthy(c)
+			return
+		}
+		healthyNoise(c, math.MaxUint16) // saturated nonsense value
+	}
+}
+
+// AgeMonitor returns a detector behaviour: a periodic runnable that
+// reports a sensor error when the watched element grows older than
+// maxAge. This is the temporal-validity check of the firewall pattern.
+func AgeMonitor(port, elem string, maxAge sim.Duration) rte.Behavior {
+	reported := false
+	return func(c *rte.Context) {
+		age := c.Age(port, elem)
+		if age < 0 {
+			return // nothing received yet
+		}
+		if age > maxAge && !reported {
+			reported = true
+			c.Report(rte.ErrSensor, "stale input: "+port+"."+elem)
+		}
+		if age <= maxAge {
+			reported = false
+		}
+	}
+}
+
+// RangeMonitor returns a detector behaviour reporting when the watched
+// element leaves [lo, hi] — the plausibility check that catches Noise
+// sensors and memory corruption.
+func RangeMonitor(port, elem string, lo, hi float64, kind rte.ErrorKind) rte.Behavior {
+	reported := false
+	return func(c *rte.Context) {
+		v, ok := c.ReadOK(port, elem)
+		if !ok {
+			return
+		}
+		if (v < lo || v > hi) && !reported {
+			reported = true
+			c.Report(kind, "implausible value")
+		}
+		if v >= lo && v <= hi {
+			reported = false
+		}
+	}
+}
+
+// DetectionLatency returns the delay from injection to the first error
+// report of the given kind at or after the injection time.
+func DetectionLatency(records []rte.ErrorRecord, kind rte.ErrorKind, injectedAt sim.Time) (sim.Duration, bool) {
+	for _, r := range records {
+		if r.Kind == kind && sim.Time(r.At) >= injectedAt {
+			return sim.Time(r.At) - injectedAt, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,53 @@
+package flexray
+
+import (
+	"fmt"
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+// BenchmarkBusSimulation measures one virtual second of a mixed
+// static/dynamic FlexRay cycle.
+func BenchmarkBusSimulation(b *testing.B) {
+	cfg := Config{
+		StaticSlots: 8, SlotLength: sim.US(100),
+		Minislots: 40, MinislotLength: sim.US(5), NIT: sim.US(100),
+	}
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		bus := MustNewBus(k, "fr0", cfg, nil)
+		for s := 1; s <= 8; s++ {
+			bus.MustAddFrame(&Frame{
+				Name: fmt.Sprintf("s%d", s), Kind: Static, SlotID: s, Repetition: 1,
+				Period: sim.MS(2),
+			})
+		}
+		for d := 0; d < 4; d++ {
+			bus.MustAddFrame(&Frame{
+				Name: fmt.Sprintf("d%d", d), Kind: Dynamic, FrameID: 9 + d, Length: 4,
+				Period: sim.MS(5),
+			})
+		}
+		bus.Start()
+		k.Run(sim.Second)
+	}
+}
+
+// BenchmarkSynthesize measures static-schedule synthesis for 64 signals.
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := Config{
+		StaticSlots: 16, SlotLength: sim.US(100),
+		Minislots: 40, MinislotLength: sim.US(5), NIT: sim.US(100),
+	}
+	var sigs []Signal
+	for i := 0; i < 64; i++ {
+		sigs = append(sigs, Signal{Name: fmt.Sprintf("sig%d", i), Period: sim.Duration(10+i%40) * sim.Millisecond})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(cfg, sigs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package flexray simulates the FlexRay communication cycle — a static
+// TDMA segment followed by a minislot-arbitrated dynamic segment — and
+// provides worst-case latency analysis and static-schedule synthesis.
+//
+// FlexRay is the paper's primary example of a protocol whose static
+// segment "partitions a single physical communication channel into nearly
+// independent sub-channels that are free of logical or temporal
+// interference" (§4): a frame's static slot timing is unaffected by any
+// other traffic, which experiment E4 demonstrates against CAN.
+package flexray
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+)
+
+// Config describes one FlexRay channel's communication cycle.
+type Config struct {
+	// StaticSlots is the number of static segment slots per cycle.
+	StaticSlots int
+	// SlotLength is the duration of one static slot.
+	SlotLength sim.Duration
+	// Minislots is the number of minislots in the dynamic segment.
+	Minislots int
+	// MinislotLength is the duration of one minislot.
+	MinislotLength sim.Duration
+	// NIT is the network idle time closing the cycle.
+	NIT sim.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StaticSlots < 0 || c.Minislots < 0 {
+		return fmt.Errorf("flexray: negative segment size")
+	}
+	if c.StaticSlots == 0 && c.Minislots == 0 {
+		return fmt.Errorf("flexray: empty communication cycle")
+	}
+	if c.StaticSlots > 0 && c.SlotLength <= 0 {
+		return fmt.Errorf("flexray: non-positive static slot length")
+	}
+	if c.Minislots > 0 && c.MinislotLength <= 0 {
+		return fmt.Errorf("flexray: non-positive minislot length")
+	}
+	if c.NIT < 0 {
+		return fmt.Errorf("flexray: negative NIT")
+	}
+	return nil
+}
+
+// CycleLength returns the duration of one communication cycle.
+func (c Config) CycleLength() sim.Duration {
+	return sim.Duration(c.StaticSlots)*c.SlotLength +
+		sim.Duration(c.Minislots)*c.MinislotLength + c.NIT
+}
+
+// DynamicStart returns the offset of the dynamic segment within the cycle.
+func (c Config) DynamicStart() sim.Duration {
+	return sim.Duration(c.StaticSlots) * c.SlotLength
+}
+
+// MaxCycle is the FlexRay cycle counter modulus.
+const MaxCycle = 64
+
+// FrameKind distinguishes the two segments.
+type FrameKind uint8
+
+const (
+	// Static frames own a fixed (slot, base, repetition) position.
+	Static FrameKind = iota
+	// Dynamic frames arbitrate by frame ID in the minislot segment.
+	Dynamic
+)
+
+func (k FrameKind) String() string {
+	if k == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Channel selects the physical channel(s) a frame is sent on. FlexRay's
+// dual-channel topology is one of its dependability features: a frame
+// assigned to both channels survives the loss of either.
+type Channel uint8
+
+// Channel assignments.
+const (
+	// ChannelA only (the default).
+	ChannelA Channel = iota
+	// ChannelB only.
+	ChannelB
+	// ChannelAB sends redundantly on both channels.
+	ChannelAB
+)
+
+func (c Channel) String() string {
+	switch c {
+	case ChannelA:
+		return "A"
+	case ChannelB:
+		return "B"
+	default:
+		return "AB"
+	}
+}
+
+// Frame is one FlexRay frame stream.
+type Frame struct {
+	Name string
+	Kind FrameKind
+	// Channel assigns the physical channel(s); zero value is channel A.
+	Channel Channel
+
+	// Static frames: SlotID in 1..StaticSlots; the frame occupies its slot
+	// in every cycle c with c % Repetition == Base.
+	SlotID     int
+	Base       int
+	Repetition int // power of two, 1..64
+
+	// Dynamic frames: FrameID > StaticSlots orders priority (lower wins);
+	// Length is the transmission length in minislots.
+	FrameID int
+	Length  int
+
+	// Period/Offset queue the frame's payload periodically; Period 0 means
+	// externally queued only. Deadline 0 defaults to Period.
+	Period   sim.Duration
+	Offset   sim.Duration
+	Deadline sim.Duration
+
+	// OnDeliver is invoked at the end of each successful transmission.
+	OnDeliver func(queued, delivered sim.Time, payload []byte)
+
+	sender  string
+	nextJob int64
+}
+
+// SetSender tags the transmitting node.
+func (f *Frame) SetSender(node string) { f.sender = node }
+
+// Sender returns the transmitting node tag.
+func (f *Frame) Sender() string { return f.sender }
+
+func (f *Frame) validate(cfg Config) error {
+	if f.Name == "" {
+		return fmt.Errorf("flexray: frame with empty name")
+	}
+	switch f.Kind {
+	case Static:
+		if f.SlotID < 1 || f.SlotID > cfg.StaticSlots {
+			return fmt.Errorf("flexray: frame %s: slot %d outside 1..%d", f.Name, f.SlotID, cfg.StaticSlots)
+		}
+		if f.Repetition == 0 {
+			f.Repetition = 1
+		}
+		if f.Repetition < 1 || f.Repetition > MaxCycle || f.Repetition&(f.Repetition-1) != 0 {
+			return fmt.Errorf("flexray: frame %s: repetition %d not a power of two in 1..64", f.Name, f.Repetition)
+		}
+		if f.Base < 0 || f.Base >= f.Repetition {
+			return fmt.Errorf("flexray: frame %s: base %d outside 0..%d", f.Name, f.Base, f.Repetition-1)
+		}
+	case Dynamic:
+		if f.FrameID <= cfg.StaticSlots {
+			return fmt.Errorf("flexray: frame %s: dynamic FrameID %d must exceed static slot count %d", f.Name, f.FrameID, cfg.StaticSlots)
+		}
+		if f.Length < 1 || f.Length > cfg.Minislots {
+			return fmt.Errorf("flexray: frame %s: length %d outside 1..%d minislots", f.Name, f.Length, cfg.Minislots)
+		}
+	default:
+		return fmt.Errorf("flexray: frame %s: unknown kind", f.Name)
+	}
+	if f.Period < 0 || f.Offset < 0 || f.Deadline < 0 {
+		return fmt.Errorf("flexray: frame %s: negative timing parameter", f.Name)
+	}
+	return nil
+}
+
+// occupies reports whether a static frame owns its slot in the given cycle.
+func (f *Frame) occupies(cycle int) bool {
+	return f.Kind == Static && cycle%f.Repetition == f.Base
+}
+
+func (f *Frame) relativeDeadline() sim.Duration {
+	if f.Deadline > 0 {
+		return f.Deadline
+	}
+	return f.Period
+}

@@ -1,0 +1,84 @@
+package model
+
+import "fmt"
+
+// ConfigClass is AUTOSAR's "extended configuration concept" (§2): each
+// parameter is bound at one of three times, trading flexibility against
+// runtime cost.
+type ConfigClass uint8
+
+const (
+	// PreCompile parameters are fixed when the ECU image is built.
+	PreCompile ConfigClass = iota
+	// LinkTime parameters are fixed when modules are linked.
+	LinkTime
+	// PostBuild parameters can be changed in the flashed image without
+	// recompilation (e.g. at end of line or in the workshop).
+	PostBuild
+)
+
+func (c ConfigClass) String() string {
+	switch c {
+	case PreCompile:
+		return "pre-compile"
+	case LinkTime:
+		return "link-time"
+	default:
+		return "post-build"
+	}
+}
+
+// Param is one configuration parameter with its binding class.
+type Param struct {
+	Class ConfigClass
+	Value string
+}
+
+// ConfigSet maps parameter names to values and binding classes. The zero
+// value is an empty, usable set.
+type ConfigSet struct {
+	Params map[string]Param
+}
+
+// Set defines or overwrites a parameter.
+func (cs *ConfigSet) Set(name string, class ConfigClass, value string) {
+	if cs.Params == nil {
+		cs.Params = map[string]Param{}
+	}
+	cs.Params[name] = Param{Class: class, Value: value}
+}
+
+// Get returns a parameter value and whether it exists.
+func (cs *ConfigSet) Get(name string) (string, bool) {
+	p, ok := cs.Params[name]
+	return p.Value, ok
+}
+
+// Rebind changes a parameter's value, enforcing the binding-time rule:
+// once the build stage has passed the parameter's class, rebinding fails.
+// stage is the current lifecycle stage expressed as a ConfigClass
+// (PreCompile = still compiling, LinkTime = linked, PostBuild = flashed).
+func (cs *ConfigSet) Rebind(name string, stage ConfigClass, value string) error {
+	p, ok := cs.Params[name]
+	if !ok {
+		return fmt.Errorf("config: unknown parameter %q", name)
+	}
+	if stage > p.Class {
+		return fmt.Errorf("config: parameter %q is %v-bound; cannot change at %v stage", name, p.Class, stage)
+	}
+	p.Value = value
+	cs.Params[name] = p
+	return nil
+}
+
+// ByClass returns the names of all parameters with the given class,
+// in unspecified order.
+func (cs *ConfigSet) ByClass(class ConfigClass) []string {
+	var out []string
+	for name, p := range cs.Params {
+		if p.Class == class {
+			out = append(out, name)
+		}
+	}
+	return out
+}

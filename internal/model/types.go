@@ -1,0 +1,174 @@
+// Package model defines the AUTOSAR-like meta-model used throughout
+// autorte: data types, port interfaces, software components (SWCs) with
+// runnables and RTE events, ECU resource descriptions, buses, system
+// constraints and the JSON exchange format ("templates").
+//
+// The meta-model mirrors the concepts §2 of the paper lists as AUTOSAR's
+// contribution — standardized interfaces, the Virtual Functional Bus,
+// configuration classes, function catalogues — while staying small enough
+// to analyze. Everything here is pure description; behaviour lives in the
+// rte, osek and bus packages.
+package model
+
+import "fmt"
+
+// DataType describes an application data type carried over ports and
+// packed into bus signals.
+type DataType struct {
+	Name string
+	Bits int // width when packed into a frame (1..64)
+	// Min/Max bound the physical value range; used by contracts for
+	// value-domain assumptions (e.g. a plausible wheel-speed range).
+	Min, Max float64
+	Initial  float64 // initial value of unqueued communication
+}
+
+// Validate checks structural well-formedness.
+func (d *DataType) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("data type with empty name")
+	}
+	if d.Bits < 1 || d.Bits > 64 {
+		return fmt.Errorf("data type %s: width %d bits outside 1..64", d.Name, d.Bits)
+	}
+	if d.Max < d.Min {
+		return fmt.Errorf("data type %s: max %g < min %g", d.Name, d.Max, d.Min)
+	}
+	return nil
+}
+
+// Standard scalar types most examples use.
+var (
+	Bool   = DataType{Name: "Boolean", Bits: 1, Min: 0, Max: 1}
+	UInt8  = DataType{Name: "UInt8", Bits: 8, Min: 0, Max: 255}
+	UInt16 = DataType{Name: "UInt16", Bits: 16, Min: 0, Max: 65535}
+	Int16  = DataType{Name: "Int16", Bits: 16, Min: -32768, Max: 32767}
+	UInt32 = DataType{Name: "UInt32", Bits: 32, Min: 0, Max: 4294967295}
+	Float  = DataType{Name: "Float", Bits: 32, Min: -3.4e38, Max: 3.4e38}
+)
+
+// InterfaceKind distinguishes the two AUTOSAR communication paradigms.
+type InterfaceKind uint8
+
+const (
+	// SenderReceiver is asynchronous data-flow communication.
+	SenderReceiver InterfaceKind = iota
+	// ClientServer is request/response operation invocation.
+	ClientServer
+)
+
+func (k InterfaceKind) String() string {
+	if k == SenderReceiver {
+		return "sender-receiver"
+	}
+	return "client-server"
+}
+
+// DataElement is one named value in a sender-receiver interface.
+type DataElement struct {
+	Name   string
+	Type   DataType
+	Queued bool // queued (event) vs unqueued (last-is-best) semantics
+}
+
+// Operation is one callable in a client-server interface.
+type Operation struct {
+	Name string
+	// Args and Result describe the payload for packing; semantics are
+	// opaque to the platform.
+	Args   []DataElement
+	Result *DataType
+}
+
+// PortInterface is a standardized interface published in a function
+// catalogue. Components are compatible when their port interfaces match by
+// structure, not by name ("clear semantics of the interface are being
+// published in function catalogues", §2).
+type PortInterface struct {
+	Name       string
+	Kind       InterfaceKind
+	Elements   []DataElement // for SenderReceiver
+	Operations []Operation   // for ClientServer
+}
+
+// Validate checks structural well-formedness.
+func (pi *PortInterface) Validate() error {
+	if pi.Name == "" {
+		return fmt.Errorf("port interface with empty name")
+	}
+	switch pi.Kind {
+	case SenderReceiver:
+		if len(pi.Elements) == 0 {
+			return fmt.Errorf("interface %s: sender-receiver with no data elements", pi.Name)
+		}
+		if len(pi.Operations) != 0 {
+			return fmt.Errorf("interface %s: sender-receiver with operations", pi.Name)
+		}
+		seen := map[string]bool{}
+		for i := range pi.Elements {
+			e := &pi.Elements[i]
+			if err := e.Type.Validate(); err != nil {
+				return fmt.Errorf("interface %s element %s: %w", pi.Name, e.Name, err)
+			}
+			if seen[e.Name] {
+				return fmt.Errorf("interface %s: duplicate element %s", pi.Name, e.Name)
+			}
+			seen[e.Name] = true
+		}
+	case ClientServer:
+		if len(pi.Operations) == 0 {
+			return fmt.Errorf("interface %s: client-server with no operations", pi.Name)
+		}
+		if len(pi.Elements) != 0 {
+			return fmt.Errorf("interface %s: client-server with data elements", pi.Name)
+		}
+	default:
+		return fmt.Errorf("interface %s: unknown kind %d", pi.Name, pi.Kind)
+	}
+	return nil
+}
+
+// Compatible reports whether a required interface can be satisfied by a
+// provided one: same kind and the provider covers every element/operation
+// the requirer needs, with identical widths and value ranges.
+func Compatible(required, provided *PortInterface) error {
+	if required.Kind != provided.Kind {
+		return fmt.Errorf("kind mismatch: required %v, provided %v", required.Kind, provided.Kind)
+	}
+	switch required.Kind {
+	case SenderReceiver:
+		prov := map[string]*DataElement{}
+		for i := range provided.Elements {
+			prov[provided.Elements[i].Name] = &provided.Elements[i]
+		}
+		for i := range required.Elements {
+			req := &required.Elements[i]
+			p, ok := prov[req.Name]
+			if !ok {
+				return fmt.Errorf("provider %s lacks element %s", provided.Name, req.Name)
+			}
+			if p.Type.Bits != req.Type.Bits {
+				return fmt.Errorf("element %s: width %d != %d", req.Name, p.Type.Bits, req.Type.Bits)
+			}
+			if p.Queued != req.Queued {
+				return fmt.Errorf("element %s: queued mismatch", req.Name)
+			}
+		}
+	case ClientServer:
+		prov := map[string]*Operation{}
+		for i := range provided.Operations {
+			prov[provided.Operations[i].Name] = &provided.Operations[i]
+		}
+		for i := range required.Operations {
+			req := &required.Operations[i]
+			p, ok := prov[req.Name]
+			if !ok {
+				return fmt.Errorf("provider %s lacks operation %s", provided.Name, req.Name)
+			}
+			if len(p.Args) != len(req.Args) {
+				return fmt.Errorf("operation %s: arity %d != %d", req.Name, len(p.Args), len(req.Args))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+func benchNet(b *testing.B, mode Mode) {
+	b.Helper()
+	cfg := Config{Width: 8, Height: 8, FlitTime: sim.US(1), Mode: mode, SlotLength: sim.US(100)}
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		net := MustNewNetwork(k, cfg, nil)
+		r := sim.NewRand(3)
+		for f := 0; f < 32; f++ {
+			src := Coord{r.Intn(8), r.Intn(8)}
+			dst := Coord{r.Intn(8), r.Intn(8)}
+			if src == dst {
+				dst.X = (dst.X + 1) % 8
+			}
+			net.MustAddFlow(&Flow{
+				Name: fmt.Sprintf("f%d", f), Src: src, Dst: dst, Flits: 1 + r.Intn(6),
+				Period: sim.Duration(1+r.Intn(10)) * sim.Millisecond,
+			})
+		}
+		net.Start()
+		k.Run(100 * sim.Millisecond)
+	}
+}
+
+// BenchmarkBestEffortMesh measures 100 virtual ms of a loaded 8x8
+// wormhole mesh (32 flows).
+func BenchmarkBestEffortMesh(b *testing.B) { benchNet(b, BestEffort) }
+
+// BenchmarkTDMAMesh is the same workload on the time-triggered NoC — the
+// arbitration-mode ablation from DESIGN.md.
+func BenchmarkTDMAMesh(b *testing.B) { benchNet(b, TDMA) }

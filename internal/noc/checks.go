@@ -1,0 +1,97 @@
+package noc
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// CompositionReport is the outcome of checking the four composability
+// requirements of §4 for a flow set on a given configuration.
+type CompositionReport struct {
+	// R1: every flow carries a full temporal specification.
+	PreciseInterfaces bool
+	// R2: per-flow worst-case latency before and after adding NewFlows;
+	// stability holds when no prior flow's worst case moved.
+	PriorWorst, PosteriorWorst map[string]sim.Duration
+	StablePriorServices        bool
+	// R3: worst latency of each flow running alone vs composed; zero
+	// interference when equal.
+	IsolatedWorst  map[string]sim.Duration
+	NonInterfering bool
+	// R4 is checked separately by fault injection (see the E8 bench).
+}
+
+// CheckComposition simulates base flows alone, each base flow in
+// isolation, and base+new flows together, then evaluates R1-R3.
+// horizon is the per-simulation virtual duration.
+func CheckComposition(cfg Config, base, added []*Flow, horizon sim.Time) (*CompositionReport, error) {
+	rep := &CompositionReport{
+		PriorWorst:     map[string]sim.Duration{},
+		PosteriorWorst: map[string]sim.Duration{},
+		IsolatedWorst:  map[string]sim.Duration{},
+	}
+	rep.PreciseInterfaces = true
+	for _, f := range append(append([]*Flow(nil), base...), added...) {
+		if f.Period <= 0 || f.Flits <= 0 {
+			rep.PreciseInterfaces = false
+		}
+	}
+	worst := func(flows []*Flow) (map[string]sim.Duration, error) {
+		k := sim.NewKernel()
+		rec := &trace.Recorder{}
+		net, err := NewNetwork(k, cfg, rec)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range flows {
+			// Fresh copy: job counters and hooks must not leak across
+			// simulations.
+			cp := *f
+			cp.OnDeliver = nil
+			cp.nextJob = 0
+			if err := net.AddFlow(&cp); err != nil {
+				return nil, err
+			}
+		}
+		net.Start()
+		k.Run(horizon)
+		out := map[string]sim.Duration{}
+		for _, f := range flows {
+			st := trace.Compute(rec.Latencies(f.Name))
+			if st.N == 0 {
+				return nil, fmt.Errorf("noc: flow %s never delivered in %v", f.Name, horizon)
+			}
+			out[f.Name] = st.Max
+		}
+		return out, nil
+	}
+	var err error
+	if rep.PriorWorst, err = worst(base); err != nil {
+		return nil, err
+	}
+	if rep.PosteriorWorst, err = worst(append(append([]*Flow(nil), base...), added...)); err != nil {
+		return nil, err
+	}
+	for _, f := range base {
+		solo, err := worst([]*Flow{f})
+		if err != nil {
+			return nil, err
+		}
+		rep.IsolatedWorst[f.Name] = solo[f.Name]
+	}
+	rep.StablePriorServices = true
+	for _, f := range base {
+		if rep.PosteriorWorst[f.Name] > rep.PriorWorst[f.Name] {
+			rep.StablePriorServices = false
+		}
+	}
+	rep.NonInterfering = true
+	for _, f := range base {
+		if rep.PriorWorst[f.Name] != rep.IsolatedWorst[f.Name] {
+			rep.NonInterfering = false
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,167 @@
+// Package noc simulates the MPSoC execution environment of §4: IP cores
+// on a mesh network-on-chip exchanging messages, with two arbitration
+// modes — best-effort wormhole-style routing (the interference-prone
+// baseline) and a TDMA-slotted time-triggered NoC that satisfies the
+// paper's four composability requirements:
+//
+//	R1  precise interface specification  (declared flows, rate policing)
+//	R2  stability of prior services      (adding flows leaves others intact)
+//	R3  non-interfering interactions     (zero temporal interference)
+//	R4  error containment                (faulty cores cannot disturb others)
+//
+// Experiment E8 exercises all four.
+package noc
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+)
+
+// Mode selects the NoC arbitration discipline.
+type Mode uint8
+
+const (
+	// BestEffort routes packets hop by hop with FIFO link arbitration:
+	// latency depends on concurrent traffic.
+	BestEffort Mode = iota
+	// TDMA gives each core a periodic exclusive slot in which its packets
+	// traverse the mesh contention-free.
+	TDMA
+)
+
+func (m Mode) String() string {
+	if m == BestEffort {
+		return "best-effort"
+	}
+	return "tdma"
+}
+
+// Coord addresses a core on the mesh.
+type Coord struct{ X, Y int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Config describes the mesh.
+type Config struct {
+	Width, Height int
+	// FlitTime is the per-hop transfer time of one flit.
+	FlitTime sim.Duration
+	Mode     Mode
+	// SlotLength is the per-core TDMA slot (TDMA mode only).
+	SlotLength sim.Duration
+	// RatePolice arms per-core guardians in best-effort mode: injections
+	// beyond a flow's declared rate are dropped at the source.
+	RatePolice bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.Height < 1 {
+		return fmt.Errorf("noc: empty mesh")
+	}
+	if c.FlitTime <= 0 {
+		return fmt.Errorf("noc: non-positive flit time")
+	}
+	if c.Mode == TDMA && c.SlotLength <= 0 {
+		return fmt.Errorf("noc: TDMA mode needs a slot length")
+	}
+	return nil
+}
+
+// Cores returns the number of cores on the mesh.
+func (c Config) Cores() int { return c.Width * c.Height }
+
+// Contains reports whether a coordinate is on the mesh.
+func (c Config) Contains(p Coord) bool {
+	return p.X >= 0 && p.X < c.Width && p.Y >= 0 && p.Y < c.Height
+}
+
+// CoreIndex is the TDMA slot order of a core.
+func (c Config) CoreIndex(p Coord) int { return p.Y*c.Width + p.X }
+
+// Flow is one declared message stream between two cores — the "precise
+// interface specification in the temporal and logical domain" (R1).
+type Flow struct {
+	Name     string
+	Src, Dst Coord
+	// Flits is the packet length.
+	Flits int
+	// Period is the declared injection period (also the policed rate).
+	Period sim.Duration
+	Offset sim.Duration
+	// Deadline defaults to Period.
+	Deadline sim.Duration
+	// OnDeliver observes completed transfers.
+	OnDeliver func(queued, delivered sim.Time)
+
+	nextJob int64
+}
+
+func (f *Flow) validate(cfg Config) error {
+	if f.Name == "" {
+		return fmt.Errorf("noc: flow with empty name")
+	}
+	if !cfg.Contains(f.Src) || !cfg.Contains(f.Dst) {
+		return fmt.Errorf("noc: flow %s: endpoint off mesh", f.Name)
+	}
+	if f.Src == f.Dst {
+		return fmt.Errorf("noc: flow %s: src == dst", f.Name)
+	}
+	if f.Flits < 1 {
+		return fmt.Errorf("noc: flow %s: empty packet", f.Name)
+	}
+	if f.Period < 0 || f.Offset < 0 || f.Deadline < 0 {
+		return fmt.Errorf("noc: flow %s: negative timing parameter", f.Name)
+	}
+	return nil
+}
+
+func (f *Flow) relativeDeadline() sim.Duration {
+	if f.Deadline > 0 {
+		return f.Deadline
+	}
+	return f.Period
+}
+
+// xyPath returns the XY-routed sequence of directed links from src to dst.
+// A link is identified by its (from, to) router pair.
+type link struct{ from, to Coord }
+
+func xyPath(src, dst Coord) []link {
+	var path []link
+	cur := src
+	for cur.X != dst.X {
+		next := cur
+		if dst.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		path = append(path, link{cur, next})
+		cur = next
+	}
+	for cur.Y != dst.Y {
+		next := cur
+		if dst.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		path = append(path, link{cur, next})
+		cur = next
+	}
+	return path
+}
+
+// Hops returns the Manhattan distance between the flow's endpoints.
+func (f *Flow) Hops() int {
+	return abs(f.Src.X-f.Dst.X) + abs(f.Src.Y-f.Dst.Y)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,312 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+func beCfg() Config {
+	return Config{Width: 4, Height: 4, FlitTime: sim.US(1), Mode: BestEffort}
+}
+
+func ttCfg() Config {
+	return Config{Width: 4, Height: 4, FlitTime: sim.US(1), Mode: TDMA, SlotLength: sim.US(100)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Width: 0, Height: 1, FlitTime: 1}).Validate() == nil {
+		t.Fatal("empty mesh accepted")
+	}
+	if (Config{Width: 2, Height: 2}).Validate() == nil {
+		t.Fatal("zero flit time accepted")
+	}
+	if (Config{Width: 2, Height: 2, FlitTime: 1, Mode: TDMA}).Validate() == nil {
+		t.Fatal("TDMA without slot accepted")
+	}
+	if beCfg().Validate() != nil || ttCfg().Validate() != nil {
+		t.Fatal("valid configs rejected")
+	}
+}
+
+func TestXYPath(t *testing.T) {
+	p := xyPath(Coord{0, 0}, Coord{2, 1})
+	if len(p) != 3 {
+		t.Fatalf("path length %d, want 3", len(p))
+	}
+	// X first, then Y.
+	if p[0].to != (Coord{1, 0}) || p[1].to != (Coord{2, 0}) || p[2].to != (Coord{2, 1}) {
+		t.Fatalf("XY route wrong: %v", p)
+	}
+	f := &Flow{Src: Coord{0, 0}, Dst: Coord{3, 3}}
+	if f.Hops() != 6 {
+		t.Fatalf("hops = %d, want 6", f.Hops())
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	k := sim.NewKernel()
+	n := MustNewNetwork(k, beCfg(), nil)
+	bad := []*Flow{
+		{Name: "", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 1},
+		{Name: "off", Src: Coord{0, 0}, Dst: Coord{9, 0}, Flits: 1},
+		{Name: "self", Src: Coord{1, 1}, Dst: Coord{1, 1}, Flits: 1},
+		{Name: "empty", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 0},
+	}
+	for i, f := range bad {
+		if n.AddFlow(f) == nil {
+			t.Errorf("bad flow %d accepted", i)
+		}
+	}
+	n.MustAddFlow(&Flow{Name: "ok", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2, Period: sim.MS(1)})
+	if n.AddFlow(&Flow{Name: "ok", Src: Coord{0, 1}, Dst: Coord{1, 1}, Flits: 1}) == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestTDMARejectsOversizedPacket(t *testing.T) {
+	k := sim.NewKernel()
+	n := MustNewNetwork(k, ttCfg(), nil)
+	// 6 hops * 20 flits * 1us = 120us > 100us slot.
+	if n.AddFlow(&Flow{Name: "big", Src: Coord{0, 0}, Dst: Coord{3, 3}, Flits: 20, Period: sim.MS(1)}) == nil {
+		t.Fatal("packet exceeding slot accepted")
+	}
+}
+
+func TestBestEffortUncontendedLatency(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	n := MustNewNetwork(k, beCfg(), rec)
+	// 2 hops * 4 flits * 1us = 8us store-and-forward.
+	n.MustAddFlow(&Flow{Name: "f", Src: Coord{0, 0}, Dst: Coord{2, 0}, Flits: 4, Period: sim.MS(1)})
+	n.Start()
+	k.Run(sim.MS(10))
+	st := trace.Compute(rec.Latencies("f"))
+	if st.N == 0 || st.Max != sim.US(8) {
+		t.Fatalf("uncontended latency %v, want 8us", st.Max)
+	}
+	if st.Jitter != 0 {
+		t.Fatalf("uncontended jitter %v, want 0", st.Jitter)
+	}
+}
+
+func TestBestEffortContentionInflatesLatency(t *testing.T) {
+	measure := func(withRival bool) sim.Duration {
+		k := sim.NewKernel()
+		rec := &trace.Recorder{}
+		n := MustNewNetwork(k, beCfg(), rec)
+		n.MustAddFlow(&Flow{Name: "victim", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.US(100)})
+		if withRival {
+			// Same middle links, slightly offset phase.
+			n.MustAddFlow(&Flow{Name: "rival", Src: Coord{1, 0}, Dst: Coord{3, 0}, Flits: 16, Period: sim.US(100), Offset: sim.US(1)})
+		}
+		n.Start()
+		k.Run(sim.MS(20))
+		return trace.Compute(rec.Latencies("victim")).Max
+	}
+	alone, contended := measure(false), measure(true)
+	if contended <= alone {
+		t.Fatalf("contention did not inflate latency: alone %v, contended %v", alone, contended)
+	}
+}
+
+func TestTDMAIsolation(t *testing.T) {
+	measure := func(withRival bool) (sim.Duration, sim.Duration) {
+		k := sim.NewKernel()
+		rec := &trace.Recorder{}
+		n := MustNewNetwork(k, ttCfg(), rec)
+		n.MustAddFlow(&Flow{Name: "victim", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.MS(2)})
+		if withRival {
+			n.MustAddFlow(&Flow{Name: "rival", Src: Coord{1, 0}, Dst: Coord{3, 0}, Flits: 16, Period: sim.MS(2), Offset: sim.US(1)})
+		}
+		n.Start()
+		k.Run(sim.MS(100))
+		st := trace.Compute(rec.Latencies("victim"))
+		return st.Max, st.Jitter
+	}
+	aloneMax, _ := measure(false)
+	withMax, _ := measure(true)
+	if aloneMax != withMax {
+		t.Fatalf("R3 violated: TDMA victim latency moved %v -> %v under load", aloneMax, withMax)
+	}
+}
+
+func TestBabblingContainedByTDMA(t *testing.T) {
+	// Period = 2 TDMA cycles keeps injection phase locked, so any latency
+	// movement can only come from the babbler.
+	measure := func(babble bool) (trace.Stats, int64) {
+		k := sim.NewKernel()
+		rec := &trace.Recorder{}
+		n := MustNewNetwork(k, ttCfg(), rec)
+		n.MustAddFlow(&Flow{Name: "crit", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.US(3200)})
+		if babble {
+			n.BabbleCore(Coord{1, 0}, 0, sim.MS(50))
+		}
+		n.Start()
+		k.Run(sim.MS(100))
+		return trace.Compute(rec.Latencies("crit")), n.BlockedInjections()
+	}
+	quiet, _ := measure(false)
+	loud, blocked := measure(true)
+	if loud.N == 0 {
+		t.Fatal("critical flow dead")
+	}
+	if loud.Max != quiet.Max || loud.Jitter != quiet.Jitter {
+		t.Fatalf("R4 violated: babbler moved TDMA latencies: quiet %v, loud %v", quiet, loud)
+	}
+	if blocked == 0 {
+		t.Fatal("babble traffic not blocked/accounted")
+	}
+}
+
+func TestBabblingDisturbsBestEffort(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	n := MustNewNetwork(k, beCfg(), rec)
+	n.MustAddFlow(&Flow{Name: "crit", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.US(200)})
+	// Babbler at (1,0) floods toward (2,3): its X-leg shares links with crit.
+	n.BabbleCore(Coord{1, 0}, 0, sim.MS(50))
+	n.Start()
+	k.Run(sim.MS(100))
+	st := trace.Compute(rec.Latencies("crit"))
+	if st.Jitter == 0 {
+		t.Fatal("unprotected best-effort mesh showed no interference; E8 baseline vacuous")
+	}
+}
+
+func TestRatePoliceContainsBabbleInBestEffort(t *testing.T) {
+	cfg := beCfg()
+	cfg.RatePolice = true
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	n := MustNewNetwork(k, cfg, rec)
+	n.MustAddFlow(&Flow{Name: "crit", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.US(200)})
+	n.BabbleCore(Coord{1, 0}, 0, sim.MS(50))
+	n.Start()
+	k.Run(sim.MS(100))
+	st := trace.Compute(rec.Latencies("crit"))
+	if st.Jitter != 0 {
+		t.Fatalf("rate police failed: jitter %v", st.Jitter)
+	}
+	if n.BlockedInjections() == 0 {
+		t.Fatal("police never engaged")
+	}
+}
+
+func TestCrashedCoreStopsInjecting(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	n := MustNewNetwork(k, beCfg(), rec)
+	n.MustAddFlow(&Flow{Name: "f", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 1, Period: sim.MS(1)})
+	n.CrashCore(Coord{0, 0}, sim.MS(5))
+	n.Start()
+	k.Run(sim.US(9999))
+	if got := rec.Count(trace.Finish, "f"); got != 5 {
+		t.Fatalf("delivered %d, want 5 (crash at 5ms)", got)
+	}
+	if rec.Count(trace.Drop, "f") == 0 {
+		t.Fatal("post-crash injections not recorded as drops")
+	}
+}
+
+func TestTDMADeterministicLatency(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	n := MustNewNetwork(k, ttCfg(), rec)
+	// Core (0,0) has slot 0 of 16; cycle = 1.6ms; period = cycle keeps
+	// phase locked.
+	n.MustAddFlow(&Flow{Name: "f", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 4, Period: sim.US(1600)})
+	n.Start()
+	k.Run(sim.MS(50))
+	st := trace.Compute(rec.Latencies("f"))
+	if st.Jitter != 0 {
+		t.Fatalf("TDMA jitter %v, want 0", st.Jitter)
+	}
+	// Injection at cycle start = slot start: transfer = 1 hop * 4 flits = 4us.
+	if st.Max != sim.US(4) {
+		t.Fatalf("TDMA latency %v, want 4us", st.Max)
+	}
+}
+
+func TestCheckComposition(t *testing.T) {
+	base := []*Flow{
+		{Name: "a", Src: Coord{0, 0}, Dst: Coord{3, 0}, Flits: 4, Period: sim.MS(2)},
+		{Name: "b", Src: Coord{0, 1}, Dst: Coord{3, 1}, Flits: 4, Period: sim.MS(2)},
+	}
+	added := []*Flow{
+		{Name: "new", Src: Coord{1, 0}, Dst: Coord{3, 0}, Flits: 8, Period: sim.MS(2)},
+	}
+	ttRep, err := CheckComposition(ttCfg(), base, added, sim.MS(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttRep.PreciseInterfaces || !ttRep.StablePriorServices || !ttRep.NonInterfering {
+		t.Fatalf("TDMA should satisfy R1-R3: %+v", ttRep)
+	}
+	beRep, err := CheckComposition(beCfg(), base, added, sim.MS(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In best effort, the added flow shares links with "a": stability must
+	// be violated.
+	if beRep.StablePriorServices {
+		t.Fatal("best-effort reported stable prior services under added load")
+	}
+}
+
+func TestCheckCompositionFlagsUnspecifiedFlow(t *testing.T) {
+	base := []*Flow{{Name: "a", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 4, Period: sim.MS(2)}}
+	rep, err := CheckComposition(ttCfg(), base, nil, sim.MS(50))
+	if err != nil || !rep.PreciseInterfaces {
+		t.Fatalf("specified flow flagged: %v %+v", err, rep)
+	}
+	// Period 0 = no temporal spec -> R1 fails. (Simulate needs periodic
+	// flows, so use a period but clear it for the check... instead verify
+	// via direct flag.)
+	bad := []*Flow{{Name: "b", Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 4}}
+	if _, err := CheckComposition(ttCfg(), bad, nil, sim.MS(50)); err == nil {
+		t.Fatal("aperiodic flow should fail simulation (never delivered)")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if BestEffort.String() != "best-effort" || TDMA.String() != "tdma" {
+		t.Fatal("mode names")
+	}
+	if (Coord{1, 2}).String() != "(1,2)" {
+		t.Fatal("coord string")
+	}
+}
+
+func TestXYPathLengthIsManhattanQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		src := Coord{X: r.Intn(8), Y: r.Intn(8)}
+		dst := Coord{X: r.Intn(8), Y: r.Intn(8)}
+		if src == dst {
+			return true
+		}
+		path := xyPath(src, dst)
+		fl := &Flow{Src: src, Dst: dst}
+		if len(path) != fl.Hops() {
+			return false
+		}
+		// Path is connected, starts at src, ends at dst, each hop length 1.
+		cur := src
+		for _, l := range path {
+			if l.from != cur {
+				return false
+			}
+			if abs(l.to.X-l.from.X)+abs(l.to.Y-l.from.Y) != 1 {
+				return false
+			}
+			cur = l.to
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

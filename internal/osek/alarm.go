@@ -1,0 +1,76 @@
+package osek
+
+import (
+	"fmt"
+
+	"autorte/internal/sim"
+)
+
+// Counter is an OSEK counter: a tick source derived from virtual time.
+// Alarms attach to counters and fire on tick multiples.
+type Counter struct {
+	Name string
+	// TickLength is the virtual duration of one counter tick.
+	TickLength sim.Duration
+
+	k      *sim.Kernel
+	alarms []*Alarm
+}
+
+// NewCounter creates a counter on the kernel.
+func NewCounter(k *sim.Kernel, name string, tick sim.Duration) (*Counter, error) {
+	if tick <= 0 {
+		return nil, fmt.Errorf("osek: counter %s: non-positive tick", name)
+	}
+	return &Counter{Name: name, TickLength: tick, k: k}, nil
+}
+
+// Alarm fires an action on a counter schedule: first after Start ticks,
+// then every Cycle ticks (Cycle 0 = single shot).
+type Alarm struct {
+	Name    string
+	Start   int64
+	Cycle   int64
+	Action  func()
+	counter *Counter
+	event   *sim.Event
+	stopped bool
+}
+
+// SetAlarm installs an alarm on the counter. Task activation is the usual
+// action: pass func() { cpu.Activate(task) }.
+func (c *Counter) SetAlarm(name string, start, cycle int64, action func()) (*Alarm, error) {
+	if start <= 0 {
+		return nil, fmt.Errorf("osek: alarm %s: start must be positive", name)
+	}
+	if cycle < 0 {
+		return nil, fmt.Errorf("osek: alarm %s: negative cycle", name)
+	}
+	if action == nil {
+		return nil, fmt.Errorf("osek: alarm %s: nil action", name)
+	}
+	a := &Alarm{Name: name, Start: start, Cycle: cycle, Action: action, counter: c}
+	c.alarms = append(c.alarms, a)
+	a.schedule(c.k.Now() + sim.Duration(start)*c.TickLength)
+	return a, nil
+}
+
+func (a *Alarm) schedule(at sim.Time) {
+	a.event = a.counter.k.At(at, func() {
+		if a.stopped {
+			return
+		}
+		a.Action()
+		if a.Cycle > 0 {
+			a.schedule(a.counter.k.Now() + sim.Duration(a.Cycle)*a.counter.TickLength)
+		}
+	})
+}
+
+// Cancel stops the alarm (OSEK CancelAlarm).
+func (a *Alarm) Cancel() {
+	a.stopped = true
+	if a.event != nil {
+		a.event.Cancel()
+	}
+}

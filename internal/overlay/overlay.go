@@ -1,0 +1,141 @@
+// Package overlay implements the CAN overlay network of §4: legacy
+// application software keeps its classic CAN API (identifiers, DLC,
+// payload, delivery callbacks) while every frame actually travels over the
+// integrated platform's time-triggered NoC. The middleware preserves the
+// legacy interface and upgrades its guarantees — frames of a declared
+// stream arrive with TDMA determinism instead of arbitration jitter, and
+// a babbling neighbour core cannot touch them.
+package overlay
+
+import (
+	"fmt"
+
+	"autorte/internal/noc"
+	"autorte/internal/sim"
+)
+
+// Message mirrors the legacy CAN message surface.
+type Message struct {
+	Name string
+	ID   uint32
+	DLC  int // payload bytes 0..8
+	// Period auto-queues the message; 0 = send on demand.
+	Period sim.Duration
+	Offset sim.Duration
+	// Deadline defaults to Period.
+	Deadline sim.Duration
+	// OnDeliver matches the can.Message callback shape, so legacy receive
+	// handlers port without change.
+	OnDeliver func(queued, delivered sim.Time, payload []byte)
+
+	flow     *Flow
+	payloads [][]byte // FIFO of queued payloads, popped at delivery
+}
+
+// Flow is an alias kept small on purpose; external users only see Message.
+type Flow = noc.Flow
+
+// VirtualCAN is the overlay middleware instance bound to one NoC.
+type VirtualCAN struct {
+	net   *noc.Network
+	nodes map[string]noc.Coord
+	msgs  map[string]*Message
+}
+
+// New creates the overlay on a network. The network must not be started
+// yet (flows are declared during AttachMessage).
+func New(net *noc.Network) *VirtualCAN {
+	return &VirtualCAN{net: net, nodes: map[string]noc.Coord{}, msgs: map[string]*Message{}}
+}
+
+// AttachNode maps a legacy ECU name onto its hosting IP core.
+func (v *VirtualCAN) AttachNode(name string, core noc.Coord) error {
+	if name == "" {
+		return fmt.Errorf("overlay: empty node name")
+	}
+	if _, dup := v.nodes[name]; dup {
+		return fmt.Errorf("overlay: duplicate node %s", name)
+	}
+	v.nodes[name] = core
+	return nil
+}
+
+// AttachMessage declares a legacy message between two attached nodes and
+// reserves its NoC flow. The CAN identifier keeps its role as the stream
+// identity; arbitration priority is superseded by the TDMA schedule, which
+// is strictly stronger (no priority inversion, no load dependence).
+func (v *VirtualCAN) AttachMessage(m *Message, sender, receiver string) error {
+	if m.Name == "" {
+		return fmt.Errorf("overlay: message with empty name")
+	}
+	if m.DLC < 0 || m.DLC > 8 {
+		return fmt.Errorf("overlay: message %s: DLC %d outside 0..8", m.Name, m.DLC)
+	}
+	src, ok := v.nodes[sender]
+	if !ok {
+		return fmt.Errorf("overlay: unknown sender node %q", sender)
+	}
+	dst, ok := v.nodes[receiver]
+	if !ok {
+		return fmt.Errorf("overlay: unknown receiver node %q", receiver)
+	}
+	if _, dup := v.msgs[m.Name]; dup {
+		return fmt.Errorf("overlay: duplicate message %s", m.Name)
+	}
+	// A classic frame (header + payload) maps onto a small packet: 2
+	// flits of header plus one per payload byte pair.
+	flow := &noc.Flow{
+		Name: "legacy/" + m.Name,
+		Src:  src, Dst: dst,
+		Flits:    2 + (m.DLC+1)/2,
+		Period:   m.Period,
+		Offset:   m.Offset,
+		Deadline: m.Deadline,
+	}
+	flow.OnDeliver = func(queued, delivered sim.Time) {
+		var payload []byte
+		if len(m.payloads) > 0 {
+			payload = m.payloads[0]
+			if m.Period == 0 {
+				m.payloads = m.payloads[1:] // event stream: consume
+			}
+			// Periodic streams keep the latest payload (state semantics).
+		}
+		if m.OnDeliver != nil {
+			m.OnDeliver(queued, delivered, payload)
+		}
+	}
+	if err := v.net.AddFlow(flow); err != nil {
+		return err
+	}
+	m.flow = flow
+	v.msgs[m.Name] = m
+	return nil
+}
+
+// Send queues one frame with a payload — the legacy transmit call.
+// Periodic messages use this too when the application wants to update the
+// payload carried by the next automatic transmission.
+func (v *VirtualCAN) Send(name string, payload []byte) error {
+	m, ok := v.msgs[name]
+	if !ok {
+		return fmt.Errorf("overlay: unknown message %q", name)
+	}
+	if len(payload) > m.DLC {
+		return fmt.Errorf("overlay: message %s: payload %d bytes exceeds DLC %d", name, len(payload), m.DLC)
+	}
+	cp := append([]byte(nil), payload...)
+	if m.Period > 0 {
+		// Periodic stream: state semantics — the latest payload rides
+		// every subsequent automatic frame.
+		m.payloads = [][]byte{cp}
+		return nil
+	}
+	// Event stream: queued semantics, one frame per Send.
+	m.payloads = append(m.payloads, cp)
+	v.net.Inject(m.flow)
+	return nil
+}
+
+// Message returns an attached message by name, or nil.
+func (v *VirtualCAN) Message(name string) *Message { return v.msgs[name] }

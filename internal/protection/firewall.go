@@ -1,0 +1,56 @@
+package protection
+
+import (
+	"autorte/internal/sim"
+)
+
+// Firewall is a temporal firewall in Kopetz's sense: a shared state-message
+// buffer with explicit temporal validity. The producer deposits a value
+// with a validity horizon; the consumer reads non-blockingly and can judge
+// the temporal accuracy of what it got. Because neither side ever waits on
+// the other, no control-flow (and hence no timing) error propagates across
+// the interface — the "error containment at the timing level" §4 requires.
+type Firewall struct {
+	name     string
+	value    float64
+	writeAt  sim.Time
+	validFor sim.Duration
+	written  bool
+	updates  int64
+}
+
+// NewFirewall creates an empty firewall buffer.
+func NewFirewall(name string) *Firewall { return &Firewall{name: name} }
+
+// Name returns the buffer name.
+func (f *Firewall) Name() string { return f.name }
+
+// Write deposits a new state value valid for validFor after now.
+// Writes never block and always succeed (state semantics: last is best).
+func (f *Firewall) Write(now sim.Time, value float64, validFor sim.Duration) {
+	f.value = value
+	f.writeAt = now
+	f.validFor = validFor
+	f.written = true
+	f.updates++
+}
+
+// Read returns the current value and whether it is temporally valid at
+// now. Reads never block. Reading an unwritten buffer returns ok=false.
+func (f *Firewall) Read(now sim.Time) (value float64, valid bool) {
+	if !f.written {
+		return 0, false
+	}
+	return f.value, now-f.writeAt <= f.validFor
+}
+
+// Age returns how old the current value is, or -1 if never written.
+func (f *Firewall) Age(now sim.Time) sim.Duration {
+	if !f.written {
+		return -1
+	}
+	return now - f.writeAt
+}
+
+// Updates returns the number of writes, for update-rate monitoring.
+func (f *Firewall) Updates() int64 { return f.updates }

@@ -1,0 +1,132 @@
+package protection
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/sim"
+)
+
+// Window is one slot of a time-triggered dispatch table, assigned to a
+// named partition. Start is relative to the major frame.
+type Window struct {
+	Partition string
+	Start     sim.Duration
+	Length    sim.Duration
+}
+
+// Table is a static time-triggered dispatch table: a major frame of
+// non-overlapping windows that repeats forever. Each partition's windows
+// form a temporal partition in the ARINC-653/time-triggered sense: tasks of
+// a partition execute only inside its windows, so partitions cannot
+// interfere regardless of their behaviour.
+type Table struct {
+	MajorFrame sim.Duration
+	Windows    []Window
+}
+
+// NewTable validates and normalizes a dispatch table.
+func NewTable(major sim.Duration, windows []Window) (*Table, error) {
+	if major <= 0 {
+		return nil, fmt.Errorf("protection: non-positive major frame")
+	}
+	ws := append([]Window(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for i, w := range ws {
+		if w.Length <= 0 {
+			return nil, fmt.Errorf("protection: window %d: non-positive length", i)
+		}
+		if w.Start < 0 || w.Start+w.Length > major {
+			return nil, fmt.Errorf("protection: window %d: [%v,%v) outside major frame %v", i, w.Start, w.Start+w.Length, major)
+		}
+		if i > 0 && ws[i-1].Start+ws[i-1].Length > w.Start {
+			return nil, fmt.Errorf("protection: windows %d and %d overlap", i-1, i)
+		}
+		if w.Partition == "" {
+			return nil, fmt.Errorf("protection: window %d: empty partition", i)
+		}
+	}
+	return &Table{MajorFrame: major, Windows: ws}, nil
+}
+
+// Partition returns the throttle enforcing the named partition's windows.
+func (t *Table) Partition(name string) (*Partition, error) {
+	found := false
+	for _, w := range t.Windows {
+		if w.Partition == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("protection: partition %q has no windows", name)
+	}
+	return &Partition{table: t, name: name}, nil
+}
+
+// MustPartition is Partition that panics on error.
+func (t *Table) MustPartition(name string) *Partition {
+	p, err := t.Partition(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PartitionUtilization returns the fraction of the major frame owned by a
+// partition.
+func (t *Table) PartitionUtilization(name string) float64 {
+	var sum sim.Duration
+	for _, w := range t.Windows {
+		if w.Partition == name {
+			sum += w.Length
+		}
+	}
+	return float64(sum) / float64(t.MajorFrame)
+}
+
+// Partition implements osek.Throttle for one partition of a Table.
+type Partition struct {
+	table *Table
+	name  string
+}
+
+// Name returns the partition name.
+func (p *Partition) Name() string { return p.name }
+
+// Bind implements osek.Throttle: it schedules a notify at every window
+// boundary of this partition so the CPU re-dispatches exactly on time.
+func (p *Partition) Bind(k *sim.Kernel, notify func()) {
+	var frame func(base sim.Time)
+	frame = func(base sim.Time) {
+		for _, w := range p.table.Windows {
+			if w.Partition != p.name {
+				continue
+			}
+			// Window start wakes the partition; the end needs no event of
+			// its own because Available() caps the slice at the boundary
+			// and the CPU re-dispatches at the checkpoint.
+			k.AtPrio(base+w.Start, 2, notify)
+		}
+		k.AtPrio(base+p.table.MajorFrame, 3, func() { frame(base + p.table.MajorFrame) })
+	}
+	frame(0)
+}
+
+// Available implements osek.Throttle: time remaining in the current window
+// of this partition, or 0 outside its windows.
+func (p *Partition) Available(now sim.Time) sim.Duration {
+	off := sim.Duration(now % p.table.MajorFrame)
+	for _, w := range p.table.Windows {
+		if w.Partition == p.name && off >= w.Start && off < w.Start+w.Length {
+			return w.Start + w.Length - off
+		}
+	}
+	return 0
+}
+
+// Charge implements osek.Throttle. Windows do not deplete.
+func (p *Partition) Charge(sim.Time, sim.Duration) {}
+
+// Pending implements osek.Throttle. Windows are unconditional.
+func (p *Partition) Pending(sim.Time, bool) {}

@@ -1,0 +1,84 @@
+package rte
+
+import (
+	"autorte/internal/model"
+	"autorte/internal/sim"
+)
+
+// Context is the API a Behavior uses to talk to the RTE — the generated
+// equivalent of Rte_Read/Rte_Write/Rte_Call.
+type Context struct {
+	p    *Platform
+	comp *model.SWC
+	run  *model.Runnable
+	job  int64
+}
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Time { return c.p.K.Now() }
+
+// Job returns the job index of the executing runnable instance.
+func (c *Context) Job() int64 { return c.job }
+
+// Component returns the owning component's name.
+func (c *Context) Component() string { return c.comp.Name }
+
+// Writes returns the runnable's declared output elements, letting generic
+// behaviours (probes, fault injectors) publish without hard-coded ports.
+func (c *Context) Writes() []model.PortRef { return c.run.Writes }
+
+// Read returns the latest value delivered at a required port element
+// (zero if nothing arrived yet).
+func (c *Context) Read(port, elem string) float64 {
+	v, _ := c.ReadOK(port, elem)
+	return v
+}
+
+// ReadOK is Read with an explicit arrived-yet flag.
+func (c *Context) ReadOK(port, elem string) (float64, bool) {
+	cell := c.p.store[storeKey(c.comp.Name, port, elem)]
+	if cell == nil || !cell.written {
+		return 0, false
+	}
+	return cell.value, true
+}
+
+// Age returns how old the value at a required port element is, or -1 if
+// nothing arrived yet. Behaviours use it for temporal-validity checks
+// (the firewall pattern).
+func (c *Context) Age(port, elem string) sim.Duration {
+	cell := c.p.store[storeKey(c.comp.Name, port, elem)]
+	if cell == nil || !cell.written {
+		return -1
+	}
+	return c.p.K.Now() - cell.writtenAt
+}
+
+// Write publishes a value on a provided port element: local consumers are
+// updated (and their data-received runnables activated) immediately;
+// remote consumers receive it after the bus latency.
+func (c *Context) Write(port, elem string, v float64) {
+	key := storeKey(c.comp.Name, port, elem)
+	for _, b := range c.p.outgoing[key] {
+		if b.local {
+			b.deliver(v)
+		} else if b.send != nil {
+			b.send(v)
+		}
+	}
+}
+
+// Invoke calls a client-server operation through a required port: the
+// server's operation-invoked runnable is activated (locally or across the
+// bus). Fire-and-forget: responses travel over ordinary sender-receiver
+// connectors in this model.
+func (c *Context) Invoke(port string) {
+	// Calls are routed under the client's (swc, port, "__call__") key.
+	c.Write(port, "__call__", 1)
+}
+
+// Report raises a platform error from application code (e.g. a plausibility
+// check detecting a broken sensor).
+func (c *Context) Report(kind ErrorKind, info string) {
+	c.p.Errors.Report(c.comp.Name, kind, info)
+}

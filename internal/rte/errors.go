@@ -1,0 +1,133 @@
+package rte
+
+import (
+	"autorte/internal/model"
+	"autorte/internal/trace"
+)
+
+// ErrorKind classifies platform errors per the paper's §2 use cases.
+type ErrorKind string
+
+// The standardized error classes: broken sensors, communication errors
+// and memory failures, plus timing-protection violations.
+const (
+	ErrSensor ErrorKind = "sensor"
+	ErrComm   ErrorKind = "comm"
+	ErrMemory ErrorKind = "memory"
+	ErrTiming ErrorKind = "timing"
+)
+
+// ErrorRecord is one reported platform error.
+type ErrorRecord struct {
+	At     int64 // virtual ns
+	Source string
+	Kind   ErrorKind
+	Info   string
+}
+
+// ErrorManager implements the consistent error handling concept: errors
+// are reported once, recorded, and communicated to the application layer
+// by activating subscribed mode-switch runnables. Applications use this
+// for mode management and diagnostics.
+type ErrorManager struct {
+	p       *Platform
+	records []ErrorRecord
+	// subscribers per kind: tasks to activate.
+	subs map[ErrorKind][]string
+}
+
+func newErrorManager(p *Platform) *ErrorManager {
+	em := &ErrorManager{p: p, subs: map[ErrorKind][]string{}}
+	// Auto-subscribe every mode-switch runnable whose Mode names an error
+	// kind.
+	for _, comp := range p.Sys.Components {
+		for i := range comp.Runnables {
+			run := &comp.Runnables[i]
+			if run.Trigger.Kind == model.ModeSwitchEvent && run.Trigger.Mode != "" {
+				kind := ErrorKind(run.Trigger.Mode)
+				em.subs[kind] = append(em.subs[kind], comp.Name+"."+run.Name)
+			}
+		}
+	}
+	return em
+}
+
+// Report records an error and communicates it to the application layer by
+// switching into the error's mode (activating subscribed handlers) — the
+// "means for mode management and diagnostic purposes" of §2.
+func (em *ErrorManager) Report(source string, kind ErrorKind, info string) {
+	now := em.p.K.Now()
+	em.records = append(em.records, ErrorRecord{At: int64(now), Source: source, Kind: kind, Info: info})
+	em.p.Trace.Emit(now, trace.Error, source, int64(len(em.records)), string(kind)+": "+info)
+	em.p.SwitchMode(string(kind))
+}
+
+// SwitchMode activates every runnable subscribed to the named mode via a
+// ModeSwitchEvent trigger — AUTOSAR mode management. Error kinds double as
+// modes; applications can define their own (e.g. "limp-home", "degraded")
+// and switch into them from behaviours or test harnesses.
+func (p *Platform) SwitchMode(mode string) {
+	for _, taskName := range p.Errors.subs[ErrorKind(mode)] {
+		if t := p.tasks[taskName]; t != nil {
+			ecu := p.Sys.Mapping[taskName[:indexDot(taskName)]]
+			p.cpus[ecu].Activate(t)
+		}
+	}
+}
+
+func indexDot(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// Records returns all reported errors.
+func (em *ErrorManager) Records() []ErrorRecord { return em.records }
+
+// DTC is a diagnostic trouble code entry: the aggregated view of one
+// (source, kind) fault with occurrence count and first/last freeze frames
+// — the "diagnostic purposes" half of §2's error handling concept.
+type DTC struct {
+	Source      string
+	Kind        ErrorKind
+	Occurrences int
+	FirstAt     int64 // virtual ns of the first occurrence
+	LastAt      int64 // virtual ns of the latest occurrence
+	LastInfo    string
+}
+
+// DTCs aggregates the raw error records into trouble codes, ordered by
+// first occurrence.
+func (em *ErrorManager) DTCs() []DTC {
+	index := map[string]int{}
+	var out []DTC
+	for _, r := range em.records {
+		key := r.Source + "/" + string(r.Kind)
+		if i, ok := index[key]; ok {
+			out[i].Occurrences++
+			out[i].LastAt = r.At
+			out[i].LastInfo = r.Info
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, DTC{
+			Source: r.Source, Kind: r.Kind, Occurrences: 1,
+			FirstAt: r.At, LastAt: r.At, LastInfo: r.Info,
+		})
+	}
+	return out
+}
+
+// CountKind returns how many errors of a kind were reported.
+func (em *ErrorManager) CountKind(kind ErrorKind) int {
+	n := 0
+	for _, r := range em.records {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,427 @@
+package rte
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/can"
+	"autorte/internal/com"
+	"autorte/internal/flexray"
+	"autorte/internal/model"
+	"autorte/internal/sim"
+	"autorte/internal/ttp"
+	"autorte/internal/vfb"
+)
+
+// buildBuses instantiates one simulated channel per model bus.
+func (p *Platform) buildBuses() error {
+	for _, b := range p.Sys.Buses {
+		switch b.Kind {
+		case model.BusCAN:
+			cfg := p.opts.CANConfig
+			cfg.BitRate = b.BitRate
+			bus, err := can.NewBus(p.K, b.Name, cfg, p.Trace)
+			if err != nil {
+				return err
+			}
+			p.canBus[b.Name] = bus
+		case model.BusFlexRay:
+			bus, err := flexray.NewBus(p.K, b.Name, p.opts.FlexRayConfig, p.Trace)
+			if err != nil {
+				return err
+			}
+			p.frBus[b.Name] = bus
+		case model.BusTTP:
+			a, err := newTTPAdapter(p, b.Name)
+			if err != nil {
+				return err
+			}
+			p.ttpBus[b.Name] = a
+		}
+	}
+	return nil
+}
+
+// busSegment describes one hop of a signal over one bus: its identity on
+// that bus, the transmitting ECU, timing metadata and the action at the
+// receiving side. Direct routes are one segment; gatewayed routes are two
+// chained segments (the second segment's send is the first's deliver).
+type busSegment struct {
+	signal  string
+	bus     string
+	sender  string // transmitting ECU
+	srcSWC  string // producing component (criticality-based channel policy)
+	period  sim.Duration
+	bits    int
+	deliver func(float64)
+}
+
+// buildRoutes wires every resolved route: local routes deliver directly,
+// remote routes get one frame per bus segment and deliver on reception.
+func (p *Platform) buildRoutes() error {
+	nextCANID := map[string]uint32{} // per-bus identifier counters
+	frPending := map[string][]busSegment{}
+	var frBuses []string
+
+	wire := func(seg busSegment) (func(float64), error) {
+		switch {
+		case p.canBus[seg.bus] != nil:
+			return p.wireCANSegment(seg, nextCANID)
+		case p.frBus[seg.bus] != nil:
+			if _, seen := frPending[seg.bus]; !seen {
+				frBuses = append(frBuses, seg.bus)
+			}
+			frPending[seg.bus] = append(frPending[seg.bus], seg)
+			// FlexRay send functions materialize after schedule synthesis;
+			// hand out a trampoline resolved through the send table, which
+			// wireFlexRay fills before the simulation starts.
+			key := seg.bus + "/" + seg.signal
+			return func(v float64) { p.frSend[key](v) }, nil
+		case p.ttpBus[seg.bus] != nil:
+			a := p.ttpBus[seg.bus]
+			if err := a.addSegment(seg); err != nil {
+				return nil, err
+			}
+			signal := seg.signal
+			return func(v float64) { a.queue(signal, v) }, nil
+		}
+		return nil, fmt.Errorf("rte: segment %s references unknown bus %q", seg.signal, seg.bus)
+	}
+
+	for _, r := range p.routes {
+		r := r
+		deliver := p.makeDeliver(r)
+		if r.Local {
+			p.addBinding(r, binding{route: r, local: true, deliver: deliver})
+			continue
+		}
+		srcSWC, _, _, _ := routeEndpoints(r)
+		if r.Via == "" {
+			send, err := wire(busSegment{
+				signal: r.SignalName, bus: r.Bus,
+				sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC,
+				period: sim.Duration(r.Period), bits: r.Bits, deliver: deliver,
+			})
+			if err != nil {
+				return err
+			}
+			p.addBinding(r, binding{route: r, send: send})
+			continue
+		}
+		// Gatewayed route: wire the far segment first so the near
+		// segment's reception can forward onto it (the PDU-router-as-
+		// gateway of Figure 1, realized at the Via ECU).
+		send2, err := wire(busSegment{
+			signal: r.SignalName + "~2", bus: r.Bus2,
+			sender: r.Via, srcSWC: srcSWC,
+			period: sim.Duration(r.Period), bits: r.Bits, deliver: deliver,
+		})
+		if err != nil {
+			return err
+		}
+		send1, err := wire(busSegment{
+			signal: r.SignalName + "~1", bus: r.Bus,
+			sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC,
+			period: sim.Duration(r.Period), bits: r.Bits,
+			deliver: func(v float64) { send2(v) },
+		})
+		if err != nil {
+			return err
+		}
+		p.addBinding(r, binding{route: r, send: send1})
+	}
+	sort.Strings(frBuses)
+	for _, busName := range frBuses {
+		if err := p.wireFlexRay(busName, frPending[busName]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wireCANSegment creates the CAN message for one segment and returns its
+// send function.
+func (p *Platform) wireCANSegment(seg busSegment, nextID map[string]uint32) (func(float64), error) {
+	bus := p.canBus[seg.bus]
+	id := 0x100 + nextID[seg.bus]
+	nextID[seg.bus]++
+	pdu := signalPDU(seg.signal, seg.bits)
+	msg := &can.Message{
+		Name: seg.signal,
+		ID:   id,
+		DLC:  (seg.bits + 7) / 8,
+		// Periodic auto-queue stays off: the RTE queues payloads when
+		// producers write. The producer period feeds deadline monitoring.
+		Deadline: seg.period,
+	}
+	msg.SetSender(seg.sender)
+	deliver := seg.deliver
+	signal := seg.signal
+	msg.OnDeliver = func(_, _ sim.Time, payload []byte) {
+		vals, err := pdu.Unpack(payload)
+		if err != nil {
+			p.Errors.Report(signal, ErrComm, err.Error())
+			return
+		}
+		deliver(vals["v"])
+	}
+	if err := bus.AddMessage(msg); err != nil {
+		return nil, err
+	}
+	return func(v float64) {
+		bus.QueuePayload(msg, pdu.Pack(map[string]float64{"v": v}))
+	}, nil
+}
+
+// wireFlexRay places the periodic segments of one bus into static slots,
+// event segments into the dynamic segment, and fills the send table.
+func (p *Platform) wireFlexRay(busName string, segs []busSegment) error {
+	bus := p.frBus[busName]
+	cfg := p.opts.FlexRayConfig
+	var sigs []flexray.Signal
+	segBySignal := map[string]busSegment{}
+	var events []busSegment
+	for _, seg := range segs {
+		segBySignal[seg.signal] = seg
+		if seg.period > 0 {
+			sigs = append(sigs, flexray.Signal{Name: seg.signal, Period: seg.period})
+		} else {
+			events = append(events, seg)
+		}
+	}
+	assignments, err := flexray.Synthesize(cfg, sigs)
+	if err != nil {
+		return fmt.Errorf("rte: bus %s: %w", busName, err)
+	}
+	install := func(seg busSegment, frame *flexray.Frame) error {
+		pdu := signalPDU(seg.signal, seg.bits)
+		if p.opts.DualChannelFlexRay {
+			if c := p.Sys.Component(seg.srcSWC); c != nil && c.ASIL >= model.ASILC {
+				frame.Channel = flexray.ChannelAB
+			}
+		}
+		frame.SetSender(seg.sender)
+		deliver := seg.deliver
+		signal := seg.signal
+		frame.OnDeliver = func(_, _ sim.Time, payload []byte) {
+			vals, err := pdu.Unpack(payload)
+			if err != nil {
+				p.Errors.Report(signal, ErrComm, err.Error())
+				return
+			}
+			deliver(vals["v"])
+		}
+		if err := bus.AddFrame(frame); err != nil {
+			return err
+		}
+		p.frSend[busName+"/"+seg.signal] = func(v float64) {
+			bus.QueuePayload(frame, pdu.Pack(map[string]float64{"v": v}))
+		}
+		return nil
+	}
+	for _, a := range assignments {
+		seg := segBySignal[a.Signal.Name]
+		if err := install(seg, &flexray.Frame{
+			Name: seg.signal, Kind: flexray.Static,
+			SlotID: a.SlotID, Base: a.Base, Repetition: a.Repetition,
+			Deadline: seg.period,
+		}); err != nil {
+			return err
+		}
+	}
+	for i, seg := range events {
+		if err := install(seg, &flexray.Frame{
+			Name: seg.signal, Kind: flexray.Dynamic,
+			FrameID: cfg.StaticSlots + 1 + i,
+			Length:  1 + (seg.bits+7)/8/2, // rough words-per-minislot model
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// signalPDU builds the single-signal COM PDU for a segment, sized to the
+// element's declared width (raw integer transport, unit scale).
+func signalPDU(name string, bits int) *com.IPdu {
+	if bits < 1 {
+		bits = 32
+	}
+	return &com.IPdu{
+		Name: name, Length: (bits + 7) / 8, Mode: com.Direct,
+		Signals: []com.Signal{{Name: "v", StartBit: 0, Bits: bits}},
+	}
+}
+
+// routeEndpoints returns the producing and consuming endpoints of a
+// route. Sender-receiver data flows provider -> requirer; client-server
+// calls flow requirer -> provider.
+func routeEndpoints(r vfb.Route) (srcSWC, srcPort, dstSWC, dstPort string) {
+	if r.Elem == "__call__" {
+		return r.Conn.ToSWC, r.Conn.ToPort, r.Conn.FromSWC, r.Conn.FromPort
+	}
+	return r.Conn.FromSWC, r.Conn.FromPort, r.Conn.ToSWC, r.Conn.ToPort
+}
+
+// addBinding registers a sink for the producing (swc, port, elem).
+func (p *Platform) addBinding(r vfb.Route, b binding) {
+	srcSWC, srcPort, _, _ := routeEndpoints(r)
+	key := storeKey(srcSWC, srcPort, r.Elem)
+	p.outgoing[key] = append(p.outgoing[key], b)
+}
+
+// makeDeliver returns the consumer-side delivery action for a route:
+// store the value and activate data-received runnables.
+func (p *Platform) makeDeliver(r vfb.Route) func(float64) {
+	_, _, dstSWC, dstPort := routeEndpoints(r)
+	key := storeKey(dstSWC, dstPort, r.Elem)
+	c := &cell{}
+	p.store[key] = c
+	comp := p.Sys.Component(dstSWC)
+	ecu := p.Sys.Mapping[dstSWC]
+	// Pre-compute the runnables triggered by this element's arrival.
+	var triggered []string
+	for i := range comp.Runnables {
+		run := &comp.Runnables[i]
+		if run.Trigger.Kind == model.DataReceivedEvent && run.Trigger.Port == dstPort &&
+			(run.Trigger.Elem == r.Elem || run.Trigger.Elem == "") {
+			triggered = append(triggered, comp.Name+"."+run.Name)
+		}
+		if run.Trigger.Kind == model.OperationInvokedEvent && run.Trigger.Port == dstPort && r.Elem == "__call__" {
+			triggered = append(triggered, comp.Name+"."+run.Name)
+		}
+	}
+	cpu := p.cpus[ecu]
+	return func(v float64) {
+		c.value = v
+		c.writtenAt = p.K.Now()
+		c.written = true
+		c.updates++
+		for _, name := range triggered {
+			cpu.Activate(p.tasks[name])
+		}
+	}
+}
+
+// execute runs a runnable's behaviour at job completion and publishes
+// every written element.
+func (p *Platform) execute(comp *model.SWC, run *model.Runnable, job int64) {
+	ctx := &Context{p: p, comp: comp, run: run, job: job}
+	if b := p.behavior[comp.Name+"."+run.Name]; b != nil {
+		b(ctx)
+		return
+	}
+	// Default behaviour: republish the declared writes with the latest
+	// read input (or the job index when there are no inputs), so trigger
+	// chains propagate without user code.
+	v := float64(job)
+	if len(run.Reads) > 0 {
+		if rv, ok := ctx.ReadOK(run.Reads[0].Port, run.Reads[0].Elem); ok {
+			v = rv
+		}
+	}
+	for _, w := range run.Writes {
+		ctx.Write(w.Port, w.Elem, v)
+	}
+}
+
+// ttpAdapter maps an ECU-per-node TTP cluster under the RTE: values queued
+// by a node's components are delivered to consumers at the node's next
+// successful slot.
+type ttpAdapter struct {
+	p       *Platform
+	cluster *ttp.Cluster
+	nodes   map[string]*ttp.Node // by ECU name
+	pending map[string][]pendingValue
+	sinks   map[string][]func(float64)
+	byECU   map[string][]string // signal names sent by each ECU
+}
+
+type pendingValue struct {
+	signal string
+	value  float64
+}
+
+func newTTPAdapter(p *Platform, busName string) (*ttpAdapter, error) {
+	cluster, err := ttp.NewCluster(p.K, ttp.Config{
+		SlotLength: p.opts.TTPSlotLength, RoundsPerCluster: 2, SyncEnabled: true,
+	}, p.Trace)
+	if err != nil {
+		return nil, err
+	}
+	a := &ttpAdapter{
+		p: p, cluster: cluster,
+		nodes:   map[string]*ttp.Node{},
+		pending: map[string][]pendingValue{},
+		sinks:   map[string][]func(float64){},
+		byECU:   map[string][]string{},
+	}
+	var ecus []string
+	for _, e := range p.Sys.ECUs {
+		for _, b := range e.Buses {
+			if b == busName {
+				ecus = append(ecus, e.Name)
+			}
+		}
+	}
+	sort.Strings(ecus)
+	for _, ecu := range ecus {
+		ecu := ecu
+		n := &ttp.Node{Name: ecu, Guardian: true}
+		n.OnTransmit = func(sim.Time) { a.flush(ecu) }
+		if err := cluster.AddNode(n); err != nil {
+			return nil, err
+		}
+		a.nodes[ecu] = n
+	}
+	return a, nil
+}
+
+// addSegment registers one signal segment: its sender node carries the
+// value at that node's next slot.
+func (a *ttpAdapter) addSegment(seg busSegment) error {
+	if _, ok := a.nodes[seg.sender]; !ok {
+		return fmt.Errorf("rte: TTP bus has no node for ECU %q", seg.sender)
+	}
+	a.sinks[seg.signal] = append(a.sinks[seg.signal], seg.deliver)
+	a.byECU[seg.sender] = append(a.byECU[seg.sender], seg.signal)
+	return nil
+}
+
+func (a *ttpAdapter) queue(signal string, v float64) {
+	// Find the sending ECU for accounting; state semantics: last value
+	// per signal wins within a slot.
+	for ecu, sigs := range a.byECU {
+		for _, s := range sigs {
+			if s == signal {
+				pend := a.pending[ecu]
+				for i := range pend {
+					if pend[i].signal == signal {
+						pend[i].value = v
+						return
+					}
+				}
+				a.pending[ecu] = append(pend, pendingValue{signal: signal, value: v})
+				return
+			}
+		}
+	}
+}
+
+func (a *ttpAdapter) flush(ecu string) {
+	pend := a.pending[ecu]
+	a.pending[ecu] = nil
+	for _, pv := range pend {
+		for _, sink := range a.sinks[pv.signal] {
+			sink(pv.value)
+		}
+	}
+}
+
+func (a *ttpAdapter) start() {
+	if len(a.cluster.Nodes()) >= 2 {
+		if err := a.cluster.Start(); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package rte builds and runs the Runtime Environment: the per-ECU
+// realization of the Virtual Functional Bus (§2). Given a deployed
+// model.System, it generates OS tasks for every runnable, wires local
+// communication through value buffers, routes remote communication through
+// COM-packed frames on the simulated buses, and triggers data-received
+// runnables on delivery.
+//
+// The RTE is what makes transferability concrete: the same components with
+// the same behaviours run unchanged whether a connector resolves to a
+// local buffer or a CAN/FlexRay/TTP frame — only latency changes.
+package rte
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/can"
+	"autorte/internal/flexray"
+	"autorte/internal/model"
+	"autorte/internal/osek"
+	"autorte/internal/protection"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+	"autorte/internal/ttp"
+	"autorte/internal/vfb"
+)
+
+// Behavior is application logic attached to a runnable. It executes at job
+// completion: inputs reflect the latest delivered values, outputs are
+// published atomically at the job's finish time.
+type Behavior func(ctx *Context)
+
+// IsolationKind selects the timing-protection policy Build applies per
+// supplier on shared ECUs.
+type IsolationKind uint8
+
+const (
+	// NoIsolation runs plain fixed-priority scheduling (the AUTOSAR
+	// baseline the paper critiques).
+	NoIsolation IsolationKind = iota
+	// ServerPerSupplier wraps each supplier's tasks in a reservation
+	// server sized to its declared utilization.
+	ServerPerSupplier
+	// TablePerSupplier partitions each ECU's timeline into per-supplier
+	// TDMA windows.
+	TablePerSupplier
+)
+
+func (k IsolationKind) String() string {
+	switch k {
+	case NoIsolation:
+		return "none"
+	case ServerPerSupplier:
+		return "server"
+	default:
+		return "table"
+	}
+}
+
+// Options tunes platform generation.
+type Options struct {
+	// CANConfig applies to every model.BusCAN channel. Zero value defaults
+	// to 500 kbit/s.
+	CANConfig can.Config
+	// FlexRayConfig applies to every model.BusFlexRay channel. Zero value
+	// defaults to a 4-slot/1.1ms cycle.
+	FlexRayConfig flexray.Config
+	// TTPSlotLength applies to every model.BusTTP channel (default 250us).
+	TTPSlotLength sim.Duration
+	// EnforceBudgets arms per-job execution budgets at each runnable's
+	// declared WCET (the vertical assumption becomes a monitored contract).
+	EnforceBudgets bool
+	// Isolation selects the timing-protection policy.
+	Isolation IsolationKind
+	// ServerKind selects the reservation algorithm for ServerPerSupplier.
+	ServerKind protection.ServerKind
+	// IsolationMargin scales reserved capacity over declared utilization
+	// (default 1.25).
+	IsolationMargin float64
+	// MajorFrame fixes the TablePerSupplier major frame explicitly. Zero
+	// derives it from the shortest period on each ECU — convenient, but a
+	// new faster task then changes every window ("careful planning ...
+	// against future changes", §1). Planned systems set it explicitly.
+	MajorFrame sim.Duration
+	// Reservations explicitly sizes per-supplier capacity as a CPU
+	// fraction, overriding declared-utilization × margin sizing. Planned
+	// systems reserve capacity here so that integrating a new supplier
+	// later cannot move existing windows.
+	Reservations map[string]float64
+	// DualChannelFlexRay sends every FlexRay frame produced by a
+	// component of ASIL-C or higher redundantly on both physical channels
+	// (FlexRay's dependability feature applied by criticality).
+	DualChannelFlexRay bool
+}
+
+func (o *Options) fill() {
+	if o.CANConfig.BitRate == 0 {
+		o.CANConfig = can.Config{BitRate: 500_000}
+	}
+	if o.FlexRayConfig.CycleLength() == 0 {
+		o.FlexRayConfig = flexray.Config{
+			StaticSlots: 8, SlotLength: sim.US(100),
+			Minislots: 40, MinislotLength: sim.US(5),
+			NIT: sim.US(100),
+		}
+	}
+	if o.TTPSlotLength == 0 {
+		o.TTPSlotLength = sim.US(250)
+	}
+	if o.IsolationMargin == 0 {
+		o.IsolationMargin = 1.25
+	}
+}
+
+// Platform is the generated runtime for a deployed system.
+type Platform struct {
+	K     *sim.Kernel
+	Trace *trace.Recorder
+	Sys   *model.System
+	// Errors is the platform error manager (§2 error handling).
+	Errors *ErrorManager
+
+	opts     Options
+	cpus     map[string]*osek.CPU
+	canBus   map[string]*can.Bus
+	frBus    map[string]*flexray.Bus
+	ttpBus   map[string]*ttpAdapter
+	store    map[string]*cell      // consumer-side value buffers
+	tasks    map[string]*osek.Task // "swc.runnable"
+	routes   []vfb.Route
+	outgoing map[string][]binding // "swc/port/elem" -> sinks
+	behavior map[string]Behavior  // "swc.runnable"
+	// frSend maps "bus/signal" to the FlexRay send closure; filled by
+	// wireFlexRay after schedule synthesis.
+	frSend  map[string]func(float64)
+	started bool
+}
+
+// cell is one consumer-side buffer with freshness metadata.
+type cell struct {
+	value     float64
+	writtenAt sim.Time
+	written   bool
+	updates   int64
+}
+
+// binding is one resolved sink of a produced element.
+type binding struct {
+	route   vfb.Route
+	local   bool
+	send    func(value float64) // remote: queue on bus
+	deliver func(value float64) // local or bus RX side: store + trigger
+}
+
+// Build validates the system and generates the full platform.
+func Build(sys *model.System, opts Options) (*Platform, error) {
+	opts.fill()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := vfb.CheckConnectivity(sys); err != nil {
+		return nil, err
+	}
+	for _, c := range sys.Components {
+		if sys.Mapping[c.Name] == "" {
+			return nil, fmt.Errorf("rte: component %s is not mapped to an ECU", c.Name)
+		}
+	}
+	routes, err := vfb.Resolve(sys)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		K:        sim.NewKernel(),
+		Trace:    &trace.Recorder{},
+		Sys:      sys,
+		opts:     opts,
+		cpus:     map[string]*osek.CPU{},
+		canBus:   map[string]*can.Bus{},
+		frBus:    map[string]*flexray.Bus{},
+		ttpBus:   map[string]*ttpAdapter{},
+		store:    map[string]*cell{},
+		tasks:    map[string]*osek.Task{},
+		routes:   routes,
+		outgoing: map[string][]binding{},
+		behavior: map[string]Behavior{},
+		frSend:   map[string]func(float64){},
+	}
+	p.Errors = newErrorManager(p)
+	if err := p.buildCPUs(); err != nil {
+		return nil, err
+	}
+	if err := p.buildBuses(); err != nil {
+		return nil, err
+	}
+	if err := p.buildTasks(); err != nil {
+		return nil, err
+	}
+	if err := p.buildRoutes(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild panics on build error; for tests and examples.
+func MustBuild(sys *model.System, opts Options) *Platform {
+	p, err := Build(sys, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SetBehavior attaches application logic to a runnable. Must be called
+// before Run.
+func (p *Platform) SetBehavior(swc, runnable string, b Behavior) error {
+	comp := p.Sys.Component(swc)
+	if comp == nil {
+		return fmt.Errorf("rte: unknown component %s", swc)
+	}
+	if comp.Runnable(runnable) == nil {
+		return fmt.Errorf("rte: component %s has no runnable %s", swc, runnable)
+	}
+	p.behavior[swc+"."+runnable] = b
+	return nil
+}
+
+// CPU returns the generated CPU of an ECU.
+func (p *Platform) CPU(ecu string) *osek.CPU { return p.cpus[ecu] }
+
+// Task returns the generated OS task of a runnable.
+func (p *Platform) Task(swc, runnable string) *osek.Task { return p.tasks[swc+"."+runnable] }
+
+// CANBus returns the simulated CAN channel by name.
+func (p *Platform) CANBus(name string) *can.Bus { return p.canBus[name] }
+
+// FlexRayBus returns the simulated FlexRay channel by name.
+func (p *Platform) FlexRayBus(name string) *flexray.Bus { return p.frBus[name] }
+
+// TTPCluster returns the simulated TTP cluster by bus name.
+func (p *Platform) TTPCluster(name string) *ttp.Cluster {
+	if a := p.ttpBus[name]; a != nil {
+		return a.cluster
+	}
+	return nil
+}
+
+// Routes returns the resolved communication routes.
+func (p *Platform) Routes() []vfb.Route { return p.routes }
+
+// Run starts every CPU and bus and executes the simulation to the horizon.
+func (p *Platform) Run(horizon sim.Time) {
+	if !p.started {
+		p.started = true
+		for _, c := range p.cpus {
+			c.Start()
+		}
+		for _, b := range p.canBus {
+			b.Start()
+		}
+		for _, b := range p.frBus {
+			b.Start()
+		}
+		for _, a := range p.ttpBus {
+			a.start()
+		}
+	}
+	p.K.Run(horizon)
+}
+
+// Stats summarizes the response times of one task or message source.
+func (p *Platform) Stats(source string) trace.Stats {
+	return trace.Summarize(p.Trace, source)
+}
+
+// Value returns the latest delivered value at a consumer port element and
+// whether anything arrived yet.
+func (p *Platform) Value(swc, port, elem string) (float64, bool) {
+	c := p.store[storeKey(swc, port, elem)]
+	if c == nil || !c.written {
+		return 0, false
+	}
+	return c.value, true
+}
+
+func storeKey(swc, port, elem string) string { return swc + "/" + port + "/" + elem }
+
+// buildCPUs creates one osek.CPU per used ECU.
+func (p *Platform) buildCPUs() error {
+	for _, e := range p.Sys.ECUs {
+		p.cpus[e.Name] = osek.NewCPU(p.K, e.Name, e.Speed, p.Trace)
+	}
+	return nil
+}
+
+// buildTasks creates OS tasks for every runnable with rate-monotonic
+// priorities per CPU and the selected isolation policy.
+func (p *Platform) buildTasks() error {
+	type tinfo struct {
+		comp *model.SWC
+		run  *model.Runnable
+		ecu  string
+	}
+	perECU := map[string][]tinfo{}
+	for _, comp := range p.Sys.Components {
+		ecu := p.Sys.Mapping[comp.Name]
+		for i := range comp.Runnables {
+			perECU[ecu] = append(perECU[ecu], tinfo{comp: comp, run: &comp.Runnables[i], ecu: ecu})
+		}
+	}
+	ecus := make([]string, 0, len(perECU))
+	for e := range perECU {
+		ecus = append(ecus, e)
+	}
+	sort.Strings(ecus)
+	for _, ecu := range ecus {
+		infos := perECU[ecu]
+		// Rate-monotonic order on the derived rate (event-driven runnables
+		// inherit their producer's period); rate-less runnables sort first.
+		// Package core's analysis applies the identical ordering.
+		sort.SliceStable(infos, func(i, j int) bool {
+			pi := p.Sys.EffectivePeriod(infos[i].comp, infos[i].run)
+			pj := p.Sys.EffectivePeriod(infos[j].comp, infos[j].run)
+			if pi != pj {
+				return pi < pj
+			}
+			return infos[i].comp.Name+infos[i].run.Name < infos[j].comp.Name+infos[j].run.Name
+		})
+		seen := map[string]bool{}
+		var comps []*model.SWC
+		for _, ti := range infos {
+			if !seen[ti.comp.Name] {
+				seen[ti.comp.Name] = true
+				comps = append(comps, ti.comp)
+			}
+		}
+		throttles, err := p.buildIsolation(ecu, comps)
+		if err != nil {
+			return err
+		}
+		for rank, ti := range infos {
+			name := ti.comp.Name + "." + ti.run.Name
+			task := &osek.Task{
+				Name:      name,
+				Priority:  1000 - rank,
+				WCET:      ti.run.WCETNominal,
+				Deadline:  ti.run.Deadline,
+				Supplier:  ti.comp.Supplier,
+				MaxQueued: 4,
+			}
+			if ti.run.Trigger.Kind == model.TimingEvent {
+				task.Period = ti.run.Trigger.Period
+				task.Offset = ti.run.Trigger.Offset
+			}
+			if p.opts.EnforceBudgets {
+				task.Budget = ti.run.WCETNominal
+			}
+			if th := throttles[ti.comp.Supplier]; th != nil {
+				task.Throttle = th
+			}
+			ti := ti
+			task.OnFinish = func(job int64) { p.execute(ti.comp, ti.run, job) }
+			// Budget exhaustion is a timing error: report it through the
+			// consistent error path so mode management and diagnostics
+			// see it (§2).
+			task.OnAbort = func(job int64) {
+				p.Errors.Report(ti.comp.Name, ErrTiming,
+					fmt.Sprintf("%s job %d exceeded its execution budget", ti.run.Name, job))
+			}
+			if err := p.cpus[ecu].AddTask(task); err != nil {
+				return err
+			}
+			p.tasks[name] = task
+		}
+	}
+	return nil
+}
+
+// buildIsolation creates per-supplier throttles on one ECU according to
+// the isolation policy. Suppliers are sized to their declared utilization
+// times the margin.
+func (p *Platform) buildIsolation(ecu string, comps []*model.SWC) (map[string]osek.Throttle, error) {
+	out := map[string]osek.Throttle{}
+	if p.opts.Isolation == NoIsolation {
+		return out, nil
+	}
+	speed := p.Sys.ECUByName(ecu).Speed
+	util := map[string]float64{}
+	minPeriod := map[string]sim.Duration{}
+	var suppliers []string
+	for _, c := range comps {
+		if _, ok := util[c.Supplier]; !ok {
+			suppliers = append(suppliers, c.Supplier)
+			minPeriod[c.Supplier] = sim.Infinity
+		}
+		util[c.Supplier] += c.Utilization() / speed
+		for i := range c.Runnables {
+			r := &c.Runnables[i]
+			if r.Trigger.Kind == model.TimingEvent && r.Trigger.Period < minPeriod[c.Supplier] {
+				minPeriod[c.Supplier] = r.Trigger.Period
+			}
+		}
+	}
+	sort.Strings(suppliers)
+	// reserved returns the CPU fraction set aside for a supplier: the
+	// planned reservation when configured, else declared utilization
+	// scaled by the margin.
+	reserved := func(s string) float64 {
+		if f, ok := p.opts.Reservations[s]; ok {
+			return f
+		}
+		return util[s] * p.opts.IsolationMargin
+	}
+	switch p.opts.Isolation {
+	case ServerPerSupplier:
+		for _, s := range suppliers {
+			period := minPeriod[s]
+			if period == sim.Infinity {
+				period = sim.MS(5)
+			}
+			budget := sim.Duration(float64(period) * reserved(s))
+			if budget <= 0 {
+				budget = period / 100
+			}
+			if budget > period {
+				budget = period
+			}
+			srv, err := protection.NewServer(ecu+"/"+s, p.opts.ServerKind, budget, period)
+			if err != nil {
+				return nil, fmt.Errorf("rte: isolation server for supplier %s on %s: %w", s, ecu, err)
+			}
+			out[s] = srv
+		}
+	case TablePerSupplier:
+		// Windows are allocated sequentially in sorted supplier order,
+		// proportional to reserved capacity. With an explicit MajorFrame
+		// and explicit Reservations the table is stable under extension:
+		// a later supplier (sorting last) lands in the spare tail without
+		// moving anyone's window.
+		major := p.opts.MajorFrame
+		if major == 0 {
+			major = sim.Infinity
+			for _, s := range suppliers {
+				if minPeriod[s] < major {
+					major = minPeriod[s]
+				}
+			}
+			if major == sim.Infinity {
+				major = sim.MS(5)
+			}
+		}
+		var windows []protection.Window
+		cursor := sim.Duration(0)
+		for _, s := range suppliers {
+			length := sim.Duration(float64(major) * reserved(s))
+			if length <= 0 {
+				length = major / 100
+			}
+			windows = append(windows, protection.Window{Partition: s, Start: cursor, Length: length})
+			cursor += length
+		}
+		if cursor > major {
+			return nil, fmt.Errorf("rte: ECU %s: supplier reservations (%v) exceed major frame %v", ecu, cursor, major)
+		}
+		table, err := protection.NewTable(major, windows)
+		if err != nil {
+			return nil, fmt.Errorf("rte: ECU %s: %w", ecu, err)
+		}
+		for _, s := range suppliers {
+			part, err := table.Partition(s)
+			if err != nil {
+				return nil, err
+			}
+			out[s] = part
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelThroughput measures raw event dispatch: self-rescheduling
+// timer chains, the dominant pattern in every substrate.
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := NewKernel()
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		if count < b.N {
+			k.After(100, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, tick)
+	k.Run(Infinity)
+}
+
+// BenchmarkKernelContendedQueue measures heap behaviour with many pending
+// events (64 concurrent timer chains).
+func BenchmarkKernelContendedQueue(b *testing.B) {
+	k := NewKernel()
+	remaining := b.N
+	var mk func(phase Duration) func()
+	mk = func(phase Duration) func() {
+		var f func()
+		f = func() {
+			remaining--
+			if remaining > 0 {
+				k.After(phase, f)
+			}
+		}
+		return f
+	}
+	b.ResetTimer()
+	for i := 0; i < 64 && i < b.N; i++ {
+		k.After(Duration(i), mk(Duration(50+i)))
+	}
+	k.Run(Infinity)
+}
+
+// BenchmarkKernelCancel measures schedule+cancel pairs (budget checkpoints
+// are cancelled on every reschedule).
+func BenchmarkKernelCancel(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		e := k.At(Time(i)+1_000_000, func() {})
+		e.Cancel()
+		if i%1024 == 0 {
+			k.Run(k.Now() + 10) // drain dead events
+		}
+	}
+}
+
+// BenchmarkRand measures the SplitMix64 generator.
+func BenchmarkRand(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

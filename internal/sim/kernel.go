@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	prio   int    // secondary order at the same instant; lower runs first
+	fn     func()
+	index  int // heap index; -1 once removed
+	dead   bool
+	Label  string // optional, for debugging traces
+	kernel *Kernel
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead || e.index < 0 {
+		if e != nil {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	heap.Remove(&e.kernel.queue, e.index)
+}
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on a single
+// goroutine.
+type Kernel struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	events uint64 // total events executed
+	halted bool
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.events }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering time
+// would destroy determinism.
+func (k *Kernel) At(t Time, fn func()) *Event { return k.at(t, 0, fn, "") }
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, fn func()) *Event { return k.at(k.now+d, 0, fn, "") }
+
+// AtPrio schedules fn at time t with an explicit same-instant priority;
+// lower prio runs first. Substrates use this to order, e.g., budget
+// replenishment before task release at the same tick.
+func (k *Kernel) AtPrio(t Time, prio int, fn func()) *Event { return k.at(t, prio, fn, "") }
+
+// AtLabeled is At with a debug label attached to the event.
+func (k *Kernel) AtLabeled(t Time, label string, fn func()) *Event { return k.at(t, 0, fn, label) }
+
+func (k *Kernel) at(t Time, prio int, fn func(), label string) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: k.seq, prio: prio, fn: fn, Label: label, kernel: k}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Halt stops the run loop after the current event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the next pending event and returns true, or returns false
+// if the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	if e.dead {
+		return k.Step()
+	}
+	k.now = e.at
+	e.dead = true
+	k.events++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains, the horizon passes, or Halt
+// is called. Events scheduled exactly at the horizon still execute; the
+// clock finishes at min(horizon, last event time). It returns the number
+// of events executed by this call.
+func (k *Kernel) Run(horizon Time) uint64 {
+	k.halted = false
+	start := k.events
+	for !k.halted && len(k.queue) > 0 {
+		if k.queue[0].at > horizon {
+			k.now = horizon
+			break
+		}
+		k.Step()
+	}
+	if len(k.queue) == 0 && k.now < horizon {
+		k.now = horizon
+	}
+	return k.events - start
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		k.At(at, func() { got = append(got, k.Now()) })
+	}
+	k.Run(Infinity)
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelSameInstantFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(100, func() { order = append(order, i) })
+	}
+	k.Run(Infinity)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestKernelSameInstantPriority(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.AtPrio(100, 5, func() { order = append(order, "low") })
+	k.AtPrio(100, 1, func() { order = append(order, "high") })
+	k.Run(Infinity)
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority order wrong: %v", order)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	e := k.At(10, func() { ran = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending before cancel")
+	}
+	e.Cancel()
+	if e.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	k.Run(Infinity)
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+	e.Cancel() // double-cancel is a no-op
+}
+
+func TestKernelHorizonStopsClock(t *testing.T) {
+	k := NewKernel()
+	var ran []Time
+	k.At(10, func() { ran = append(ran, 10) })
+	k.At(100, func() { ran = append(ran, 100) })
+	k.At(200, func() { ran = append(ran, 200) })
+	n := k.Run(100)
+	if n != 2 {
+		t.Fatalf("ran %d events before horizon, want 2 (event at horizon included)", n)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock at %v, want horizon 100", k.Now())
+	}
+	// Remaining event still fires on a later Run.
+	k.Run(Infinity)
+	if len(ran) != 3 || ran[2] != 200 {
+		t.Fatalf("post-horizon event lost: %v", ran)
+	}
+}
+
+func TestKernelEmptyQueueAdvancesToHorizon(t *testing.T) {
+	k := NewKernel()
+	k.Run(500)
+	if k.Now() != 500 {
+		t.Fatalf("clock at %v, want 500", k.Now())
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run(Infinity)
+}
+
+func TestKernelHalt(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.At(1, func() { count++; k.Halt() })
+	k.At(2, func() { count++ })
+	k.Run(Infinity)
+	if count != 1 {
+		t.Fatalf("Halt did not stop run loop: %d events ran", count)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestKernelEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.At(10, func() {
+		k.After(5, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run(Infinity)
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Fatalf("nested scheduling failed: %v", fired)
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		r := NewRand(42)
+		var log []Time
+		var tick func()
+		tick = func() {
+			log = append(log, k.Now())
+			if k.Now() < 10000 {
+				k.After(r.Range(1, 100), tick)
+			}
+		}
+		k.At(0, tick)
+		k.Run(Infinity)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{Infinity, "inf"},
+		{2 * Second, "2s"},
+		{MS(1.5), "1.5ms"},
+		{US(250), "250us"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRandRangeBounds(t *testing.T) {
+	f := func(seed uint64, a, b uint32) bool {
+		lo, hi := Duration(a), Duration(a)+Duration(b)
+		v := NewRand(seed).Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRand(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64InUnitInterval(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	a := NewRand(1)
+	b := a.Fork()
+	// The fork must not share state with the parent.
+	av, bv := a.Uint64(), b.Uint64()
+	if av == bv {
+		t.Fatal("fork produced identical stream start")
+	}
+}
+
+func TestKernelExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := Time(0); i < 10; i++ {
+		k.At(i, func() {})
+	}
+	k.Run(Infinity)
+	if k.Executed() != 10 {
+		t.Fatalf("Executed() = %d, want 10", k.Executed())
+	}
+}

@@ -1,0 +1,66 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every timed substrate in autorte (the OSEK-like kernel, the CAN, FlexRay,
+// TTP and NoC models) executes on top of this kernel in virtual time. The
+// kernel is strictly single-threaded: no goroutine ever advances the clock,
+// so neither the Go scheduler nor garbage collection can perturb simulated
+// timing. This is the substitution that makes timing-isolation claims
+// testable in Go at all (see DESIGN.md, "Substitutions").
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+// Virtual time is unrelated to the wall clock.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Convenient duration units, mirroring time.Nanosecond et al. but in
+// virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinity is a sentinel meaning "never" for deadlines and horizons.
+const Infinity Time = 1<<63 - 1
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Std converts a virtual duration to a time.Duration for interoperability
+// with formatting helpers. Virtual and wall time share the nanosecond base.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == Infinity:
+		return "inf"
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// MS builds a duration from milliseconds. It is the most common unit in
+// automotive task specifications (periods of 1–1000 ms).
+func MS(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// US builds a duration from microseconds.
+func US(us float64) Duration { return Duration(us * float64(Microsecond)) }

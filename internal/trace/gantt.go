@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"autorte/internal/sim"
+)
+
+// Gantt renders an ASCII timeline of task execution from a recorder:
+// one row per source, one character per resolution bucket.
+//
+//	'#' executing   '.' ready/preempted   '!' deadline miss
+//	'x' aborted     ' ' inactive
+//
+// Sources defaults to every source seen in the window when nil.
+func Gantt(w io.Writer, r *Recorder, sources []string, from, to sim.Time, resolution sim.Duration) error {
+	if resolution <= 0 || to <= from {
+		return fmt.Errorf("trace: bad gantt window")
+	}
+	buckets := int((to - from + resolution - 1) / resolution)
+	if buckets > 4096 {
+		return fmt.Errorf("trace: gantt window needs %d buckets; coarsen the resolution", buckets)
+	}
+	if sources == nil {
+		seen := map[string]bool{}
+		for _, rec := range r.Records {
+			if rec.At >= from && rec.At <= to && !seen[rec.Source] {
+				seen[rec.Source] = true
+				sources = append(sources, rec.Source)
+			}
+		}
+		sort.Strings(sources)
+	}
+	width := 0
+	for _, s := range sources {
+		if len(s) > width {
+			width = len(s)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  |%s| %v..%v (1 char = %v)\n", width, "task", timeAxis(buckets), from, to, resolution)
+	for _, src := range sources {
+		row := make([]byte, buckets)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Reconstruct execution intervals from Start/Resume..Preempt/
+		// Finish/Abort pairs, walking the source's records in order.
+		var runningSince sim.Time = -1
+		mark := func(a, b sim.Time, ch byte) {
+			if b < from || a > to {
+				return
+			}
+			if a < from {
+				a = from
+			}
+			if b > to {
+				b = to
+			}
+			i0 := int((a - from) / resolution)
+			i1 := int((b - from) / resolution)
+			if i1 >= buckets {
+				i1 = buckets - 1
+			}
+			for i := i0; i <= i1; i++ {
+				if row[i] == ' ' || ch != '#' { // misses/aborts overwrite
+					row[i] = ch
+				}
+			}
+		}
+		for _, rec := range r.Records {
+			if rec.Source != src {
+				continue
+			}
+			switch rec.Kind {
+			case Start, Resume:
+				runningSince = rec.At
+			case Preempt:
+				if runningSince >= 0 {
+					mark(runningSince, rec.At, '#')
+					runningSince = -1
+				}
+			case Finish:
+				if runningSince >= 0 {
+					mark(runningSince, rec.At, '#')
+					runningSince = -1
+				}
+			case Abort:
+				if runningSince >= 0 {
+					mark(runningSince, rec.At, '#')
+					runningSince = -1
+				}
+				mark(rec.At, rec.At, 'x')
+			case Miss:
+				mark(rec.At, rec.At, '!')
+			}
+		}
+		if runningSince >= 0 {
+			mark(runningSince, to, '#')
+		}
+		fmt.Fprintf(w, "%-*s  |%s|\n", width, src, row)
+	}
+	return nil
+}
+
+func timeAxis(buckets int) []byte {
+	axis := make([]byte, buckets)
+	for i := range axis {
+		switch {
+		case i%10 == 0:
+			axis[i] = '+'
+		default:
+			axis[i] = '-'
+		}
+	}
+	return axis
+}

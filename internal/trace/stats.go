@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autorte/internal/sim"
+)
+
+// Stats summarizes a sample of durations (latencies, response times).
+type Stats struct {
+	N           int
+	Min, Max    sim.Duration
+	Mean        sim.Duration
+	StdDev      sim.Duration
+	P50, P95    sim.Duration
+	P99         sim.Duration
+	Jitter      sim.Duration // Max − Min, the paper's notion of timing variability
+	MissCount   int          // filled by Summarize from Miss records
+	AbortCount  int
+	SampleCount int // total activations observed
+}
+
+// Compute reduces a sample to Stats. An empty sample yields the zero Stats.
+func Compute(sample []sim.Duration) Stats {
+	if len(sample) == 0 {
+		return Stats{}
+	}
+	s := make([]sim.Duration, len(sample))
+	copy(s, sample)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum, sumSq float64
+	for _, v := range s {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   sim.Duration(mean),
+		StdDev: sim.Duration(math.Sqrt(variance)),
+		P50:    percentile(s, 0.50),
+		P95:    percentile(s, 0.95),
+		P99:    percentile(s, 0.99),
+		Jitter: s[len(s)-1] - s[0],
+	}
+}
+
+// percentile returns the nearest-rank percentile of an ascending sample.
+func percentile(sorted []sim.Duration, p float64) sim.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summarize computes response-time statistics for one source from a
+// recorder, including deadline misses and aborts.
+func Summarize(r *Recorder, source string) Stats {
+	st := Compute(r.Latencies(source))
+	st.MissCount = r.Count(Miss, source)
+	st.AbortCount = r.Count(Abort, source)
+	st.SampleCount = r.Count(Activate, source)
+	return st
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v p99=%v max=%v jitter=%v miss=%d",
+		s.N, s.Min, s.Mean, s.P95, s.P99, s.Max, s.Jitter, s.MissCount)
+}

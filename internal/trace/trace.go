@@ -1,0 +1,157 @@
+// Package trace records timed events emitted by the simulated platform and
+// reduces them to the latency, jitter and deadline statistics the
+// experiments report.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"autorte/internal/sim"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Record kinds, covering the task lifecycle, message transmission and
+// fault handling.
+const (
+	Activate Kind = iota // job released / message queued
+	Start                // first got the resource
+	Preempt              // lost the resource before finishing
+	Resume               // got the resource back
+	Finish               // completed
+	Abort                // killed (budget exhaustion, fault)
+	Miss                 // deadline passed before Finish
+	Drop                 // discarded before transmission/start
+	Error                // fault detected / error reported
+)
+
+var kindNames = [...]string{"activate", "start", "preempt", "resume", "finish", "abort", "miss", "drop", "error"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one trace entry.
+type Record struct {
+	At     sim.Time
+	Kind   Kind
+	Source string // task, message or component name
+	Job    int64  // per-source job/instance counter
+	Info   string // optional detail (e.g. fault kind)
+}
+
+// Recorder accumulates records. The zero value is ready to use. A nil
+// *Recorder is valid and discards everything, so substrates can trace
+// unconditionally.
+type Recorder struct {
+	Records []Record
+}
+
+// Add appends a record. Safe on a nil receiver (no-op).
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// Emit is shorthand for Add.
+func (r *Recorder) Emit(at sim.Time, kind Kind, source string, job int64, info string) {
+	r.Add(Record{At: at, Kind: kind, Source: source, Job: job, Info: info})
+}
+
+// Reset discards all records, keeping capacity.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.Records = r.Records[:0]
+	}
+}
+
+// BySource returns the records of one source, in order.
+func (r *Recorder) BySource(source string) []Record {
+	if r == nil {
+		return nil
+	}
+	var out []Record
+	for _, rec := range r.Records {
+		if rec.Source == source {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Count returns how many records of the given kind a source produced.
+// An empty source matches all sources.
+func (r *Recorder) Count(kind Kind, source string) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Kind == kind && (source == "" || rec.Source == source) {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV writes all records as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_ns,kind,source,job,info\n"); err != nil {
+		return err
+	}
+	for _, rec := range r.Records {
+		info := strings.ReplaceAll(rec.Info, ",", ";")
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s\n", int64(rec.At), rec.Kind, rec.Source, rec.Job, info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Latencies pairs Activate with the matching Finish per (source, job) and
+// returns finish − activate for every completed job of the source, in job
+// order. Jobs that never finished are skipped.
+func (r *Recorder) Latencies(source string) []sim.Duration {
+	if r == nil {
+		return nil
+	}
+	type key struct{ job int64 }
+	act := map[int64]sim.Time{}
+	var done []struct {
+		job int64
+		lat sim.Duration
+	}
+	for _, rec := range r.Records {
+		if rec.Source != source {
+			continue
+		}
+		switch rec.Kind {
+		case Activate:
+			act[rec.Job] = rec.At
+		case Finish:
+			if a, ok := act[rec.Job]; ok {
+				done = append(done, struct {
+					job int64
+					lat sim.Duration
+				}{rec.Job, rec.At - a})
+				delete(act, rec.Job)
+			}
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].job < done[j].job })
+	out := make([]sim.Duration, len(done))
+	for i, d := range done {
+		out[i] = d.lat
+	}
+	_ = key{}
+	return out
+}

@@ -1,0 +1,320 @@
+// Package ttp simulates a TTP-like fully time-triggered protocol: TDMA
+// rounds with one slot per node, a membership service with implicit
+// acknowledgment, node-local bus guardians, and fault-tolerant-average
+// clock synchronization under drifting local clocks.
+//
+// TTP is the paper's reference (§4, [12]) for a protocol whose services —
+// temporal encapsulation, membership, guardianship — provide the fault
+// isolation and error containment an integrated architecture needs. The
+// experiments use this package to show that a babbling-idiot node is
+// contained by the guardian and that membership converges after a crash.
+package ttp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// Config describes a TTP cluster.
+type Config struct {
+	// SlotLength is the TDMA slot duration.
+	SlotLength sim.Duration
+	// RoundsPerCluster is the number of TDMA rounds in a cluster cycle.
+	RoundsPerCluster int
+	// SyncEnabled turns on fault-tolerant-average clock correction at
+	// round boundaries.
+	SyncEnabled bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SlotLength <= 0 {
+		return fmt.Errorf("ttp: non-positive slot length")
+	}
+	if c.RoundsPerCluster < 1 {
+		return fmt.Errorf("ttp: rounds per cluster must be >= 1")
+	}
+	return nil
+}
+
+// Node is one TTP controller with its host application.
+type Node struct {
+	Name string
+	// DriftPPM is the local oscillator's deviation in parts per million.
+	DriftPPM float64
+	// Guardian enables the node's bus guardian: transmissions outside the
+	// node's own slot are physically blocked.
+	Guardian bool
+	// OnTransmit, when set, is invoked at the end of each successful slot
+	// transmission of this node (the RTE's TTP adapter delivers queued
+	// state messages here).
+	OnTransmit func(end sim.Time)
+
+	// fault state
+	crashedAt   sim.Time
+	babbleFrom  sim.Time
+	babbleUntil sim.Time
+
+	// membership is this node's view: operational flag per node index.
+	membership []bool
+	// clockOffset is the local clock deviation from global time (ns).
+	clockOffset float64
+
+	delivered int64
+	index     int
+}
+
+// Crashed reports whether the node is down at time t.
+func (n *Node) Crashed(t sim.Time) bool { return n.crashedAt != 0 && t >= n.crashedAt }
+
+// Babbling reports whether the node is transmitting outside its slot at t.
+func (n *Node) Babbling(t sim.Time) bool {
+	return t >= n.babbleFrom && t < n.babbleUntil && !n.Crashed(t)
+}
+
+// CrashAt schedules a crash fault.
+func (n *Node) CrashAt(t sim.Time) { n.crashedAt = t }
+
+// BabbleBetween schedules a babbling-idiot fault: the node transmits
+// continuously during [from, until).
+func (n *Node) BabbleBetween(from, until sim.Time) {
+	n.babbleFrom, n.babbleUntil = from, until
+}
+
+// Membership returns a copy of this node's membership view.
+func (n *Node) Membership() []bool { return append([]bool(nil), n.membership...) }
+
+// ClockOffset returns the node's current deviation from global time in
+// nanoseconds.
+func (n *Node) ClockOffset() float64 { return n.clockOffset }
+
+// Delivered returns how many frames this node successfully transmitted.
+func (n *Node) Delivered() int64 { return n.delivered }
+
+// Cluster is a set of TTP nodes sharing one channel.
+type Cluster struct {
+	Cfg   Config
+	Trace *trace.Recorder
+
+	k       *sim.Kernel
+	nodes   []*Node
+	started bool
+
+	corrupted int64 // slots destroyed by collisions
+	blocked   int64 // babble attempts stopped by guardians
+	round     int64
+	maxSkew   float64 // worst observed inter-node clock skew (ns)
+}
+
+// NewCluster creates a cluster on the kernel.
+func NewCluster(k *sim.Kernel, cfg Config, rec *trace.Recorder) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{Cfg: cfg, Trace: rec, k: k}, nil
+}
+
+// MustNewCluster panics on configuration error.
+func MustNewCluster(k *sim.Kernel, cfg Config, rec *trace.Recorder) *Cluster {
+	c, err := NewCluster(k, cfg, rec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AddNode registers a node; slot order follows registration order.
+func (c *Cluster) AddNode(n *Node) error {
+	if c.started {
+		return fmt.Errorf("ttp: AddNode after Start")
+	}
+	if n.Name == "" {
+		return fmt.Errorf("ttp: node with empty name")
+	}
+	for _, o := range c.nodes {
+		if o.Name == n.Name {
+			return fmt.Errorf("ttp: duplicate node %s", n.Name)
+		}
+	}
+	n.index = len(c.nodes)
+	c.nodes = append(c.nodes, n)
+	return nil
+}
+
+// MustAddNode is AddNode that panics on error.
+func (c *Cluster) MustAddNode(n *Node) {
+	if err := c.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+// Nodes returns the registered nodes in slot order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// RoundLength returns the duration of one TDMA round.
+func (c *Cluster) RoundLength() sim.Duration {
+	return sim.Duration(len(c.nodes)) * c.Cfg.SlotLength
+}
+
+// CorruptedSlots returns the number of slots destroyed by collisions.
+func (c *Cluster) CorruptedSlots() int64 { return c.corrupted }
+
+// BlockedBabbles returns the number of babble attempts guardians stopped.
+func (c *Cluster) BlockedBabbles() int64 { return c.blocked }
+
+// MaxSkew returns the worst inter-node clock skew observed (ns).
+func (c *Cluster) MaxSkew() float64 { return c.maxSkew }
+
+// Rounds returns the number of completed TDMA rounds.
+func (c *Cluster) Rounds() int64 { return c.round }
+
+// Start initializes membership (everyone operational) and begins the TDMA
+// schedule.
+func (c *Cluster) Start() error {
+	if c.started {
+		return fmt.Errorf("ttp: cluster already started")
+	}
+	if len(c.nodes) < 2 {
+		return fmt.Errorf("ttp: need at least two nodes")
+	}
+	c.started = true
+	for _, n := range c.nodes {
+		n.membership = make([]bool, len(c.nodes))
+		for i := range n.membership {
+			n.membership[i] = true
+		}
+	}
+	c.scheduleSlot(0, 0)
+	return nil
+}
+
+// scheduleSlot runs slot (slotIdx) of the current round starting at t.
+func (c *Cluster) scheduleSlot(slotIdx int, t sim.Time) {
+	c.k.AtPrio(t, 5, func() {
+		end := t + c.Cfg.SlotLength
+		owner := c.nodes[slotIdx]
+		c.runSlot(owner, t, end)
+		next := slotIdx + 1
+		if next == len(c.nodes) {
+			next = 0
+			c.endOfRound(end)
+		}
+		c.scheduleSlot(next, end)
+	})
+}
+
+// runSlot evaluates one TDMA slot: guardian checks, collision detection,
+// delivery and membership update.
+func (c *Cluster) runSlot(owner *Node, start, end sim.Time) {
+	// Babbling interference: any node (other than the owner) transmitting
+	// now collides with the owner's frame unless its guardian blocks it.
+	collision := false
+	for _, n := range c.nodes {
+		if n == owner || !n.Babbling(start) {
+			continue
+		}
+		if n.Guardian {
+			c.blocked++
+			c.Trace.Emit(start, trace.Drop, n.Name, c.round, "guardian blocked babble")
+			continue
+		}
+		collision = true
+		c.Trace.Emit(start, trace.Error, n.Name, c.round, "babbling collision")
+	}
+	sent := !owner.Crashed(start) && !collision
+	if sent {
+		owner.delivered++
+		c.Trace.Emit(end, trace.Finish, owner.Name, c.round, "")
+		if owner.OnTransmit != nil {
+			c.k.AtPrio(end, 40, func() { owner.OnTransmit(end) })
+		}
+	} else if collision {
+		c.corrupted++
+		c.Trace.Emit(end, trace.Abort, owner.Name, c.round, "slot corrupted")
+	}
+	// Membership: every operational node updates its view of the owner
+	// from the slot outcome (implicit acknowledgment).
+	for _, n := range c.nodes {
+		if n.Crashed(end) {
+			continue
+		}
+		n.membership[owner.index] = sent
+	}
+}
+
+// endOfRound applies clock drift for the round and, when enabled, the
+// fault-tolerant-average correction.
+func (c *Cluster) endOfRound(at sim.Time) {
+	c.round++
+	roundNS := float64(c.RoundLength())
+	alive := c.aliveNodes(at)
+	for _, n := range alive {
+		n.clockOffset += n.DriftPPM * 1e-6 * roundNS
+	}
+	// Track worst pairwise skew at its per-round maximum: after drift
+	// accumulation, before any correction.
+	minOff, maxOff := math.Inf(1), math.Inf(-1)
+	for _, n := range alive {
+		minOff = math.Min(minOff, n.clockOffset)
+		maxOff = math.Max(maxOff, n.clockOffset)
+	}
+	if len(alive) >= 2 && maxOff-minOff > c.maxSkew {
+		c.maxSkew = maxOff - minOff
+	}
+	if c.Cfg.SyncEnabled && len(alive) >= 2 {
+		// Fault-tolerant average: drop the extreme offsets, average the
+		// rest, and steer every clock onto that average.
+		offs := make([]float64, len(alive))
+		for i, n := range alive {
+			offs[i] = n.clockOffset
+		}
+		sort.Float64s(offs)
+		lo, hi := 0, len(offs)
+		if len(offs) > 3 {
+			lo, hi = 1, len(offs)-1
+		}
+		sum := 0.0
+		for _, v := range offs[lo:hi] {
+			sum += v
+		}
+		avg := sum / float64(hi-lo)
+		for _, n := range alive {
+			n.clockOffset = avg
+		}
+	}
+}
+
+func (c *Cluster) aliveNodes(at sim.Time) []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if !n.Crashed(at) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MembershipAgreement reports whether all operational, non-babbling nodes
+// hold identical membership views at time t.
+func (c *Cluster) MembershipAgreement(t sim.Time) bool {
+	var ref []bool
+	for _, n := range c.nodes {
+		if n.Crashed(t) || n.Babbling(t) {
+			continue
+		}
+		if ref == nil {
+			ref = n.membership
+			continue
+		}
+		for i := range ref {
+			if ref[i] != n.membership[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package ttp
+
+import (
+	"testing"
+
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+func cluster4(t *testing.T, cfg Config) (*sim.Kernel, *Cluster, *trace.Recorder) {
+	t.Helper()
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	c := MustNewCluster(k, cfg, rec)
+	for _, name := range []string{"n0", "n1", "n2", "n3"} {
+		c.MustAddNode(&Node{Name: name, Guardian: true})
+	}
+	return k, c, rec
+}
+
+func baseCfg() Config {
+	return Config{SlotLength: sim.US(250), RoundsPerCluster: 2, SyncEnabled: true}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{SlotLength: 0, RoundsPerCluster: 1}).Validate() == nil {
+		t.Fatal("zero slot accepted")
+	}
+	if (Config{SlotLength: 1, RoundsPerCluster: 0}).Validate() == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if baseCfg().Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+func TestClusterSetupRules(t *testing.T) {
+	k := sim.NewKernel()
+	c := MustNewCluster(k, baseCfg(), nil)
+	if err := c.AddNode(&Node{Name: ""}); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	c.MustAddNode(&Node{Name: "a"})
+	if err := c.AddNode(&Node{Name: "a"}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("single-node cluster started")
+	}
+	c.MustAddNode(&Node{Name: "b"})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := c.AddNode(&Node{Name: "late"}); err == nil {
+		t.Fatal("AddNode after start accepted")
+	}
+}
+
+func TestTDMADelivery(t *testing.T) {
+	k, c, rec := cluster4(t, baseCfg())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Round = 4 * 250us = 1ms. Run 10 rounds.
+	k.Run(sim.US(9999))
+	for _, n := range c.Nodes() {
+		if n.Delivered() != 10 {
+			t.Fatalf("%s delivered %d frames, want 10", n.Name, n.Delivered())
+		}
+	}
+	if rec.Count(trace.Finish, "n2") != 10 {
+		t.Fatal("trace does not show per-slot delivery")
+	}
+	if c.Rounds() != 10 {
+		t.Fatalf("rounds = %d, want 10", c.Rounds())
+	}
+	if !c.MembershipAgreement(k.Now()) {
+		t.Fatal("healthy cluster lost membership agreement")
+	}
+}
+
+func TestCrashDropsMembership(t *testing.T) {
+	k, c, _ := cluster4(t, baseCfg())
+	c.Nodes()[2].CrashAt(sim.MS(3))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(sim.MS(10))
+	// Every surviving node must see n2 as failed, all others operational.
+	for i, n := range c.Nodes() {
+		if i == 2 {
+			continue
+		}
+		view := n.Membership()
+		if view[2] {
+			t.Fatalf("%s still sees crashed n2 as operational", n.Name)
+		}
+		if !view[0] || !view[1] || !view[3] {
+			t.Fatalf("%s dropped a healthy node: %v", n.Name, view)
+		}
+	}
+	if !c.MembershipAgreement(k.Now()) {
+		t.Fatal("membership views diverged after crash")
+	}
+	// n2 transmitted only in rounds before the crash (slots at 0.5, 1.5,
+	// 2.5ms): 3 frames.
+	if got := c.Nodes()[2].Delivered(); got != 3 {
+		t.Fatalf("crashed node delivered %d, want 3", got)
+	}
+}
+
+func TestGuardianContainsBabblingIdiot(t *testing.T) {
+	k, c, _ := cluster4(t, baseCfg())
+	// n1 babbles continuously from 2ms to 6ms, but every node has a
+	// guardian: no slot may be corrupted and every other node keeps
+	// transmitting on schedule.
+	c.Nodes()[1].BabbleBetween(sim.MS(2), sim.MS(6))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(sim.US(9999))
+	if c.CorruptedSlots() != 0 {
+		t.Fatalf("%d slots corrupted despite guardians", c.CorruptedSlots())
+	}
+	if c.BlockedBabbles() == 0 {
+		t.Fatal("guardian never engaged")
+	}
+	for i, n := range c.Nodes() {
+		if i == 1 {
+			continue
+		}
+		if n.Delivered() != 10 {
+			t.Fatalf("%s delivered %d, want 10 (unaffected by contained babbler)", n.Name, n.Delivered())
+		}
+	}
+}
+
+func TestBabblingWithoutGuardianCorruptsSlots(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &trace.Recorder{}
+	c := MustNewCluster(k, baseCfg(), rec)
+	for _, name := range []string{"n0", "n1", "n2", "n3"} {
+		c.MustAddNode(&Node{Name: name, Guardian: false})
+	}
+	c.Nodes()[1].BabbleBetween(sim.MS(2), sim.MS(6))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(sim.MS(10))
+	if c.CorruptedSlots() == 0 {
+		t.Fatal("unguarded babbling corrupted nothing; containment experiment vacuous")
+	}
+	// Victims lose frames during the babble window.
+	for i, n := range c.Nodes() {
+		if i == 1 {
+			continue
+		}
+		if n.Delivered() >= 10 {
+			t.Fatalf("%s delivered %d; babbling should have destroyed some slots", n.Name, n.Delivered())
+		}
+	}
+}
+
+func TestClockSyncBoundsSkew(t *testing.T) {
+	mk := func(sync bool) float64 {
+		k := sim.NewKernel()
+		cfg := baseCfg()
+		cfg.SyncEnabled = sync
+		c := MustNewCluster(k, cfg, nil)
+		drift := []float64{40, -35, 10, -20} // ppm
+		for i, name := range []string{"n0", "n1", "n2", "n3"} {
+			c.MustAddNode(&Node{Name: name, Guardian: true, DriftPPM: drift[i]})
+		}
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		k.Run(sim.Second) // 1000 rounds
+		return c.MaxSkew()
+	}
+	synced, free := mk(true), mk(false)
+	// With sync, skew per round = 75ppm * 1ms = 75ns. Free-running skew
+	// grows to ~75us over 1000 rounds.
+	if synced > 100 {
+		t.Fatalf("synced skew %vns, want <= 100ns (one round of drift)", synced)
+	}
+	if free < 1000*synced/2 {
+		t.Fatalf("free-running skew %vns not much worse than synced %vns", free, synced)
+	}
+}
+
+func TestMembershipRecoversAfterBabbleEnds(t *testing.T) {
+	k, c, _ := cluster4(t, baseCfg())
+	// Unguarded babbler on n3.
+	c.Nodes()[3].Guardian = false
+	c.Nodes()[3].BabbleBetween(sim.MS(2), sim.MS(4))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(sim.MS(10))
+	// After babbling stops, n3 transmits again in its own slot and the
+	// others re-admit it.
+	for _, n := range c.Nodes() {
+		if !n.Membership()[3] {
+			t.Fatalf("%s did not re-admit recovered node", n.Name)
+		}
+	}
+	if c.CorruptedSlots() == 0 {
+		t.Fatal("babble window had no effect")
+	}
+}
+
+func TestRoundLength(t *testing.T) {
+	_, c, _ := cluster4(t, baseCfg())
+	if c.RoundLength() != sim.MS(1) {
+		t.Fatalf("round length %v, want 1ms", c.RoundLength())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (int64, int64, float64) {
+		k := sim.NewKernel()
+		c := MustNewCluster(k, baseCfg(), nil)
+		for i, name := range []string{"a", "b", "c"} {
+			c.MustAddNode(&Node{Name: name, Guardian: i != 1, DriftPPM: float64(i * 10)})
+		}
+		c.Nodes()[1].BabbleBetween(sim.MS(1), sim.MS(2))
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		k.Run(sim.MS(20))
+		return c.CorruptedSlots(), c.Rounds(), c.MaxSkew()
+	}
+	c1, r1, s1 := runOnce()
+	c2, r2, s2 := runOnce()
+	if c1 != c2 || r1 != r2 || s1 != s2 {
+		t.Fatal("TTP simulation not deterministic")
+	}
+}

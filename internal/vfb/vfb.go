@@ -1,0 +1,209 @@
+// Package vfb implements the Virtual Functional Bus view of a system:
+// design-level connectivity checks and the resolution of logical
+// connectors onto concrete communication — intra-ECU buffers or inter-ECU
+// bus signals — once a deployment mapping exists.
+//
+// The VFB is the paper's abstraction for location independence (§2): the
+// application wiring is fixed here, and only Resolve decides which
+// connectors become bus traffic. Moving an SWC between ECUs changes routes,
+// never the component code.
+package vfb
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/model"
+)
+
+// Route is the concrete realization of one data element of a connector.
+type Route struct {
+	Conn model.Connector
+	Elem string
+	// Local is true when provider and consumer share an ECU.
+	Local bool
+	// Bus carries the route when remote (the first segment when routed
+	// through a gateway).
+	Bus string
+	// Via names the gateway ECU when source and destination share no bus:
+	// the signal travels Bus to Via, then Bus2 onward (the Gateway box of
+	// the paper's Figure 1). Empty for single-segment routes.
+	Via string
+	// Bus2 carries the second segment of a gatewayed route.
+	Bus2 string
+	// SignalName is the globally unique name for the routed element.
+	SignalName string
+	// Bits is the packed width of the element.
+	Bits int
+	// Period is the producing runnable's period in nanoseconds
+	// (0 if event-driven).
+	Period int64
+}
+
+// CheckConnectivity verifies VFB completeness: every required port must
+// have exactly one incoming connector (AUTOSAR allows unconnected R-ports
+// only with explicit defaults; we treat them as design errors).
+func CheckConnectivity(s *model.System) error {
+	incoming := map[[2]string]int{}
+	for _, c := range s.Connectors {
+		incoming[[2]string{c.ToSWC, c.ToPort}]++
+	}
+	for _, comp := range s.Components {
+		for _, p := range comp.Ports {
+			if p.Direction != model.Required {
+				continue
+			}
+			n := incoming[[2]string{comp.Name, p.Name}]
+			if n == 0 {
+				return fmt.Errorf("vfb: required port %s.%s is unconnected", comp.Name, p.Name)
+			}
+			if n > 1 {
+				return fmt.Errorf("vfb: required port %s.%s has %d providers", comp.Name, p.Name, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Resolve maps every connector element onto a route under the system's
+// current mapping. Every component must be mapped, and remote connectors
+// need a bus shared by both ECUs.
+func Resolve(s *model.System) ([]Route, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var routes []Route
+	for _, c := range s.Connectors {
+		srcECU, ok := s.Mapping[c.FromSWC]
+		if !ok {
+			return nil, fmt.Errorf("vfb: component %s is not mapped", c.FromSWC)
+		}
+		dstECU, ok := s.Mapping[c.ToSWC]
+		if !ok {
+			return nil, fmt.Errorf("vfb: component %s is not mapped", c.ToSWC)
+		}
+		prov := s.Component(c.FromSWC).Port(c.FromPort)
+		req := s.Component(c.ToSWC).Port(c.ToPort)
+		if prov.Interface.Kind != model.SenderReceiver {
+			// Client-server connectors route the request and response as a
+			// pair of events; we model them as a single logical element.
+			routes = append(routes, Route{
+				Conn: c, Elem: "__call__",
+				Local:      srcECU == dstECU,
+				SignalName: signalName(c, "__call__"),
+				Bits:       32,
+			})
+			if srcECU != dstECU {
+				bus, via, bus2, err := resolvePath(s, srcECU, dstECU)
+				if err != nil {
+					return nil, err
+				}
+				routes[len(routes)-1].Bus = bus
+				routes[len(routes)-1].Via = via
+				routes[len(routes)-1].Bus2 = bus2
+			}
+			continue
+		}
+		// One route per data element the requirer consumes.
+		for _, el := range req.Interface.Elements {
+			r := Route{
+				Conn: c, Elem: el.Name,
+				Local:      srcECU == dstECU,
+				SignalName: signalName(c, el.Name),
+				Bits:       el.Type.Bits,
+				Period:     producerPeriod(s, s.Component(c.FromSWC), c.FromPort, el.Name),
+			}
+			if !r.Local {
+				bus, via, bus2, err := resolvePath(s, srcECU, dstECU)
+				if err != nil {
+					return nil, err
+				}
+				r.Bus, r.Via, r.Bus2 = bus, via, bus2
+			}
+			routes = append(routes, r)
+		}
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].SignalName < routes[j].SignalName })
+	return routes, nil
+}
+
+func signalName(c model.Connector, elem string) string {
+	return c.FromSWC + "." + c.FromPort + "." + elem + "->" + c.ToSWC + "." + c.ToPort
+}
+
+// producerPeriod returns the effective period (ns) of the runnable
+// writing the element: event-driven producers inherit their trigger
+// chain's rate (model.System.EffectivePeriod), so even signals written
+// from data-received runnables get an analyzable rate. Returns 0 only
+// when no rate is derivable.
+func producerPeriod(s *model.System, swc *model.SWC, port, elem string) int64 {
+	for i := range swc.Runnables {
+		r := &swc.Runnables[i]
+		for _, w := range r.Writes {
+			if w.Port == port && (w.Elem == elem || w.Elem == "") {
+				return int64(s.EffectivePeriod(swc, r))
+			}
+		}
+	}
+	return 0
+}
+
+// resolvePath finds the communication path between two ECUs: a directly
+// shared bus when one exists, else a two-segment path through a gateway
+// ECU attached to a bus of each side. Longer paths are rejected — in
+// practice vehicle topologies gateway between adjacent domain buses only.
+func resolvePath(s *model.System, srcECU, dstECU string) (bus, via, bus2 string, err error) {
+	if b, err := sharedBus(s, srcECU, dstECU); err == nil {
+		return b, "", "", nil
+	}
+	// Candidate gateways in deterministic order.
+	for _, g := range s.ECUs {
+		if g.Name == srcECU || g.Name == dstECU {
+			continue
+		}
+		b1, err1 := sharedBus(s, srcECU, g.Name)
+		b2, err2 := sharedBus(s, g.Name, dstECU)
+		if err1 == nil && err2 == nil && b1 != b2 {
+			return b1, g.Name, b2, nil
+		}
+	}
+	return "", "", "", fmt.Errorf("vfb: no path (direct or one-gateway) between ECUs %s and %s", srcECU, dstECU)
+}
+
+// sharedBus picks the bus connecting two ECUs, erroring when none exists
+// and preferring deterministic (alphabetical) choice when several do.
+func sharedBus(s *model.System, a, b string) (string, error) {
+	ea, eb := s.ECUByName(a), s.ECUByName(b)
+	onA := map[string]bool{}
+	for _, bus := range ea.Buses {
+		onA[bus] = true
+	}
+	var shared []string
+	for _, bus := range eb.Buses {
+		if onA[bus] {
+			shared = append(shared, bus)
+		}
+	}
+	if len(shared) == 0 {
+		return "", fmt.Errorf("vfb: ECUs %s and %s share no bus", a, b)
+	}
+	sort.Strings(shared)
+	return shared[0], nil
+}
+
+// ByBus groups the remote routes per bus — the communication matrix that
+// the RTE generator and the schedule synthesizers consume.
+func ByBus(routes []Route) map[string][]Route {
+	out := map[string][]Route{}
+	for _, r := range routes {
+		if r.Local {
+			continue
+		}
+		out[r.Bus] = append(out[r.Bus], r)
+		if r.Via != "" {
+			// The gatewayed second segment loads its bus too.
+			out[r.Bus2] = append(out[r.Bus2], r)
+		}
+	}
+	return out
+}
