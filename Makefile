@@ -1,0 +1,18 @@
+# Tier-1 gate plus vet and the race detector — the full pre-merge check.
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+test:
+	go test ./...
+
+# Verification & DSE pipeline benchmarks (see EXPERIMENTS.md "Performance").
+bench:
+	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem .
+
+# The complete benchmark suite (E1-E10 harness + platform + pipeline).
+bench-all:
+	go test -run '^$$' -bench . -benchmem ./...
+
+.PHONY: check test bench bench-all

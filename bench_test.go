@@ -13,8 +13,12 @@ package autorte
 
 import (
 	"io"
+	"math"
+	"sort"
 	"testing"
 
+	"autorte/internal/core"
+	"autorte/internal/deploy"
 	"autorte/internal/experiments"
 	"autorte/internal/model"
 	"autorte/internal/rte"
@@ -117,6 +121,205 @@ func BenchmarkPlatformThroughput(b *testing.B) {
 		events += p.K.Executed()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// ---------------------------------------------------------------------
+// Parallel verification & DSE pipeline benchmarks. Three demo-vehicle
+// sizes; for each, `seq` is the pre-pipeline behavior (one worker, no
+// caches, cold per candidate) and `par` the full pipeline (GOMAXPROCS
+// workers, shared memoized analyses). Reports are byte-identical between
+// the two (TestVerifyParallelMatchesSequential); the numbers go into
+// EXPERIMENTS.md.
+
+func vehicleSpecSized(scale int) workload.VehicleSpec {
+	dases := workload.DefaultDASes()
+	for i := range dases {
+		dases[i].Chains *= scale
+	}
+	return workload.VehicleSpec{DASes: dases}
+}
+
+var verifySizes = []struct {
+	name  string
+	scale int
+}{
+	{"small-13chains", 1},
+	{"medium-26chains", 2},
+	{"large-52chains", 4},
+}
+
+func demoVehicleScaled(b *testing.B, scale int) *model.System {
+	b.Helper()
+	sys, err := workload.GenerateVehicle(vehicleSpecSized(scale), sim.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkVerify measures one full static verification of the demo
+// vehicle. seq/par differ only in worker count and caching; on a
+// multicore host the fan-out over ECUs, buses and chains is the win, on
+// one core the two are equivalent.
+func BenchmarkVerify(b *testing.B) {
+	for _, size := range verifySizes {
+		sys := demoVehicleScaled(b, size.scale)
+		b.Run(size.name+"/seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Workers: 1}
+				if _, err := p.Verify(sys, nil, rte.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(size.name+"/par", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := core.NewPipeline(0)
+				if _, err := p.Verify(sys, nil, rte.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// dseCandidates builds a deterministic stream of single-move candidate
+// systems around the consolidated demo vehicle — the access pattern of
+// the deployment search, where successive candidates share most ECU task
+// sets.
+func dseCandidates(b *testing.B, sys *model.System, n int) (*model.System, []*model.System) {
+	b.Helper()
+	consolidated, err := deploy.Greedy(sys, deploy.Constraints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comps, ecus []string
+	for _, c := range consolidated.Components {
+		comps = append(comps, c.Name)
+	}
+	for _, e := range consolidated.ECUs {
+		ecus = append(ecus, e.Name)
+	}
+	sort.Strings(comps)
+	sort.Strings(ecus)
+	out := make([]*model.System, 0, n)
+	for i := 0; len(out) < n; i++ {
+		cand := consolidated.Clone()
+		comp := comps[i%len(comps)]
+		ecu := ecus[(i*7+3)%len(ecus)]
+		if cand.Mapping[comp] == ecu {
+			continue
+		}
+		cand.Mapping[comp] = ecu
+		out = append(out, cand)
+	}
+	return consolidated, out
+}
+
+// BenchmarkVerifyDSESweep measures a full Verify+DSE pass: score a
+// 32-candidate sweep under RequireSchedulable, then statically verify the
+// winner. seq is the pre-pipeline workflow — every candidate evaluated
+// through the unbound, uncached evaluator, the winner verified on one
+// worker with cold analyses. par is the pipeline workflow — candidates
+// scored through a bound evaluator sharing the memoized response-time
+// cache, the winner verified through a shared parallel pipeline. Both
+// pick the same winner and produce byte-identical reports
+// (TestBoundEvaluateMatchesUnbound, TestVerifyParallelMatchesSequential).
+func BenchmarkVerifyDSESweep(b *testing.B) {
+	const candidates = 32
+	cons := deploy.Constraints{RequireSchedulable: true}
+	obj := deploy.DefaultObjective()
+	for _, size := range verifySizes {
+		sys := demoVehicleScaled(b, size.scale)
+		_, cands := dseCandidates(b, sys, candidates)
+		b.Run(size.name+"/seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				best, bestCost := 0, math.Inf(1)
+				for j, cand := range cands {
+					if cost := deploy.Evaluate(cand, cons).Cost(obj); cost < bestCost {
+						best, bestCost = j, cost
+					}
+				}
+				p := &core.Pipeline{Workers: 1}
+				if _, err := p.Verify(cands[best], nil, rte.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(size.name+"/par", func(b *testing.B) {
+			ev := deploy.NewEvaluator(cons)
+			bound, err := ev.Bind(cands[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.NewPipeline(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				best, bestCost := 0, math.Inf(1)
+				for j, cand := range cands {
+					if cost := bound.Evaluate(cand.Mapping).Cost(obj); cost < bestCost {
+						best, bestCost = j, cost
+					}
+				}
+				if _, err := p.Verify(cands[best], nil, rte.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDSEDescend measures the schedulability-constrained descent
+// search, refining the Greedy consolidation (dense task sets, where RTA
+// dominates candidate evaluation): seq runs single-worker with an
+// uncached evaluator (every candidate re-runs RTA on the changed ECUs),
+// par shares the response-time cache across all moves and iterations.
+func BenchmarkDSEDescend(b *testing.B) {
+	sys, _ := dseCandidates(b, demoVehicleScaled(b, 2), 1)
+	cons := deploy.Constraints{RequireSchedulable: true}
+	obj := deploy.DefaultObjective()
+	b.Run("seq-uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := &deploy.Evaluator{Cons: cons}
+			if _, err := deploy.DescendWith(ev, sys, obj, 1, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("par-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deploy.Descend(sys, cons, obj, 0, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDSEAnnealParallel measures the restart-based annealing search
+// (4 chains, shared RTA cache) against the equivalent sequential chain
+// loop without a shared cache.
+func BenchmarkDSEAnnealParallel(b *testing.B) {
+	sys := demoVehicleScaled(b, 1)
+	cons := deploy.Constraints{}
+	obj := deploy.DefaultObjective()
+	const iters, restarts = 300, 4
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < restarts; r++ {
+				seed := uint64(99) ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
+				if _, err := deploy.Anneal(sys, cons, obj, seed, iters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deploy.AnnealParallel(sys, cons, obj, 99, iters, restarts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExchangeRoundTrip measures the template import/export path.

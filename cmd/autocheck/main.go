@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	autocheck -system vehicle.json [-v]
+//	autocheck -system vehicle.json [-v] [-j N]
 //	autocheck -demo
+//
+// Verification fans out per ECU, bus and constraint chain on a bounded
+// worker pool; -j caps the workers (default 0 = GOMAXPROCS). The report
+// is identical for every worker count.
 package main
 
 import (
@@ -30,7 +34,8 @@ func main() {
 		contractsPath = flag.String("contracts", "", "contract catalogue JSON (optional)")
 		demo          = flag.Bool("demo", false, "verify the generated demo vehicle")
 		seed          = flag.Uint64("seed", 1, "workload generator seed (with -demo)")
-		verbose       = flag.Bool("v", false, "print per-task response times")
+		verbose       = flag.Bool("v", false, "print per-task response times and cache stats")
+		jobs          = flag.Int("j", 0, "verification workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,7 +72,8 @@ func main() {
 		}
 	}
 
-	rep, err := core.Verify(sys, contracts, rte.Options{})
+	pipe := core.NewPipeline(*jobs)
+	rep, err := pipe.Verify(sys, contracts, rte.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autocheck:", err)
 		os.Exit(1)
@@ -110,6 +116,10 @@ func main() {
 	}
 	for _, w := range rep.Warnings {
 		fmt.Println("warning:", w)
+	}
+	if *verbose {
+		h, m := pipe.RTA.Stats()
+		fmt.Printf("rta cache: %d hits / %d misses\n", h, m)
 	}
 	if !rep.OK() {
 		fmt.Println("\nVERIFICATION FAILED")

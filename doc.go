@@ -20,6 +20,14 @@
 //   - the verification/composability layer tying it together
 //     (internal/core) and the reproduction suite (internal/experiments).
 //
+// Verification and exploration are parallel and memoized: core.Pipeline
+// fans per-ECU/bus/chain analyses out on a bounded worker pool
+// (internal/par) with deterministic, byte-identical reports for any
+// worker count, and deploy's searches score candidate mappings through
+// bound evaluators backed by canonical-key analysis caches (sched.Cache,
+// can.Cache, flexray.SynthCache). See the Performance sections of
+// README.md and EXPERIMENTS.md.
+//
 // Everything timed runs on a deterministic virtual-time discrete-event
 // kernel (internal/sim): the Go scheduler and garbage collector cannot
 // perturb any measured latency. See DESIGN.md and EXPERIMENTS.md.

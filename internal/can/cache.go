@@ -1,0 +1,103 @@
+package can
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey serializes the analysis-relevant view of a message set under a
+// configuration: frames sorted by ID — the priority order Analyze uses —
+// with every field the recurrence reads. OnDeliver callbacks and runtime
+// bookkeeping are irrelevant to the analysis and excluded.
+func cacheKey(cfg Config, msgs []*Message) string {
+	byPrio := append([]*Message(nil), msgs...)
+	sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+	buf := make([]byte, 0, 48*len(byPrio)+16)
+	buf = strconv.AppendInt(buf, cfg.BitRate, 10)
+	if cfg.Extended {
+		buf = append(buf, 'x')
+	}
+	buf = append(buf, '|')
+	for _, m := range byPrio {
+		buf = strconv.AppendInt(buf, int64(len(m.Name)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, m.Name...)
+		buf = strconv.AppendUint(buf, uint64(m.ID), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.DLC), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.Period), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.Jitter), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.Deadline), 10)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// Cache memoizes Analyze by message-set key. During verification and DSE
+// the same bus frame set is analyzed once per candidate mapping and once
+// per chain stage; the cache collapses the repeats to a lookup. Safe for
+// concurrent use.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[string][]Response
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an empty CAN analysis cache.
+func NewCache() *Cache {
+	return &Cache{m: map[string][]Response{}}
+}
+
+// Analyze is the memoized equivalent of the package function. On a hit
+// the cached numeric results are re-bound to the caller's *Message values
+// (matched by priority order), so callers always see their own messages in
+// the responses. A nil receiver degrades to the direct analysis.
+func (c *Cache) Analyze(cfg Config, msgs []*Message) ([]Response, error) {
+	if c == nil {
+		return Analyze(cfg, msgs)
+	}
+	key := cacheKey(cfg, msgs)
+	c.mu.RLock()
+	cached, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		byPrio := append([]*Message(nil), msgs...)
+		sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+		out := append([]Response(nil), cached...)
+		rebound := true
+		for i := range out {
+			if out[i].Message.Name != byPrio[i].Name {
+				rebound = false // duplicate IDs shuffled the order; recompute
+				break
+			}
+			out[i].Message = byPrio[i]
+		}
+		if rebound {
+			return out, nil
+		}
+	}
+	c.misses.Add(1)
+	rs, err := Analyze(cfg, msgs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = rs
+	c.mu.Unlock()
+	return append([]Response(nil), rs...), nil
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

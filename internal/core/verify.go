@@ -5,6 +5,13 @@
 // and (b) checks composability dynamically, by comparing component timing
 // before and after integration or extension (§4's "stability of prior
 // services").
+//
+// Verification is embarrassingly parallel over ECUs, buses and constraint
+// chains, so Verify fans the per-item analyses out on a bounded worker
+// pool and merges the reports in deterministic order; a Pipeline carries
+// the worker count plus memoized analysis caches so that design-space
+// exploration, which re-verifies near-identical candidate mappings, pays
+// for each distinct task set and bus frame set only once.
 package core
 
 import (
@@ -16,9 +23,11 @@ import (
 	"autorte/internal/e2e"
 	"autorte/internal/flexray"
 	"autorte/internal/model"
+	"autorte/internal/par"
 	"autorte/internal/rte"
 	"autorte/internal/sched"
 	"autorte/internal/sim"
+	"autorte/internal/taskset"
 	"autorte/internal/vfb"
 )
 
@@ -77,11 +86,47 @@ func (r *Report) OK() bool {
 	return r.Contracts == nil || r.Contracts.OK()
 }
 
-// Verify statically checks a deployed system: model + VFB validity,
-// fixed-priority schedulability per ECU (with the same priority assignment
-// the RTE generates), bus schedulability per channel, contract
-// compatibility, and every declared end-to-end latency constraint.
+// Pipeline is a reusable verification context: a bounded worker pool size
+// plus memoized analysis caches shared across Verify calls. The zero
+// value is valid (GOMAXPROCS workers, no caching); NewPipeline enables
+// all caches. A single Pipeline is safe for concurrent use and is meant
+// to be shared across the candidate evaluations of a DSE run, where most
+// ECUs' task sets survive from one mapping to the next.
+type Pipeline struct {
+	// Workers bounds the fan-out; <= 0 selects GOMAXPROCS.
+	Workers int
+	// RTA memoizes per-ECU and per-chain-stage response-time analysis.
+	RTA *sched.Cache
+	// CAN memoizes CAN bus analysis.
+	CAN *can.Cache
+	// FlexRay memoizes static-segment schedule synthesis.
+	FlexRay *flexray.SynthCache
+}
+
+// NewPipeline returns a pipeline with all analysis caches enabled.
+func NewPipeline(workers int) *Pipeline {
+	return &Pipeline{
+		Workers: workers,
+		RTA:     sched.NewCache(),
+		CAN:     can.NewCache(),
+		FlexRay: flexray.NewSynthCache(),
+	}
+}
+
+// Verify statically checks a deployed system with a default pipeline:
+// model + VFB validity, fixed-priority schedulability per ECU (with the
+// same priority assignment the RTE generates), bus schedulability per
+// channel, contract compatibility, and every declared end-to-end latency
+// constraint.
 func Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte.Options) (*Report, error) {
+	return NewPipeline(0).Verify(sys, contracts, opts)
+}
+
+// Verify runs the full static check through the pipeline's worker pool
+// and caches. The report is identical to a sequential run: every worker
+// writes only its own pre-assigned slot and the slots are merged in the
+// same order the sequential loops used.
+func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte.Options) (*Report, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,144 +146,146 @@ func Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte
 		ecus = append(ecus, e)
 	}
 	sort.Strings(ecus)
-	for _, ecu := range ecus {
-		tasks := taskSets[ecu]
-		ok, results, err := sched.Schedulable(tasks)
-		if err != nil {
-			return nil, err
-		}
-		rep.ECUs = append(rep.ECUs, ECUReport{
-			Name: ecu, Utilization: sched.TotalUtilization(tasks),
-			Results: results, Schedulable: ok,
+	byBus := vfb.ByBus(routes)
+
+	// One job per ECU, per routed bus, per constraint chain, plus one for
+	// the contract check; each writes only its own slot. Job order mirrors
+	// the sequential loops, so the lowest-index error is the sequential
+	// error.
+	ecuReports := make([]ECUReport, len(ecus))
+	busReports := make([]BusReport, len(sys.Buses))
+	busUsed := make([]bool, len(sys.Buses))
+	chainReports := make([]ChainReport, len(sys.Constraints))
+	var contractRep *contract.Report
+
+	var jobs []func() error
+	for i, ecu := range ecus {
+		i, ecu := i, ecu
+		jobs = append(jobs, func() error {
+			tasks := taskSets[ecu]
+			ok, results, err := p.RTA.Schedulable(tasks)
+			if err != nil {
+				return err
+			}
+			ecuReports[i] = ECUReport{
+				Name: ecu, Utilization: sched.TotalUtilization(tasks),
+				Results: results, Schedulable: ok,
+			}
+			return nil
 		})
 	}
-
-	byBus := vfb.ByBus(routes)
-	for _, b := range sys.Buses {
+	for i, b := range sys.Buses {
 		busRoutes := byBus[b.Name]
 		if len(busRoutes) == 0 {
 			continue
 		}
-		br := BusReport{Name: b.Name, Kind: b.Kind, Schedulable: true}
-		switch b.Kind {
-		case model.BusCAN:
-			msgs := canMessages(busRoutes, b.BitRate)
-			cfg := can.Config{BitRate: b.BitRate}
-			rs, err := can.Analyze(cfg, msgs)
+		i, b := i, b
+		busUsed[i] = true
+		jobs = append(jobs, func() error {
+			br, err := p.verifyBus(sys, b, busRoutes, opts)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			br.Load = can.TotalUtilization(cfg, msgs)
-			for _, r := range rs {
-				if !r.Schedulable {
-					br.Schedulable = false
-					br.Detail = fmt.Sprintf("%s unschedulable (WCRT %v)", r.Message.Name, r.WCRT)
-				}
-			}
-		case model.BusFlexRay:
-			if _, err := flexraySchedule(defaultFlexRay(opts), busRoutes); err != nil {
-				br.Schedulable = false
-				br.Detail = err.Error()
-			}
-		case model.BusTTP:
-			// TDMA capacity: each sender ECU gets one slot per round; a
-			// signal's period must exceed the round length.
-			round := opts.TTPSlotLength
-			if round == 0 {
-				round = sim.US(250)
-			}
-			nodes := 0
-			for _, e := range sys.ECUs {
-				for _, eb := range e.Buses {
-					if eb == b.Name {
-						nodes++
-					}
-				}
-			}
-			roundLen := sim.Duration(nodes) * round
-			for _, r := range busRoutes {
-				if r.Period > 0 && sim.Duration(r.Period) < roundLen {
-					br.Schedulable = false
-					br.Detail = fmt.Sprintf("%s period %v below TDMA round %v", r.SignalName, sim.Duration(r.Period), roundLen)
-				}
-			}
-		}
-		rep.Buses = append(rep.Buses, br)
+			busReports[i] = br
+			return nil
+		})
 	}
-
 	if contracts != nil {
-		crep, err := contract.CheckSystem(sys, contracts)
-		if err != nil {
-			return nil, err
-		}
-		rep.Contracts = crep
+		jobs = append(jobs, func() error {
+			crep, err := contract.CheckSystem(sys, contracts)
+			if err != nil {
+				return err
+			}
+			contractRep = crep
+			return nil
+		})
+	}
+	for i, lc := range sys.Constraints {
+		i, lc := i, lc
+		jobs = append(jobs, func() error {
+			cr := ChainReport{Name: lc.Name, Budget: lc.Budget}
+			bound, err := p.chainBound(sys, lc, taskSets, byBus, opts)
+			if err != nil {
+				cr.Err = err.Error()
+			} else {
+				cr.Bound = bound
+				cr.OK = bound <= lc.Budget
+			}
+			chainReports[i] = cr
+			return nil
+		})
+	}
+	if err := par.ForEach(p.Workers, len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+		return nil, err
 	}
 
-	for _, lc := range sys.Constraints {
-		cr := ChainReport{Name: lc.Name, Budget: lc.Budget}
-		bound, err := chainBound(sys, lc, taskSets, byBus, opts)
-		if err != nil {
-			cr.Err = err.Error()
-		} else {
-			cr.Bound = bound
-			cr.OK = bound <= lc.Budget
+	rep.ECUs = ecuReports
+	for i := range busReports {
+		if busUsed[i] {
+			rep.Buses = append(rep.Buses, busReports[i])
 		}
-		rep.Chains = append(rep.Chains, cr)
 	}
+	rep.Contracts = contractRep
+	rep.Chains = chainReports
 	return rep, nil
+}
+
+// verifyBus runs the per-channel schedulability analysis for one bus.
+func (p *Pipeline) verifyBus(sys *model.System, b *model.Bus, busRoutes []vfb.Route, opts rte.Options) (BusReport, error) {
+	br := BusReport{Name: b.Name, Kind: b.Kind, Schedulable: true}
+	switch b.Kind {
+	case model.BusCAN:
+		msgs := canMessages(busRoutes, b.BitRate)
+		cfg := can.Config{BitRate: b.BitRate}
+		rs, err := p.CAN.Analyze(cfg, msgs)
+		if err != nil {
+			return br, err
+		}
+		br.Load = can.TotalUtilization(cfg, msgs)
+		for _, r := range rs {
+			if !r.Schedulable {
+				br.Schedulable = false
+				br.Detail = fmt.Sprintf("%s unschedulable (WCRT %v)", r.Message.Name, r.WCRT)
+			}
+		}
+	case model.BusFlexRay:
+		if _, err := p.flexraySchedule(defaultFlexRay(opts), busRoutes); err != nil {
+			br.Schedulable = false
+			br.Detail = err.Error()
+		}
+	case model.BusTTP:
+		// TDMA capacity: each sender ECU gets one slot per round; a
+		// signal's period must exceed the round length.
+		round := opts.TTPSlotLength
+		if round == 0 {
+			round = sim.US(250)
+		}
+		nodes := 0
+		for _, e := range sys.ECUs {
+			for _, eb := range e.Buses {
+				if eb == b.Name {
+					nodes++
+				}
+			}
+		}
+		roundLen := sim.Duration(nodes) * round
+		for _, r := range busRoutes {
+			if r.Period > 0 && sim.Duration(r.Period) < roundLen {
+				br.Schedulable = false
+				br.Detail = fmt.Sprintf("%s period %v below TDMA round %v", r.SignalName, sim.Duration(r.Period), roundLen)
+			}
+		}
+	}
+	return br, nil
 }
 
 // BuildTaskSets derives the analyzable task set per ECU, using the same
 // priority assignment the RTE generator applies (event-driven first, then
 // rate-monotonic). Event-driven runnables inherit the period of their
 // triggering producer; runnables whose rate cannot be derived are skipped
-// with a warning.
+// with a warning. (Shared with the deployment search via package taskset.)
 func BuildTaskSets(sys *model.System) (map[string][]sched.Task, []string) {
-	type tinfo struct {
-		comp *model.SWC
-		run  *model.Runnable
-	}
-	var warnings []string
-	perECU := map[string][]tinfo{}
-	for _, comp := range sys.Components {
-		ecu := sys.Mapping[comp.Name]
-		for i := range comp.Runnables {
-			perECU[ecu] = append(perECU[ecu], tinfo{comp, &comp.Runnables[i]})
-		}
-	}
-	out := map[string][]sched.Task{}
-	for ecu, infos := range perECU {
-		speed := 1.0
-		if e := sys.ECUByName(ecu); e != nil {
-			speed = e.Speed
-		}
-		// Rate-monotonic on the derived rate, matching the RTE generator
-		// exactly; rate-less runnables sort first (treated as urgent
-		// sporadic handlers) but are excluded from the analysis below.
-		sort.SliceStable(infos, func(i, j int) bool {
-			pi := sys.EffectivePeriod(infos[i].comp, infos[i].run)
-			pj := sys.EffectivePeriod(infos[j].comp, infos[j].run)
-			if pi != pj {
-				return pi < pj
-			}
-			return infos[i].comp.Name+infos[i].run.Name < infos[j].comp.Name+infos[j].run.Name
-		})
-		for rank, ti := range infos {
-			period := sys.EffectivePeriod(ti.comp, ti.run)
-			if period <= 0 {
-				warnings = append(warnings, fmt.Sprintf("%s.%s: no derivable rate; excluded from analysis", ti.comp.Name, ti.run.Name))
-				continue
-			}
-			out[ecu] = append(out[ecu], sched.Task{
-				Name:     ti.comp.Name + "." + ti.run.Name,
-				C:        sim.Duration(float64(ti.run.WCETNominal) / speed),
-				T:        period,
-				D:        ti.run.Deadline,
-				Priority: 1000 - rank,
-			})
-		}
-	}
-	return out, warnings
+	return taskset.Build(sys)
 }
 
 // EffectivePeriod is a convenience wrapper over the model's shared rate
@@ -267,8 +314,8 @@ func canMessages(routes []vfb.Route, bitRate int64) []*can.Message {
 
 // chainBound composes the analytic end-to-end bound of a constraint chain
 // from task RTA, bus analysis and sampling stages, with jitter propagation
-// (package e2e).
-func chainBound(sys *model.System, lc model.LatencyConstraint,
+// (package e2e). Stage analyses run through the pipeline caches.
+func (p *Pipeline) chainBound(sys *model.System, lc model.LatencyConstraint,
 	taskSets map[string][]sched.Task, byBus map[string][]vfb.Route, opts rte.Options) (sim.Duration, error) {
 	var stages []e2e.Stage
 	for i := 0; i+1 < len(lc.Chain); i++ {
@@ -291,6 +338,7 @@ func chainBound(sys *model.System, lc model.LatencyConstraint,
 			stages = append(stages, &e2e.TaskStage{
 				Name: a.SWC + "." + run.Name, Tasks: taskSets[ecu],
 				Target: a.SWC + "." + run.Name,
+				RTA:    p.RTA.ResponseTimes,
 			})
 			continue
 		}
@@ -319,7 +367,7 @@ func chainBound(sys *model.System, lc model.LatencyConstraint,
 			segBuses = append(segBuses, signal.Bus2)
 		}
 		for _, busName := range segBuses {
-			if err := appendBusStage(&stages, sys, busName, signal, byBus[busName], opts); err != nil {
+			if err := p.appendBusStage(&stages, sys, busName, signal, byBus[busName], opts); err != nil {
 				return 0, fmt.Errorf("chain %s: %w", lc.Name, err)
 			}
 		}
@@ -333,6 +381,7 @@ func chainBound(sys *model.System, lc model.LatencyConstraint,
 				stages = append([]e2e.Stage{&e2e.TaskStage{
 					Name: src.Name + "." + run.Name, Tasks: taskSets[sys.Mapping[src.Name]],
 					Target: src.Name + "." + run.Name,
+					RTA:    p.RTA.ResponseTimes,
 				}}, stages...)
 			}
 		}
@@ -352,15 +401,16 @@ func defaultFlexRay(opts rte.Options) flexray.Config {
 }
 
 // flexraySchedule synthesizes the static schedule for a bus's periodic
-// routes and indexes it by signal name.
-func flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[string]flexray.Assignment, error) {
+// routes (through the pipeline's synthesis cache) and indexes it by signal
+// name.
+func (p *Pipeline) flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[string]flexray.Assignment, error) {
 	var sigs []flexray.Signal
 	for _, r := range routes {
 		if r.Period > 0 {
 			sigs = append(sigs, flexray.Signal{Name: r.SignalName, Period: sim.Duration(r.Period)})
 		}
 	}
-	as, err := flexray.Synthesize(cfg, sigs)
+	as, err := p.FlexRay.Synthesize(cfg, sigs)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +422,7 @@ func flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[string]flexray
 }
 
 // appendBusStage adds the analytic stage for one bus segment of a route.
-func appendBusStage(stages *[]e2e.Stage, sys *model.System, busName string,
+func (p *Pipeline) appendBusStage(stages *[]e2e.Stage, sys *model.System, busName string,
 	signal *vfb.Route, routes []vfb.Route, opts rte.Options) error {
 	bus := sys.BusByName(busName)
 	if bus == nil {
@@ -383,12 +433,13 @@ func appendBusStage(stages *[]e2e.Stage, sys *model.System, busName string,
 		*stages = append(*stages, &e2e.CANStage{
 			Name: busName, Cfg: can.Config{BitRate: bus.BitRate},
 			Messages: canMessages(routes, bus.BitRate), Target: signal.SignalName,
+			Analyze: p.CAN.Analyze,
 		})
 	case model.BusFlexRay:
 		cfg := defaultFlexRay(opts)
 		// The bound must reflect the actual synthesized slot position:
 		// worst case is one full repetition of waiting plus the slot.
-		as, err := flexraySchedule(cfg, routes)
+		as, err := p.flexraySchedule(cfg, routes)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,357 @@
+package deploy
+
+// The inner loop of every search in this package scores candidate
+// mappings of ONE fixed topology: components, connectors, ECUs and buses
+// never change between candidates, only the Mapping does. Evaluator.Bind
+// exploits that invariant — it derives everything mapping-independent
+// once (effective runnable rates, per-component load terms, ECU-pair bus
+// reachability, proto task sets) so that Bound.Evaluate scores a
+// candidate mapping with just the per-ECU grouping plus (cached)
+// response-time analysis. The metrics are identical to the unbound
+// Evaluator.Evaluate, violations included; TestBoundEvaluateMatchesUnbound
+// holds the two paths together.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autorte/internal/model"
+	"autorte/internal/sched"
+	"autorte/internal/sim"
+	"autorte/internal/vfb"
+)
+
+// protoTask is the mapping-independent part of one runnable's analyzable
+// task: everything except the hosting ECU's speed and the per-ECU
+// priority rank, which depend on the candidate mapping.
+type protoTask struct {
+	name     string // comp.runnable, the analyzable task name
+	sortKey  string // comp name + runnable name, taskset's tie-break key
+	wcet     sim.Duration
+	period   sim.Duration // derived effective period; 0 = no rate
+	deadline sim.Duration
+	// ord is the proto's position in the global (period, sortKey) order,
+	// precomputed at Bind so per-ECU ranking needs only integer compares.
+	ord int
+}
+
+type boundComp struct {
+	name     string
+	memoryKB int
+	asil     model.ASIL
+	// loadTerms holds WCETNominal/period per rated runnable, in runnable
+	// order — AnalyzedLoad's summation terms before the speed division.
+	loadTerms []float64
+	// protos lists all runnables (rate-less included: they consume
+	// priority ranks in the task set even though they are excluded from
+	// the analysis).
+	protos []protoTask
+}
+
+type boundECU struct {
+	name     string
+	speed    float64
+	memoryKB int
+	maxASIL  model.ASIL
+	pos      [2]float64
+}
+
+type boundConn struct {
+	from, to string
+	// needsPath is true when the connector produces at least one bus route
+	// once remote (client-server always does; sender-receiver only with a
+	// non-empty element set).
+	needsPath bool
+}
+
+// Bound is an Evaluator fixed to one system topology. It scores candidate
+// mappings directly — no system clone needed — and is safe for concurrent
+// use, so a parallel search can fan candidate evaluations out over it.
+// The bound data reflects the topology at Bind time; candidates must
+// differ from the base system in Mapping only (the DSE invariant: every
+// candidate is a Clone of the seed with components moved).
+type Bound struct {
+	ev    *Evaluator
+	comps []boundComp
+	ecus  []boundECU
+	// ecuIdx/compIdx index comps/ecus by name.
+	ecuIdx  map[string]int
+	compIdx map[string]int
+	conns   []boundConn
+	// path caches vfb.Path's verdict per ordered ECU pair; nil = reachable.
+	path map[[2]string]error
+}
+
+// Bind precomputes the mapping-independent derivations of sys. It fails
+// when the base topology itself is invalid — searches fall back to the
+// unbound evaluator in that case so the legacy error surfaces unchanged.
+func (ev *Evaluator) Bind(sys *model.System) (*Bound, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Bound{
+		ev:      ev,
+		ecuIdx:  make(map[string]int, len(sys.ECUs)),
+		compIdx: make(map[string]int, len(sys.Components)),
+		path:    make(map[[2]string]error, len(sys.ECUs)*len(sys.ECUs)),
+	}
+	for i, e := range sys.ECUs {
+		b.ecus = append(b.ecus, boundECU{
+			name: e.Name, speed: e.Speed, memoryKB: e.MemoryKB,
+			maxASIL: e.MaxASIL, pos: e.Position,
+		})
+		b.ecuIdx[e.Name] = i
+	}
+	for i, c := range sys.Components {
+		bc := boundComp{name: c.Name, memoryKB: c.MemoryKB, asil: c.ASIL}
+		for j := range c.Runnables {
+			r := &c.Runnables[j]
+			period := sys.EffectivePeriod(c, r)
+			if period > 0 {
+				bc.loadTerms = append(bc.loadTerms, float64(r.WCETNominal)/float64(period))
+			}
+			bc.protos = append(bc.protos, protoTask{
+				name: c.Name + "." + r.Name, sortKey: c.Name + r.Name,
+				wcet: r.WCETNominal, period: period, deadline: r.Deadline,
+			})
+		}
+		b.comps = append(b.comps, bc)
+		b.compIdx[c.Name] = i
+	}
+	// Rank all protos once in taskset.Build's (period, tie-break) order;
+	// per-candidate ranking then reduces to sorting small int keys.
+	var all []*protoTask
+	for i := range b.comps {
+		for j := range b.comps[i].protos {
+			all = append(all, &b.comps[i].protos[j])
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].period != all[j].period {
+			return all[i].period < all[j].period
+		}
+		return all[i].sortKey < all[j].sortKey
+	})
+	for ord, p := range all {
+		p.ord = ord
+	}
+	for _, c := range sys.Connectors {
+		prov := sys.Component(c.FromSWC).Port(c.FromPort)
+		req := sys.Component(c.ToSWC).Port(c.ToPort)
+		needs := prov.Interface.Kind != model.SenderReceiver || len(req.Interface.Elements) > 0
+		b.conns = append(b.conns, boundConn{from: c.FromSWC, to: c.ToSWC, needsPath: needs})
+	}
+	for _, src := range sys.ECUs {
+		for _, dst := range sys.ECUs {
+			if src.Name == dst.Name {
+				continue
+			}
+			_, _, _, err := vfb.Path(sys, src.Name, dst.Name)
+			b.path[[2]string{src.Name, dst.Name}] = err
+		}
+	}
+	return b, nil
+}
+
+// Evaluate scores one candidate mapping against the bound topology. The
+// result — feasibility, violations, every cost term — is identical to
+// evaluating a clone of the base system carrying this mapping through the
+// unbound path.
+func (b *Bound) Evaluate(mapping map[string]string) Metrics {
+	cons := b.ev.Cons
+	cons.fill()
+	m := Metrics{Feasible: true}
+	if err := cons.Validate(); err != nil {
+		m.Feasible = false
+		m.Violations = append(m.Violations, err.Error())
+		return m
+	}
+	used := map[string]bool{}
+	for _, e := range mapping {
+		used[e] = true
+	}
+	for i := range b.ecus {
+		if used[b.ecus[i].name] {
+			m.ECUs++
+		}
+	}
+	for _, c := range b.conns {
+		src, dst := mapping[c.from], mapping[c.to]
+		if src == "" || dst == "" || src == dst {
+			continue
+		}
+		si, ok1 := b.ecuIdx[src]
+		di, ok2 := b.ecuIdx[dst]
+		if !ok1 || !ok2 {
+			continue
+		}
+		dx := b.ecus[si].pos[0] - b.ecus[di].pos[0]
+		dy := b.ecus[si].pos[1] - b.ecus[di].pos[1]
+		m.Harness += math.Hypot(dx, dy)
+	}
+	// One pass over components, grouping per hosting ECU. Accumulation
+	// order per ECU is component order — the same order AnalyzedLoad sums
+	// in, so the floats come out bit-identical.
+	type hostAcc struct {
+		load   float64
+		memory int
+		hosts  bool
+		worst  model.ASIL
+	}
+	accs := make([]hostAcc, len(b.ecus))
+	for i := range b.comps {
+		c := &b.comps[i]
+		idx, ok := b.ecuIdx[mapping[c.name]]
+		if !ok {
+			continue
+		}
+		a := &accs[idx]
+		a.hosts = true
+		a.memory += c.memoryKB
+		if c.asil > a.worst {
+			a.worst = c.asil
+		}
+		speed := b.ecus[idx].speed
+		for _, t := range c.loadTerms {
+			a.load += t / speed
+		}
+	}
+	var loads []float64
+	for i := range b.ecus {
+		e, a := &b.ecus[i], &accs[i]
+		if !a.hosts {
+			continue
+		}
+		loads = append(loads, a.load)
+		if a.load > m.MaxLoad {
+			m.MaxLoad = a.load
+		}
+		if a.load > cons.MaxUtilization {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s overloaded: %.3f > %.3f", e.name, a.load, cons.MaxUtilization))
+		}
+		if cons.RespectMemory && e.memoryKB > 0 && a.memory > e.memoryKB {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s out of memory: %d > %d KB", e.name, a.memory, e.memoryKB))
+		}
+		if cons.RespectASIL && a.worst > e.maxASIL {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s hosts %v components but qualifies only for %v", e.name, a.worst, e.maxASIL))
+		}
+	}
+	if err := b.commCheck(mapping); err != nil {
+		m.Feasible = false
+		m.Violations = append(m.Violations, err.Error())
+	}
+	if cons.RequireSchedulable {
+		b.checkSchedulable(mapping, &m)
+	}
+	if len(loads) > 0 {
+		mean := 0.0
+		for _, l := range loads {
+			mean += l
+		}
+		mean /= float64(len(loads))
+		for _, l := range loads {
+			m.LoadVar += (l - mean) * (l - mean)
+		}
+		m.LoadVar /= float64(len(loads))
+	}
+	return m
+}
+
+// commCheck reproduces the communication-feasibility verdict vfb.Resolve
+// would reach on this mapping — same first error, without deriving routes:
+// mapping referents must exist (what Resolve's Validate call catches
+// first), every connector endpoint must be mapped, and every
+// route-producing remote connector needs a reachable ECU pair.
+func (b *Bound) commCheck(mapping map[string]string) error {
+	for swc, ecu := range mapping {
+		if _, ok := b.compIdx[swc]; !ok {
+			return fmt.Errorf("mapping references unknown component %q", swc)
+		}
+		if _, ok := b.ecuIdx[ecu]; !ok {
+			return fmt.Errorf("mapping of %s references unknown ECU %q", swc, ecu)
+		}
+	}
+	for _, c := range b.conns {
+		src, ok := mapping[c.from]
+		if !ok {
+			return fmt.Errorf("vfb: component %s is not mapped", c.from)
+		}
+		dst, ok := mapping[c.to]
+		if !ok {
+			return fmt.Errorf("vfb: component %s is not mapped", c.to)
+		}
+		if src == dst || !c.needsPath {
+			continue
+		}
+		if err := b.path[[2]string{src, dst}]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSchedulable reproduces taskset.Build + per-ECU RTA from the proto
+// tasks: group per hosting ECU, rank rate-monotonically with taskset's
+// exact ordering, scale WCETs by ECU speed, and run the (cached) analysis
+// in sorted ECU order.
+func (b *Bound) checkSchedulable(mapping map[string]string, m *Metrics) {
+	groups := map[string][]*protoTask{}
+	for i := range b.comps {
+		ecu := mapping[b.comps[i].name]
+		for j := range b.comps[i].protos {
+			groups[ecu] = append(groups[ecu], &b.comps[i].protos[j])
+		}
+	}
+	var names []string
+	for e := range groups {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	for _, ecu := range names {
+		protos := groups[ecu]
+		// ord restricts the precomputed global order to this group —
+		// identical to taskset.Build's stable (period, name) sort.
+		sort.Slice(protos, func(i, j int) bool { return protos[i].ord < protos[j].ord })
+		speed := 1.0
+		if idx, ok := b.ecuIdx[ecu]; ok {
+			speed = b.ecus[idx].speed
+		}
+		var tasks []sched.Task
+		for rank, p := range protos {
+			if p.period <= 0 {
+				continue
+			}
+			tasks = append(tasks, sched.Task{
+				Name: p.name, C: sim.Duration(float64(p.wcet) / speed),
+				T: p.period, D: p.deadline, Priority: 1000 - rank,
+			})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		ok, err := b.ev.RTA.Check(tasks)
+		if err != nil {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s: RTA failed: %v", ecu, err))
+			continue
+		}
+		if !ok {
+			m.Feasible = false
+			m.Violations = append(m.Violations, fmt.Sprintf("%s unschedulable under response-time analysis", ecu))
+		}
+	}
+}
+
+// cloneMapping copies a candidate mapping — the only mutable state a
+// bound evaluation needs, replacing the full system Clone per candidate.
+func cloneMapping(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -12,26 +12,59 @@ import (
 	"sort"
 
 	"autorte/internal/model"
+	"autorte/internal/par"
+	"autorte/internal/sched"
 	"autorte/internal/sim"
+	"autorte/internal/taskset"
 	"autorte/internal/vfb"
 )
 
+// RejectAllLoad is an explicit MaxUtilization sentinel meaning "no compute
+// load is admissible on any ECU". It is distinct from the zero value,
+// which selects the 0.69 default — a caller who wants to reject any load
+// must say so explicitly, because 0 is indistinguishable from "unset".
+const RejectAllLoad = -1.0
+
 // Constraints bound feasible mappings.
 type Constraints struct {
-	// MaxUtilization caps per-ECU load (default 0.69, the asymptotic
-	// rate-monotonic bound — conservative on purpose so a verified DSE
-	// result stays schedulable under RTA).
+	// MaxUtilization caps per-ECU load. Valid settings:
+	//
+	//	0            unset; defaults to 0.69, the asymptotic
+	//	             rate-monotonic bound — conservative on purpose so a
+	//	             verified DSE result stays schedulable under RTA
+	//	(0, 1]       explicit cap
+	//	negative     RejectAllLoad: no load is admissible
+	//	> 1 / NaN    invalid (see Validate)
 	MaxUtilization float64
 	// RespectASIL requires ECU.MaxASIL >= every hosted component's ASIL.
 	RespectASIL bool
 	// RespectMemory enforces ECU memory capacity.
 	RespectMemory bool
+	// RequireSchedulable additionally runs fixed-priority response-time
+	// analysis per hosted ECU during evaluation (through the evaluator's
+	// cache when one is attached) and rejects mappings with an
+	// unschedulable ECU. Stricter than the utilization cap alone.
+	RequireSchedulable bool
 }
 
 func (c *Constraints) fill() {
 	if c.MaxUtilization == 0 {
 		c.MaxUtilization = 0.69
 	}
+}
+
+// Validate rejects constraint settings outside the documented range: a
+// utilization cap above 1 (meaningless for schedulability) or a
+// non-finite cap. Negative caps are the explicit RejectAllLoad sentinel
+// and are valid.
+func (c Constraints) Validate() error {
+	if math.IsNaN(c.MaxUtilization) || math.IsInf(c.MaxUtilization, 0) {
+		return fmt.Errorf("deploy: MaxUtilization must be finite, got %v", c.MaxUtilization)
+	}
+	if c.MaxUtilization > 1 {
+		return fmt.Errorf("deploy: MaxUtilization %.3f above 1 can never hold under analysis; use (0,1], 0 for the default, or a negative value to reject all load", c.MaxUtilization)
+	}
+	return nil
 }
 
 // Objective weighs the cost terms.
@@ -62,10 +95,39 @@ func (m Metrics) Cost(obj Objective) float64 {
 	return obj.WECU*float64(m.ECUs) + obj.WHarness*m.Harness + obj.WLoad*m.LoadVar
 }
 
-// Evaluate computes the metrics of the system's current mapping.
+// Evaluator scores candidate mappings. It bundles the constraints with a
+// shared response-time cache so that a DSE run, whose candidates differ
+// by a single component move, re-analyzes only the one or two ECUs whose
+// task sets actually changed. Safe for concurrent use; the zero RTA field
+// degrades to uncached analysis.
+type Evaluator struct {
+	Cons Constraints
+	// RTA caches per-ECU response-time analysis for
+	// Cons.RequireSchedulable. Optional.
+	RTA *sched.Cache
+}
+
+// NewEvaluator returns an evaluator with the response-time cache enabled.
+func NewEvaluator(cons Constraints) *Evaluator {
+	return &Evaluator{Cons: cons, RTA: sched.NewCache()}
+}
+
+// Evaluate computes the metrics of the system's current mapping with the
+// default (uncached) evaluator.
 func Evaluate(sys *model.System, cons Constraints) Metrics {
+	return (&Evaluator{Cons: cons}).Evaluate(sys)
+}
+
+// Evaluate computes the metrics of the system's current mapping.
+func (ev *Evaluator) Evaluate(sys *model.System) Metrics {
+	cons := ev.Cons
 	cons.fill()
 	m := Metrics{Feasible: true}
+	if err := cons.Validate(); err != nil {
+		m.Feasible = false
+		m.Violations = append(m.Violations, err.Error())
+		return m
+	}
 	m.ECUs = len(sys.UsedECUs())
 	m.Harness = sys.HarnessLength()
 	// Per-ECU checks.
@@ -110,6 +172,28 @@ func Evaluate(sys *model.System, cons Constraints) Metrics {
 		m.Feasible = false
 		m.Violations = append(m.Violations, err.Error())
 	}
+	// Schedulability feasibility: exact per-ECU RTA on demand, through the
+	// shared cache (most candidate moves leave most ECUs' sets unchanged).
+	if cons.RequireSchedulable {
+		tsets, _ := taskset.Build(sys)
+		var ecus []string
+		for e := range tsets {
+			ecus = append(ecus, e)
+		}
+		sort.Strings(ecus)
+		for _, ecu := range ecus {
+			ok, err := ev.RTA.Check(tsets[ecu])
+			if err != nil {
+				m.Feasible = false
+				m.Violations = append(m.Violations, fmt.Sprintf("%s: RTA failed: %v", ecu, err))
+				continue
+			}
+			if !ok {
+				m.Feasible = false
+				m.Violations = append(m.Violations, fmt.Sprintf("%s unschedulable under response-time analysis", ecu))
+			}
+		}
+	}
 	// Load variance over used ECUs.
 	if len(loads) > 0 {
 		mean := 0.0
@@ -131,6 +215,9 @@ func Evaluate(sys *model.System, cons Constraints) Metrics {
 // not modified; the returned clone carries the new mapping.
 func Greedy(sys *model.System, cons Constraints) (*model.System, error) {
 	cons.fill()
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
 	out := sys.Clone()
 	comps := append([]*model.SWC(nil), out.Components...)
 	sort.SliceStable(comps, func(i, j int) bool {
@@ -196,6 +283,9 @@ func fits(out *model.System, c *model.SWC, e *model.ECU, cons Constraints) bool 
 // fits nowhere.
 func Place(sys *model.System, cons Constraints) (*model.System, error) {
 	cons.fill()
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
 	out := sys.Clone()
 	if out.Mapping == nil {
 		out.Mapping = map[string]string{}
@@ -240,8 +330,24 @@ func Place(sys *model.System, cons Constraints) (*model.System, error) {
 // cooling probability. Deterministic for a given seed.
 func Anneal(sys *model.System, cons Constraints, obj Objective, seed uint64, iters int) (*model.System, error) {
 	cons.fill()
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	return anneal(&Evaluator{Cons: cons}, sys, obj, seed, iters)
+}
+
+// anneal is the evaluator-parameterized chain shared by Anneal and
+// AnnealParallel (the latter passes a cached evaluator shared across
+// chains). The chain binds the evaluator to the seed topology, so each
+// candidate move costs a mapping copy and a bound evaluation instead of a
+// full system clone; on an invalid topology the bind fails and the chain
+// degrades to the unbound path, surfacing the legacy errors.
+func anneal(ev *Evaluator, sys *model.System, obj Objective, seed uint64, iters int) (*model.System, error) {
+	cons := ev.Cons
+	cons.fill()
+	bound, bindErr := ev.Bind(sys)
 	cur := sys.Clone()
-	curM := Evaluate(cur, cons)
+	curM := ev.Evaluate(cur)
 	if !curM.Feasible {
 		// Bootstrap from greedy if the incoming mapping is infeasible.
 		g, err := Greedy(sys, cons)
@@ -249,7 +355,7 @@ func Anneal(sys *model.System, cons Constraints, obj Objective, seed uint64, ite
 			return nil, err
 		}
 		cur = g
-		curM = Evaluate(cur, cons)
+		curM = ev.Evaluate(cur)
 	}
 	best := cur.Clone()
 	bestCost := curM.Cost(obj)
@@ -260,20 +366,32 @@ func Anneal(sys *model.System, cons Constraints, obj Objective, seed uint64, ite
 		temp = 1
 	}
 	for i := 0; i < iters; i++ {
-		cand := cur.Clone()
-		c := cand.Components[r.Intn(len(cand.Components))]
-		e := cand.ECUs[r.Intn(len(cand.ECUs))]
-		if cand.Mapping[c.Name] == e.Name {
+		c := cur.Components[r.Intn(len(cur.Components))]
+		e := cur.ECUs[r.Intn(len(cur.ECUs))]
+		if cur.Mapping[c.Name] == e.Name {
 			continue
 		}
-		cand.Mapping[c.Name] = e.Name
-		m := Evaluate(cand, cons)
-		cost := m.Cost(obj)
+		var cand *model.System
+		var cost float64
+		if bindErr == nil {
+			cm := cloneMapping(cur.Mapping)
+			cm[c.Name] = e.Name
+			cost = bound.Evaluate(cm).Cost(obj)
+		} else {
+			cand = cur.Clone()
+			cand.Mapping[c.Name] = e.Name
+			cost = ev.Evaluate(cand).Cost(obj)
+		}
 		accept := cost <= curCost
 		if !accept && !math.IsInf(cost, 1) {
 			accept = r.Float64() < math.Exp((curCost-cost)/temp)
 		}
 		if accept {
+			if cand == nil {
+				// Materialize the accepted candidate only now.
+				cand = cur.Clone()
+				cand.Mapping[c.Name] = e.Name
+			}
 			cur, curCost = cand, cost
 			if cost < bestCost {
 				best, bestCost = cand.Clone(), cost
@@ -285,4 +403,140 @@ func Anneal(sys *model.System, cons Constraints, obj Objective, seed uint64, ite
 		return nil, fmt.Errorf("deploy: annealing found no feasible mapping")
 	}
 	return best, nil
+}
+
+// AnnealParallel runs `restarts` independent annealing chains (seeds
+// derived deterministically from seed) on a bounded worker pool and
+// returns the best mapping found. All chains share one response-time
+// cache, so with Constraints.RequireSchedulable the per-ECU RTA of
+// recurring candidate task sets is paid once across the whole search.
+// The result is deterministic: chains are seeded by index and compared by
+// (cost, chain index), independent of scheduling.
+func AnnealParallel(sys *model.System, cons Constraints, obj Objective,
+	seed uint64, iters, restarts, workers int) (*model.System, error) {
+	cons.fill()
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	ev := NewEvaluator(cons)
+	results := make([]*model.System, restarts)
+	costs := make([]float64, restarts)
+	errs := make([]error, restarts)
+	_ = par.ForEach(workers, restarts, func(i int) error {
+		// Chain errors are values here: one failed chain must not cancel
+		// its siblings, and the merge below stays deterministic.
+		chainSeed := seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		out, err := anneal(ev, sys, obj, chainSeed, iters)
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		results[i] = out
+		costs[i] = ev.Evaluate(out).Cost(obj)
+		return nil
+	})
+	best := -1
+	for i := range results {
+		if results[i] == nil {
+			continue
+		}
+		if best == -1 || costs[i] < costs[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, fmt.Errorf("deploy: no annealing chain produced a mapping")
+	}
+	return results[best], nil
+}
+
+// Descend refines a feasible mapping by parallel steepest descent: every
+// iteration evaluates all single-component moves concurrently (each on
+// its own clone) and applies the strictly best improving one; it stops at
+// a local optimum or after maxIters rounds. Deterministic: candidates are
+// enumerated in sorted (component, ECU) order and ties break to the
+// lowest index. An infeasible input is bootstrapped through Greedy.
+func Descend(sys *model.System, cons Constraints, obj Objective, workers, maxIters int) (*model.System, error) {
+	return DescendWith(NewEvaluator(cons), sys, obj, workers, maxIters)
+}
+
+// DescendWith is Descend under a caller-supplied evaluator, so a DSE
+// driver can share one response-time cache across multiple searches (or
+// benchmark the uncached baseline).
+func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIters int) (*model.System, error) {
+	cons := ev.Cons
+	cons.fill()
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	bound, bindErr := ev.Bind(sys)
+	cur := sys.Clone()
+	if m := ev.Evaluate(cur); !m.Feasible {
+		g, err := Greedy(sys, cons)
+		if err != nil {
+			return nil, err
+		}
+		cur = g
+	}
+	curCost := ev.Evaluate(cur).Cost(obj)
+	var compNames, ecuNames []string
+	for _, c := range cur.Components {
+		compNames = append(compNames, c.Name)
+	}
+	for _, e := range cur.ECUs {
+		ecuNames = append(ecuNames, e.Name)
+	}
+	sort.Strings(compNames)
+	sort.Strings(ecuNames)
+	type move struct{ comp, ecu string }
+	for iter := 0; iter < maxIters; iter++ {
+		var moves []move
+		for _, c := range compNames {
+			for _, e := range ecuNames {
+				if cur.Mapping[c] != e {
+					moves = append(moves, move{c, e})
+				}
+			}
+		}
+		costs := make([]float64, len(moves))
+		_ = par.ForEach(workers, len(moves), func(i int) error {
+			// Bound evaluation scores the move from a mapping copy alone;
+			// the full clone per candidate is only the invalid-topology
+			// fallback.
+			if bindErr == nil {
+				cm := cloneMapping(cur.Mapping)
+				cm[moves[i].comp] = moves[i].ecu
+				costs[i] = bound.Evaluate(cm).Cost(obj)
+				return nil
+			}
+			cand := cur.Clone()
+			cand.Mapping[moves[i].comp] = moves[i].ecu
+			costs[i] = ev.Evaluate(cand).Cost(obj)
+			return nil
+		})
+		best := -1
+		for i := range moves {
+			if costs[i] < curCost && (best == -1 || costs[i] < costs[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // local optimum
+		}
+		next := cur.Clone()
+		next.Mapping[moves[best].comp] = moves[best].ecu
+		cur, curCost = next, costs[best]
+	}
+	if m := ev.Evaluate(cur); !m.Feasible {
+		return nil, fmt.Errorf("deploy: descent result infeasible: %v", m.Violations)
+	}
+	return cur, nil
 }

@@ -1,0 +1,105 @@
+package deploy
+
+import (
+	"testing"
+)
+
+// The parallel restart search must be scheduling-independent: identical
+// results for any worker count.
+func TestAnnealParallelDeterministic(t *testing.T) {
+	sys := vehicle(t, 30)
+	cons := Constraints{}
+	obj := DefaultObjective()
+	base, err := AnnealParallel(sys, cons, obj, 99, 400, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := AnnealParallel(sys, cons, obj, 99, 400, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range base.Mapping {
+			if got.Mapping[name] != base.Mapping[name] {
+				t.Fatalf("workers=%d: mapping diverges at %s: %s vs %s",
+					workers, name, got.Mapping[name], base.Mapping[name])
+			}
+		}
+	}
+}
+
+func TestAnnealParallelAtLeastAsGoodAsSingleChain(t *testing.T) {
+	sys := vehicle(t, 31)
+	cons := Constraints{}
+	obj := DefaultObjective()
+	single, err := Anneal(sys, cons, obj, 99^(1*0x9e3779b97f4a7c15), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := AnnealParallel(sys, cons, obj, 99, 400, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCost := Evaluate(single, cons).Cost(obj)
+	mCost := Evaluate(multi, cons).Cost(obj)
+	if mCost > sCost {
+		t.Fatalf("best-of-4 worse than chain 0 alone: %v > %v", mCost, sCost)
+	}
+}
+
+func TestDescendImprovesOrMatchesStart(t *testing.T) {
+	sys := vehicle(t, 32)
+	cons := Constraints{}
+	obj := DefaultObjective()
+	g, err := Greedy(sys, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCost := Evaluate(g, cons).Cost(obj)
+	d, err := Descend(g, cons, obj, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCost := Evaluate(d, cons).Cost(obj)
+	if dCost > startCost {
+		t.Fatalf("descent worsened the mapping: %v -> %v", startCost, dCost)
+	}
+	if !Evaluate(d, cons).Feasible {
+		t.Fatal("descent result infeasible")
+	}
+}
+
+func TestDescendDeterministicAcrossWorkers(t *testing.T) {
+	sys := vehicle(t, 33)
+	cons := Constraints{}
+	obj := DefaultObjective()
+	base, err := Descend(sys, cons, obj, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Descend(sys, cons, obj, workers, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range base.Mapping {
+			if got.Mapping[name] != base.Mapping[name] {
+				t.Fatalf("workers=%d: mapping diverges at %s", workers, name)
+			}
+		}
+	}
+}
+
+func TestDescendBootstrapsInfeasibleStart(t *testing.T) {
+	sys := vehicle(t, 34)
+	for name := range sys.Mapping {
+		sys.Mapping[name] = sys.ECUs[0].Name // hopeless overload
+	}
+	d, err := Descend(sys, Constraints{}, DefaultObjective(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Evaluate(d, Constraints{}).Feasible {
+		t.Fatal("descent did not recover feasibility")
+	}
+}

@@ -28,6 +28,10 @@ type TaskStage struct {
 	Name   string
 	Tasks  []sched.Task
 	Target string
+	// RTA optionally replaces sched.ResponseTimes — the verification
+	// pipeline injects a memoized analysis here (sched.Cache) so repeated
+	// chain bounds over unchanged task sets are free.
+	RTA func([]sched.Task) ([]sched.Result, error)
 }
 
 // StageName implements Stage.
@@ -36,17 +40,26 @@ func (s *TaskStage) StageName() string { return s.Name }
 // Bound implements Stage.
 func (s *TaskStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
 	tasks := append([]sched.Task(nil), s.Tasks...)
-	found := false
+	found := 0
 	for i := range tasks {
 		if tasks[i].Name == s.Target {
 			tasks[i].J += inputJitter
-			found = true
+			found++
 		}
 	}
-	if !found {
+	if found == 0 {
 		return 0, fmt.Errorf("e2e: stage %s: target task %s not in set", s.Name, s.Target)
 	}
-	rs, err := sched.ResponseTimes(tasks)
+	if found > 1 {
+		// A duplicated name would both double-count the upstream jitter
+		// and make the result pick whichever duplicate analyzes first.
+		return 0, fmt.Errorf("e2e: stage %s: target task %s appears %d times in set", s.Name, s.Target, found)
+	}
+	rta := s.RTA
+	if rta == nil {
+		rta = sched.ResponseTimes
+	}
+	rs, err := rta(tasks)
 	if err != nil {
 		return 0, err
 	}
@@ -68,6 +81,9 @@ type CANStage struct {
 	Cfg      can.Config
 	Messages []*can.Message
 	Target   string
+	// Analyze optionally replaces can.Analyze — the verification pipeline
+	// injects a memoized analysis here (can.Cache).
+	Analyze func(can.Config, []*can.Message) ([]can.Response, error)
 }
 
 // StageName implements Stage.
@@ -76,19 +92,26 @@ func (s *CANStage) StageName() string { return s.Name }
 // Bound implements Stage.
 func (s *CANStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
 	msgs := make([]*can.Message, len(s.Messages))
-	found := false
+	found := 0
 	for i, m := range s.Messages {
 		cp := *m
 		if cp.Name == s.Target {
 			cp.Jitter += inputJitter
-			found = true
+			found++
 		}
 		msgs[i] = &cp
 	}
-	if !found {
+	if found == 0 {
 		return 0, fmt.Errorf("e2e: stage %s: target message %s not in set", s.Name, s.Target)
 	}
-	rs, err := can.Analyze(s.Cfg, msgs)
+	if found > 1 {
+		return 0, fmt.Errorf("e2e: stage %s: target message %s appears %d times in set", s.Name, s.Target, found)
+	}
+	analyze := s.Analyze
+	if analyze == nil {
+		analyze = can.Analyze
+	}
+	rs, err := analyze(s.Cfg, msgs)
 	if err != nil {
 		return 0, err
 	}

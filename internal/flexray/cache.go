@@ -1,0 +1,87 @@
+package flexray
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey serializes a synthesis problem: the configuration fields the
+// placement reads plus the signals in the stable period order Synthesize
+// places them in (ties keep input order, which affects slot assignment).
+func cacheKey(cfg Config, signals []Signal) string {
+	ordered := append([]Signal(nil), signals...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Period < ordered[j].Period })
+	buf := make([]byte, 0, 32*len(ordered)+32)
+	buf = strconv.AppendInt(buf, int64(cfg.StaticSlots), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(cfg.SlotLength), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(cfg.Minislots), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(cfg.MinislotLength), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(cfg.NIT), 10)
+	buf = append(buf, '|')
+	for _, s := range ordered {
+		buf = strconv.AppendInt(buf, int64(len(s.Name)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, s.Name...)
+		buf = strconv.AppendInt(buf, int64(s.Period), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Deadline), 10)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// SynthCache memoizes static-segment schedule synthesis. The verifier
+// synthesizes the same bus schedule once for the schedulability verdict
+// and once per chain stage crossing the bus — and the DSE loop repeats
+// both per candidate mapping. Safe for concurrent use.
+type SynthCache struct {
+	mu     sync.RWMutex
+	m      map[string][]Assignment
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSynthCache returns an empty synthesis cache.
+func NewSynthCache() *SynthCache {
+	return &SynthCache{m: map[string][]Assignment{}}
+}
+
+// Synthesize is the memoized equivalent of the package function. The
+// returned slice is a fresh copy on every call (Assignment holds no
+// pointers). A nil receiver degrades to the direct synthesis.
+func (c *SynthCache) Synthesize(cfg Config, signals []Signal) ([]Assignment, error) {
+	if c == nil {
+		return Synthesize(cfg, signals)
+	}
+	key := cacheKey(cfg, signals)
+	c.mu.RLock()
+	cached, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return append([]Assignment(nil), cached...), nil
+	}
+	c.misses.Add(1)
+	as, err := Synthesize(cfg, signals)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = as
+	c.mu.Unlock()
+	return append([]Assignment(nil), as...), nil
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *SynthCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

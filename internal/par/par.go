@@ -1,0 +1,78 @@
+// Package par provides the bounded fan-out primitive shared by the
+// static-verification pipeline (core.Verify) and the design-space
+// exploration search (deploy): a GOMAXPROCS-sized worker pool that runs
+// indexed jobs and merges results deterministically. Callers pre-size an
+// output slice and have job i write only slot i, so the merged output is
+// identical to a sequential loop regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs job(0) … job(n-1) on at most workers goroutines
+// (normalized via Workers) and blocks until all dispatched jobs return.
+// Indices are dispatched in order. After the first job error, jobs that
+// have not yet started are skipped (cancellation); jobs already running
+// finish. The returned error is the lowest-index error among jobs that
+// ran — because dispatch is ordered, this is the same error a sequential
+// loop would have returned whenever at most one job can fail, and results
+// written by successful jobs are always deterministic.
+func ForEach(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var stop atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if stop.Load() {
+					continue
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

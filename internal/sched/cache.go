@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key returns the canonical cache key of a task set: the tasks are
+// stable-sorted by descending priority — exactly the order ResponseTimes
+// analyzes them in, so ties keep their input order and two inputs map to
+// the same key if and only if the analysis sees the same sequence — and
+// every analysis-relevant field is serialized exactly (length-prefixed
+// name plus fixed-width binary fields; no hashing, so distinct sets can
+// never collide). The input is not modified.
+func Key(tasks []Task) string {
+	// Task sets built by the deployment layers arrive already sorted by
+	// descending priority; skip the copy+sort for them.
+	byPrio := tasks
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i-1].Priority < tasks[i].Priority {
+			byPrio = append([]Task(nil), tasks...)
+			sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].Priority > byPrio[j].Priority })
+			break
+		}
+	}
+	buf := make([]byte, 0, 64*len(byPrio))
+	var w [8]byte
+	field := func(v int64) {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		buf = append(buf, w[:]...)
+	}
+	for i := range byPrio {
+		t := &byPrio[i]
+		field(int64(len(t.Name)))
+		buf = append(buf, t.Name...)
+		field(int64(t.C))
+		field(int64(t.T))
+		field(int64(t.D))
+		field(int64(t.J))
+		field(int64(t.B))
+		field(int64(t.Priority))
+	}
+	return string(buf)
+}
+
+// entry is one memoized analysis: the per-task results plus the folded
+// schedulability verdict, so Check can answer without touching the slice.
+type entry struct {
+	rs []Result
+	ok bool
+}
+
+// Cache memoizes ResponseTimes by canonical task-set key. It is safe for
+// concurrent use; during design-space exploration most candidate mappings
+// leave most ECUs' task sets untouched, so repeated analysis of unchanged
+// ECUs becomes a map lookup.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[string]entry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an empty response-time cache.
+func NewCache() *Cache {
+	return &Cache{m: map[string]entry{}}
+}
+
+// lookup returns the memoized entry for tasks, computing and storing it on
+// a miss. The returned slice is the cache's own — callers must copy before
+// handing it out.
+func (c *Cache) lookup(tasks []Task) (entry, error) {
+	key := Key(tasks)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return e, nil
+	}
+	c.misses.Add(1)
+	rs, err := ResponseTimes(tasks)
+	if err != nil {
+		// Errors are not cached: they indicate invalid task sets the
+		// caller should not be retrying anyway.
+		return entry{}, err
+	}
+	e = entry{rs: rs, ok: true}
+	for _, r := range rs {
+		if !r.Schedulable {
+			e.ok = false
+			break
+		}
+	}
+	c.mu.Lock()
+	c.m[key] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+// ResponseTimes is the memoized equivalent of the package function. The
+// returned slice is a fresh copy on every call (Result holds no pointers),
+// so callers may mutate it freely. A nil receiver degrades to the direct
+// analysis.
+func (c *Cache) ResponseTimes(tasks []Task) ([]Result, error) {
+	if c == nil {
+		return ResponseTimes(tasks)
+	}
+	e, err := c.lookup(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Result(nil), e.rs...), nil
+}
+
+// Schedulable is the memoized equivalent of the package function.
+func (c *Cache) Schedulable(tasks []Task) (bool, []Result, error) {
+	if c == nil {
+		rs, err := ResponseTimes(tasks)
+		if err != nil {
+			return false, nil, err
+		}
+		for _, r := range rs {
+			if !r.Schedulable {
+				return false, rs, nil
+			}
+		}
+		return true, rs, nil
+	}
+	e, err := c.lookup(tasks)
+	if err != nil {
+		return false, nil, err
+	}
+	return e.ok, append([]Result(nil), e.rs...), nil
+}
+
+// Check answers only the schedulability verdict, skipping the per-call
+// result copy — the hot shape in design-space exploration, where the
+// search cares about feasibility and discards the response times.
+func (c *Cache) Check(tasks []Task) (bool, error) {
+	if c == nil {
+		rs, err := ResponseTimes(tasks)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range rs {
+			if !r.Schedulable {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	e, err := c.lookup(tasks)
+	if err != nil {
+		return false, err
+	}
+	return e.ok, nil
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of distinct task sets cached.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+func cacheDemoSet() []Task {
+	return []Task{
+		{Name: "a", C: sim.MS(1), T: sim.MS(5), Priority: 3},
+		{Name: "b", C: sim.MS(2), T: sim.MS(10), Priority: 2},
+		{Name: "c", C: sim.MS(3), T: sim.MS(20), Priority: 1},
+	}
+}
+
+func TestCacheMatchesDirectAnalysis(t *testing.T) {
+	c := NewCache()
+	tasks := cacheDemoSet()
+	want, err := ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.ResponseTimes(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: cached results diverge:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheKeyCanonicalOrder(t *testing.T) {
+	// Priority order differs from input order: both inputs analyze
+	// identically, so they must share a key.
+	a := cacheDemoSet()
+	b := []Task{a[2], a[0], a[1]}
+	if Key(a) != Key(b) {
+		t.Fatal("permuted distinct-priority sets should share a key")
+	}
+	// Equal-priority ties are order-sensitive in the analysis (stable
+	// sort keeps input order), so swapping tied tasks must change the key.
+	tie1 := []Task{
+		{Name: "x", C: 1, T: 10, Priority: 5},
+		{Name: "y", C: 2, T: 10, Priority: 5},
+	}
+	tie2 := []Task{tie1[1], tie1[0]}
+	if Key(tie1) == Key(tie2) {
+		t.Fatal("reordered equal-priority tasks must not share a key")
+	}
+	// Any parameter change must change the key.
+	mod := cacheDemoSet()
+	mod[1].J = 1
+	if Key(a) == Key(mod) {
+		t.Fatal("jitter change must change the key")
+	}
+}
+
+func TestCacheReturnsFreshCopies(t *testing.T) {
+	c := NewCache()
+	tasks := cacheDemoSet()
+	first, err := c.ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0].WCRT = -42 // caller mutation must not poison the cache
+	second, err := c.ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].WCRT == -42 {
+		t.Fatal("cache returned aliased slice")
+	}
+}
+
+func TestCacheNilReceiverDegrades(t *testing.T) {
+	var c *Cache
+	tasks := cacheDemoSet()
+	got, err := c.ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ResponseTimes(tasks)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("nil cache should behave like the direct analysis")
+	}
+	ok, _, err := c.Schedulable(tasks)
+	if err != nil || !ok {
+		t.Fatalf("nil cache Schedulable = %v, %v", ok, err)
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	c := NewCache()
+	tasks := cacheDemoSet()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := c.ResponseTimes(tasks); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+// A task set whose level-i utilization reaches 1 must be reported
+// unschedulable with an infinite WCRT — not spin the recurrence or error.
+func TestResponseTimesDivergingSet(t *testing.T) {
+	tasks := []Task{
+		{Name: "hog", C: sim.MS(6), T: sim.MS(10), Priority: 2},
+		{Name: "victim", C: sim.MS(5), T: sim.MS(10), Priority: 1},
+	}
+	rs, err := ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim *Result
+	for i := range rs {
+		if rs[i].Task.Name == "victim" {
+			victim = &rs[i]
+		}
+	}
+	if victim == nil {
+		t.Fatal("victim missing from results")
+	}
+	if victim.WCRT != sim.Infinity {
+		t.Fatalf("victim WCRT = %v, want Infinity", victim.WCRT)
+	}
+	if victim.Converged || victim.Schedulable {
+		t.Fatalf("victim converged=%v schedulable=%v, want false/false", victim.Converged, victim.Schedulable)
+	}
+	ok, _, err := Schedulable(tasks)
+	if err != nil || ok {
+		t.Fatalf("Schedulable = %v, %v; want false, nil", ok, err)
+	}
+}
+
+// A jitter-heavy set can be under level-i utilization 1 yet blow past the
+// busy-period guard (w > 1000·T): the analysis must bail out with
+// Converged=false instead of iterating forever.
+func TestResponseTimesJitterHeavyBailout(t *testing.T) {
+	tasks := []Task{
+		{Name: "jittery", C: sim.MS(5), T: sim.MS(10), J: 100 * sim.Second, Priority: 2},
+		{Name: "victim", C: sim.MS(1), T: sim.MS(10), Priority: 1},
+	}
+	rs, err := ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim *Result
+	for i := range rs {
+		if rs[i].Task.Name == "victim" {
+			victim = &rs[i]
+		}
+	}
+	if victim == nil {
+		t.Fatal("victim missing from results")
+	}
+	if victim.Converged {
+		t.Fatal("victim reported converged despite busy-period bailout")
+	}
+	if victim.Schedulable {
+		t.Fatal("non-converged task must not be schedulable")
+	}
+}

@@ -1,0 +1,68 @@
+// Package taskset derives the analyzable per-ECU task sets of a deployed
+// component system, using the same priority assignment the RTE generator
+// applies (event-driven runnables inherit their producer's rate; the
+// resulting set is rate-monotonic). It sits below core so the deployment
+// search can run the same schedulability analysis the verifier does,
+// through the shared response-time cache.
+package taskset
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/model"
+	"autorte/internal/sched"
+	"autorte/internal/sim"
+)
+
+// Build derives the analyzable task set per ECU. Event-driven runnables
+// inherit the period of their triggering producer; runnables whose rate
+// cannot be derived are skipped with a warning. The output is
+// deterministic for a given system.
+func Build(sys *model.System) (map[string][]sched.Task, []string) {
+	type tinfo struct {
+		comp *model.SWC
+		run  *model.Runnable
+	}
+	var warnings []string
+	perECU := map[string][]tinfo{}
+	for _, comp := range sys.Components {
+		ecu := sys.Mapping[comp.Name]
+		for i := range comp.Runnables {
+			perECU[ecu] = append(perECU[ecu], tinfo{comp, &comp.Runnables[i]})
+		}
+	}
+	out := map[string][]sched.Task{}
+	for ecu, infos := range perECU {
+		speed := 1.0
+		if e := sys.ECUByName(ecu); e != nil {
+			speed = e.Speed
+		}
+		// Rate-monotonic on the derived rate, matching the RTE generator
+		// exactly; rate-less runnables sort first (treated as urgent
+		// sporadic handlers) but are excluded from the analysis below.
+		sort.SliceStable(infos, func(i, j int) bool {
+			pi := sys.EffectivePeriod(infos[i].comp, infos[i].run)
+			pj := sys.EffectivePeriod(infos[j].comp, infos[j].run)
+			if pi != pj {
+				return pi < pj
+			}
+			return infos[i].comp.Name+infos[i].run.Name < infos[j].comp.Name+infos[j].run.Name
+		})
+		for rank, ti := range infos {
+			period := sys.EffectivePeriod(ti.comp, ti.run)
+			if period <= 0 {
+				warnings = append(warnings, fmt.Sprintf("%s.%s: no derivable rate; excluded from analysis", ti.comp.Name, ti.run.Name))
+				continue
+			}
+			out[ecu] = append(out[ecu], sched.Task{
+				Name:     ti.comp.Name + "." + ti.run.Name,
+				C:        sim.Duration(float64(ti.run.WCETNominal) / speed),
+				T:        period,
+				D:        ti.run.Deadline,
+				Priority: 1000 - rank,
+			})
+		}
+	}
+	return out, warnings
+}

@@ -60,6 +60,12 @@ func Gantt(w io.Writer, r *Recorder, sources []string, from, to sim.Time, resolu
 			}
 			i0 := int((a - from) / resolution)
 			i1 := int((b - from) / resolution)
+			// A point event exactly at the window edge `to` lands on bucket
+			// index == buckets; clamp both ends so a deadline miss at the
+			// boundary still renders instead of silently vanishing.
+			if i0 >= buckets {
+				i0 = buckets - 1
+			}
 			if i1 >= buckets {
 				i1 = buckets - 1
 			}

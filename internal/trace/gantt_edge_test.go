@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Markers landing exactly on the window edge `to` used to compute a start
+// bucket equal to the bucket count, so the fill loop never ran and the
+// event silently vanished from the rendering.
+func TestGanttMissMarkerAtWindowEdge(t *testing.T) {
+	var r Recorder
+	r.Emit(0, Start, "t", 0, "")
+	r.Emit(5, Finish, "t", 0, "")
+	r.Emit(10, Miss, "t", 1, "") // exactly at to
+	var sb strings.Builder
+	if err := Gantt(&sb, &r, []string{"t"}, 0, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "!") {
+		t.Fatalf("boundary miss marker dropped:\n%s", out)
+	}
+	// It must land in the final bucket.
+	row := strings.Split(strings.TrimRight(out, "\n"), "\n")[1]
+	cells := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if cells[len(cells)-1] != '!' {
+		t.Fatalf("miss not in final bucket: %q", cells)
+	}
+}
+
+func TestGanttAbortMarkerAtWindowEdge(t *testing.T) {
+	var r Recorder
+	r.Emit(0, Start, "t", 0, "")
+	r.Emit(10, Abort, "t", 0, "budget") // exactly at to
+	var sb strings.Builder
+	if err := Gantt(&sb, &r, []string{"t"}, 0, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatalf("boundary abort marker dropped:\n%s", sb.String())
+	}
+}
+
+// A miss at a non-divisible edge (partial last bucket) must also render.
+func TestGanttMissMarkerPartialLastBucket(t *testing.T) {
+	var r Recorder
+	r.Emit(7, Miss, "t", 0, "")
+	var sb strings.Builder
+	if err := Gantt(&sb, &r, []string{"t"}, 0, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "!") {
+		t.Fatalf("miss in partial last bucket dropped:\n%s", sb.String())
+	}
+}

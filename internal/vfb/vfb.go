@@ -148,6 +148,15 @@ func producerPeriod(s *model.System, swc *model.SWC, port, elem string) int64 {
 	return 0
 }
 
+// Path resolves the communication path between two ECUs without routing a
+// full system: a directly shared bus when one exists, else a two-segment
+// path through a gateway. Deployment search uses this to precompute the
+// ECU-pair reachability that Resolve would discover connector by
+// connector.
+func Path(s *model.System, srcECU, dstECU string) (bus, via, bus2 string, err error) {
+	return resolvePath(s, srcECU, dstECU)
+}
+
 // resolvePath finds the communication path between two ECUs: a directly
 // shared bus when one exists, else a two-segment path through a gateway
 // ECU attached to a bus of each side. Longer paths are rejected — in
