@@ -8,8 +8,11 @@ test:
 	go test ./...
 
 # Verification & DSE pipeline benchmarks (see EXPERIMENTS.md "Performance").
+# Emits BENCH_pipeline.json (name -> ns/op, allocs/op) alongside the
+# human-readable output.
 bench:
-	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem .
+	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem . > BENCH_pipeline.txt
+	go run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 
 # The complete benchmark suite (E1-E10 harness + platform + pipeline).
 bench-all:

@@ -13,16 +13,24 @@
 // Verification fans out per ECU, bus and constraint chain on a bounded
 // worker pool; -j caps the workers (default 0 = GOMAXPROCS). The report
 // is identical for every worker count.
+//
+// Observability artifacts: -metrics dumps the pipeline's metric registry
+// in Prometheus text format (cache hits, pool occupancy, per-stage
+// duration histograms); -trace-out writes the stage spans as Chrome
+// trace-event JSON loadable in Perfetto; -trace-txt renders the same
+// spans as an indented text tree.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"autorte/internal/contract"
 	"autorte/internal/core"
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/rte"
 	"autorte/internal/sim"
 	"autorte/internal/workload"
@@ -36,6 +44,9 @@ func main() {
 		seed          = flag.Uint64("seed", 1, "workload generator seed (with -demo)")
 		verbose       = flag.Bool("v", false, "print per-task response times and cache stats")
 		jobs          = flag.Int("j", 0, "verification workers (0 = GOMAXPROCS)")
+		metricsPath   = flag.String("metrics", "", "write pipeline metrics (Prometheus text format) to file")
+		traceOutPath  = flag.String("trace-out", "", "write pipeline stage spans as Chrome trace JSON to file")
+		traceTxtPath  = flag.String("trace-txt", "", "write pipeline stage spans as a text tree to file")
 	)
 	flag.Parse()
 
@@ -73,7 +84,22 @@ func main() {
 	}
 
 	pipe := core.NewPipeline(*jobs)
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		pipe.Observe(reg)
+	}
+	if *traceOutPath != "" || *traceTxtPath != "" {
+		pipe.Tracer = obs.NewTracer()
+	}
 	rep, err := pipe.Verify(sys, contracts, rte.Options{})
+	// Artifacts are written even when verification fails below: the
+	// metrics and spans of a failed run are exactly what gets debugged.
+	writeArtifact(*metricsPath, func(w io.Writer) error {
+		return obs.WritePrometheus(w, reg.Snapshot())
+	})
+	writeArtifact(*traceOutPath, pipe.Tracer.WriteChrome)
+	writeArtifact(*traceTxtPath, pipe.Tracer.WriteTree)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autocheck:", err)
 		os.Exit(1)
@@ -126,4 +152,25 @@ func main() {
 		os.Exit(3)
 	}
 	fmt.Println("\nverified: system is admissible")
+}
+
+// writeArtifact creates path and fills it with write. An empty path is a
+// no-op; a failed write is fatal — a truncated artifact that looks valid
+// is worse than an error.
+func writeArtifact(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autocheck:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

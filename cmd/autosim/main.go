@@ -10,16 +10,25 @@
 // With -demo, autosim generates the canonical four-DAS vehicle instead of
 // reading a file (useful as a smoke test and for inspecting the format:
 // add -export to dump the generated system as JSON).
+//
+// Observability artifacts: -trace-out converts the virtual-time event
+// trace to Chrome trace-event JSON (one viewer lane per task, instant
+// markers for misses/aborts/drops) loadable in Perfetto; -metrics dumps
+// the platform registry (kernel events, cache and pool counters) in
+// Prometheus text format; -dlt enables the DLT-style structured event
+// log for the run and writes it as text.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/protection"
 	"autorte/internal/rte"
 	"autorte/internal/sim"
@@ -38,6 +47,9 @@ func main() {
 		demo       = flag.Bool("demo", false, "simulate the generated demo vehicle")
 		export     = flag.Bool("export", false, "with -demo: print the system JSON and exit")
 		seed       = flag.Uint64("seed", 1, "workload generator seed (with -demo)")
+		traceOut   = flag.String("trace-out", "", "write the event trace as Chrome trace JSON to file")
+		metricsOut = flag.String("metrics", "", "write platform metrics (Prometheus text format) to file")
+		dltOut     = flag.String("dlt", "", "enable the DLT event log and write it as text to file")
 	)
 	flag.Parse()
 
@@ -65,6 +77,9 @@ func main() {
 	p, err := rte.Build(sys, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *dltOut != "" {
+		p.EnableDLT(obs.LevelInfo)
 	}
 	p.Run(sim.Duration(*horizon))
 
@@ -119,6 +134,11 @@ func main() {
 		}
 		fmt.Printf("\ntrace written to %s (%d records)\n", *csvPath, len(p.Trace.Records))
 	}
+	writeArtifact(*traceOut, p.Trace.WriteChrome)
+	writeArtifact(*metricsOut, func(w io.Writer) error {
+		return obs.WritePrometheus(w, p.Metrics.Snapshot())
+	})
+	writeArtifact(*dltOut, p.DLT.WriteText)
 	// Exit non-zero when deadlines were missed, for scripting.
 	if p.Trace.Count(trace.Miss, "") > 0 {
 		fmt.Printf("\nDEADLINE MISSES: %d\n", p.Trace.Count(trace.Miss, ""))
@@ -144,4 +164,24 @@ func loadSystem(path string, demo bool, seed uint64) (*model.System, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "autosim:", err)
 	os.Exit(1)
+}
+
+// writeArtifact creates path and fills it with write. An empty path is a
+// no-op; a failed write is fatal — a truncated artifact that looks valid
+// is worse than an error.
+func writeArtifact(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkVerify-8   \t120\t  9536271 ns/op\t  212 B/op\t       3 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if name != "BenchmarkVerify" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.Iterations != 120 || r.NsPerOp != 9536271 || r.BytesPerOp != 212 || r.AllocsPerOp != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestParseBenchLineWithoutMem(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkDSEDescend-16 52 22801933 ns/op")
+	if !ok || name != "BenchmarkDSEDescend" || r.NsPerOp != 22801933 {
+		t.Fatalf("ok=%v name=%q r=%+v", ok, name, r)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tautorte\t12.3s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}

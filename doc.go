@@ -28,6 +28,14 @@
 // can.Cache, flexray.SynthCache). See the Performance sections of
 // README.md and EXPERIMENTS.md.
 //
+// The whole stack is observable through internal/obs — a dependency-free
+// metrics registry (Prometheus-text and JSON exporters), a DLT-style
+// structured event log, and span tracing exportable as Chrome trace
+// JSON. Caches, the worker pool, the kernel, the RTE error manager, the
+// verification pipeline and the DSE searches are instrumented; autocheck
+// and autosim expose the artifacts via -metrics/-trace-out/-dlt. All
+// instrumentation is opt-in and nil-safe (see README "Observability").
+//
 // Everything timed runs on a deterministic virtual-time discrete-event
 // kernel (internal/sim): the Go scheduler and garbage collector cannot
 // perturb any measured latency. See DESIGN.md and EXPERIMENTS.md.

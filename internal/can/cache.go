@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"autorte/internal/obs"
 )
 
 // cacheKey serializes the analysis-relevant view of a message set under a
@@ -100,4 +102,27 @@ func (c *Cache) Stats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of distinct message sets cached.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Observe registers the cache's hit/miss/size series into a registry
+// under the shared cache metric names, labeled cache="can". Safe on a
+// nil receiver (registers nothing).
+func (c *Cache) Observe(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	label := obs.Label{Key: "cache", Value: "can"}
+	reg.CounterFunc("analysis_cache_hits_total", "Memoized analysis lookups served from cache.", c.hits.Load, label)
+	reg.CounterFunc("analysis_cache_misses_total", "Memoized analysis lookups that ran the analysis.", c.misses.Load, label)
+	reg.GaugeFunc("analysis_cache_entries", "Distinct problems held by the analysis cache.", func() float64 { return float64(c.Len()) }, label)
 }

@@ -50,7 +50,7 @@ func TestVerifyParallelMatchesSequential(t *testing.T) {
 		}
 		wantB := reportBytes(t, want)
 		for _, workers := range []int{0, 2, 8} {
-			p := NewPipeline(workers) // caches on
+			p := NewPipeline(workers)         // caches on
 			for pass := 0; pass < 2; pass++ { // second pass hits the caches
 				got, err := p.Verify(sys, nil, rte.Options{})
 				if err != nil {

@@ -17,12 +17,14 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"autorte/internal/can"
 	"autorte/internal/contract"
 	"autorte/internal/e2e"
 	"autorte/internal/flexray"
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/par"
 	"autorte/internal/rte"
 	"autorte/internal/sched"
@@ -101,6 +103,49 @@ type Pipeline struct {
 	CAN *can.Cache
 	// FlexRay memoizes static-segment schedule synthesis.
 	FlexRay *flexray.SynthCache
+	// Tracer records wall-clock spans around every Verify stage and
+	// per-item job when non-nil (export with Tracer.WriteChrome or
+	// Tracer.WriteTree). Nil — the default — traces nothing.
+	Tracer *obs.Tracer
+
+	// reg receives stage-duration histograms once Observe attaches it.
+	reg *obs.Registry
+}
+
+// Observe attaches a metrics registry to the pipeline: stage-duration
+// histograms (pipeline_stage_duration_ns by stage), the hit/miss/size
+// series of all three analysis caches, and the shared worker-pool
+// occupancy metrics.
+func (p *Pipeline) Observe(reg *obs.Registry) {
+	p.reg = reg
+	p.RTA.Observe(reg)
+	p.CAN.Observe(reg)
+	p.FlexRay.Observe(reg)
+	par.Observe(reg)
+}
+
+// stage opens one timed pipeline stage: a tracer span (named by stage
+// plus an optional per-item detail) and, when a registry is attached, a
+// sample in the per-stage duration histogram. The returned func closes
+// both. Cheap no-op when neither tracer nor registry is set.
+func (p *Pipeline) stage(parent *obs.Span, stage, detail string) func() {
+	if p.Tracer == nil && p.reg == nil {
+		return func() {}
+	}
+	name := stage
+	if detail != "" {
+		name += " " + detail
+	}
+	sp := p.Tracer.StartChild(parent, name)
+	t0 := time.Now()
+	return func() {
+		sp.End()
+		if p.reg != nil {
+			p.reg.Histogram("pipeline_stage_duration_ns",
+				"Wall-clock duration of verification pipeline stages.",
+				obs.Label{Key: "stage", Value: stage}).Observe(time.Since(t0).Nanoseconds())
+		}
+	}
 }
 
 // NewPipeline returns a pipeline with all analysis caches enabled.
@@ -127,18 +172,25 @@ func Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte
 // writes only its own pre-assigned slot and the slots are merged in the
 // same order the sequential loops used.
 func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Contract, opts rte.Options) (*Report, error) {
+	root := p.Tracer.Start("verify")
+	defer root.End()
+	endSetup := p.stage(root, "verify/setup", "")
 	if err := sys.Validate(); err != nil {
+		endSetup()
 		return nil, err
 	}
 	if err := vfb.CheckConnectivity(sys); err != nil {
+		endSetup()
 		return nil, err
 	}
 	routes, err := vfb.Resolve(sys)
+	endSetup()
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{}
 
+	endTasksets := p.stage(root, "verify/tasksets", "")
 	taskSets, warnings := BuildTaskSets(sys)
 	rep.Warnings = append(rep.Warnings, warnings...)
 	var ecus []string
@@ -147,6 +199,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	}
 	sort.Strings(ecus)
 	byBus := vfb.ByBus(routes)
+	endTasksets()
 
 	// One job per ECU, per routed bus, per constraint chain, plus one for
 	// the contract check; each writes only its own slot. Job order mirrors
@@ -162,6 +215,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	for i, ecu := range ecus {
 		i, ecu := i, ecu
 		jobs = append(jobs, func() error {
+			defer p.stage(root, "verify/ecu", ecu)()
 			tasks := taskSets[ecu]
 			ok, results, err := p.RTA.Schedulable(tasks)
 			if err != nil {
@@ -182,6 +236,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 		i, b := i, b
 		busUsed[i] = true
 		jobs = append(jobs, func() error {
+			defer p.stage(root, "verify/bus", b.Name)()
 			br, err := p.verifyBus(sys, b, busRoutes, opts)
 			if err != nil {
 				return err
@@ -192,6 +247,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	}
 	if contracts != nil {
 		jobs = append(jobs, func() error {
+			defer p.stage(root, "verify/contracts", "")()
 			crep, err := contract.CheckSystem(sys, contracts)
 			if err != nil {
 				return err
@@ -203,6 +259,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	for i, lc := range sys.Constraints {
 		i, lc := i, lc
 		jobs = append(jobs, func() error {
+			defer p.stage(root, "verify/chain", lc.Name)()
 			cr := ChainReport{Name: lc.Name, Budget: lc.Budget}
 			bound, err := p.chainBound(sys, lc, taskSets, byBus, opts)
 			if err != nil {

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/par"
 	"autorte/internal/sched"
 	"autorte/internal/sim"
@@ -105,6 +107,30 @@ type Evaluator struct {
 	// RTA caches per-ECU response-time analysis for
 	// Cons.RequireSchedulable. Optional.
 	RTA *sched.Cache
+
+	// Search counters, shared by every search driven through this
+	// evaluator (including all chains of AnnealParallel): candidate moves
+	// scored and moves actually applied. Atomic; read via SearchCounts or
+	// a registry attached with Observe.
+	movesEvaluated atomic.Uint64
+	movesAccepted  atomic.Uint64
+}
+
+// SearchCounts reports how many candidate moves the searches driven
+// through this evaluator scored and accepted.
+func (ev *Evaluator) SearchCounts() (evaluated, accepted uint64) {
+	return ev.movesEvaluated.Load(), ev.movesAccepted.Load()
+}
+
+// Observe registers the evaluator's DSE counters — and its response-time
+// cache, when present — into a registry:
+//
+//	dse_moves_evaluated_total  candidate moves scored
+//	dse_moves_accepted_total   moves applied to the working mapping
+func (ev *Evaluator) Observe(reg *obs.Registry) {
+	reg.CounterFunc("dse_moves_evaluated_total", "Candidate component moves scored by the deployment search.", ev.movesEvaluated.Load)
+	reg.CounterFunc("dse_moves_accepted_total", "Component moves accepted into the working mapping.", ev.movesAccepted.Load)
+	ev.RTA.Observe(reg)
 }
 
 // NewEvaluator returns an evaluator with the response-time cache enabled.
@@ -382,11 +408,13 @@ func anneal(ev *Evaluator, sys *model.System, obj Objective, seed uint64, iters 
 			cand.Mapping[c.Name] = e.Name
 			cost = ev.Evaluate(cand).Cost(obj)
 		}
+		ev.movesEvaluated.Add(1)
 		accept := cost <= curCost
 		if !accept && !math.IsInf(cost, 1) {
 			accept = r.Float64() < math.Exp((curCost-cost)/temp)
 		}
 		if accept {
+			ev.movesAccepted.Add(1)
 			if cand == nil {
 				// Materialize the accepted candidate only now.
 				cand = cur.Clone()
@@ -511,6 +539,7 @@ func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIt
 			// Bound evaluation scores the move from a mapping copy alone;
 			// the full clone per candidate is only the invalid-topology
 			// fallback.
+			defer ev.movesEvaluated.Add(1)
 			if bindErr == nil {
 				cm := cloneMapping(cur.Mapping)
 				cm[moves[i].comp] = moves[i].ecu
@@ -531,6 +560,7 @@ func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIt
 		if best == -1 {
 			break // local optimum
 		}
+		ev.movesAccepted.Add(1)
 		next := cur.Clone()
 		next.Mapping[moves[best].comp] = moves[best].ecu
 		cur, curCost = next, costs[best]

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format (the JSON
+// array loaded by chrome://tracing and Perfetto). Timestamps and
+// durations are microseconds; fractional values carry sub-µs precision.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope: "t" thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ThreadName returns the metadata event that names a (pid, tid) lane in
+// the trace viewer.
+func ThreadName(pid, tid int64, name string) TraceEvent {
+	return TraceEvent{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// ProcessName returns the metadata event that names a pid.
+func ProcessName(pid int64, name string) TraceEvent {
+	return TraceEvent{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// WriteChromeTrace writes events as a complete JSON object trace
+// ({"traceEvents": [...]}), the container format both chrome://tracing
+// and Perfetto accept.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	doc := struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

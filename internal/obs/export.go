@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one non-empty histogram bucket in a snapshot:
+// observations with value <= UpperBound (cumulative counts are derived
+// by the exporters).
+type BucketCount struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Sample is the frozen state of one series at snapshot time.
+type Sample struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+
+	// Value carries counters (exact integer as float64) and gauges.
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count   uint64        `json:"count,omitempty"`
+	Sum     int64         `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes every registered series into a deterministic list:
+// sorted by name, then by label sets. Pull-style series invoke their
+// reader functions here, on the snapshotting goroutine.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.all...)
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(metrics))
+	for _, m := range metrics {
+		s := Sample{Name: m.name, Help: m.help, Labels: m.labels, Kind: m.kind.String()}
+		switch {
+		case m.counterFn != nil:
+			s.Value = float64(m.counterFn())
+		case m.gaugeFn != nil:
+			s.Value = m.gaugeFn()
+		case m.counter != nil:
+			s.Value = float64(m.counter.Value())
+		case m.gauge != nil:
+			s.Value = float64(m.gauge.Value())
+		case m.hist != nil:
+			s.Count = m.hist.Count()
+			s.Sum = m.hist.Sum()
+			for i := range m.hist.buckets {
+				if n := m.hist.buckets[i].Load(); n > 0 {
+					s.Buckets = append(s.Buckets, BucketCount{UpperBound: BucketBound(i), Count: n})
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+// labelString renders labels in Prometheus exposition form, empty for no
+// labels.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// mergeLabels appends extra to labels without mutating either.
+func mergeLabels(labels []Label, extra Label) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, extra)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers per metric name, histogram
+// series expanded into cumulative _bucket/_sum/_count.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	lastName := ""
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != lastName {
+			lastName = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if s.Kind == KindHistogram.String() {
+			cum := uint64(0)
+			for _, b := range s.Buckets {
+				cum += b.Count
+				le := mergeLabels(s.Labels, Label{Key: "le", Value: strconv.FormatInt(b.UpperBound, 10)})
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(le), cum); err != nil {
+					return err
+				}
+			}
+			inf := mergeLabels(s.Labels, Label{Key: "le", Value: "+Inf"})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(inf), s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, labelString(s.Labels), s.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels), formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders integers without an exponent and everything else
+// in the shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders a snapshot as indented JSON — the machine-readable
+// sibling of the Prometheus exposition, for diffing and scripting.
+func WriteJSON(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(samples)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level grades log records, mirroring AUTOSAR DLT's log levels.
+type Level uint8
+
+// DLT log levels, most severe last.
+const (
+	LevelVerbose Level = iota
+	LevelDebug
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelFatal
+)
+
+var levelNames = [...]string{"verbose", "debug", "info", "warn", "error", "fatal"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// LogRecord is one structured event: a virtual-time-stamped, leveled,
+// source-tagged message. App and Ctx mirror DLT's application and
+// context IDs — the coarse and fine origin of the event (e.g. app "RTE",
+// ctx "ERR").
+type LogRecord struct {
+	At    int64  `json:"at_ns"` // virtual-time ns (or wall ns in offline tools)
+	Level Level  `json:"-"`
+	App   string `json:"app"`
+	Ctx   string `json:"ctx"`
+	Msg   string `json:"msg"`
+}
+
+// logRecordJSON is LogRecord with the level rendered as its name.
+type logRecordJSON struct {
+	LogRecord
+	LevelName string `json:"level"`
+}
+
+// Log accumulates structured event records. A nil *Log is valid and
+// discards everything — the same idiom as a nil *trace.Recorder — so
+// substrates log unconditionally and pay nothing when observability is
+// off. Safe for concurrent use.
+type Log struct {
+	// Min drops records below this level at Emit time. The zero value
+	// (LevelVerbose) keeps everything.
+	Min Level
+
+	mu      sync.Mutex
+	records []LogRecord
+	dropped uint64 // filtered below Min
+}
+
+// NewLog returns a log keeping records at or above min.
+func NewLog(min Level) *Log { return &Log{Min: min} }
+
+// Emit appends one record. Safe on a nil receiver (no-op).
+func (l *Log) Emit(at int64, level Level, app, ctx, msg string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if level < l.Min {
+		l.dropped++
+		return
+	}
+	l.records = append(l.records, LogRecord{At: at, Level: level, App: app, Ctx: ctx, Msg: msg})
+}
+
+// Emitf is Emit with fmt formatting.
+func (l *Log) Emitf(at int64, level Level, app, ctx, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Emit(at, level, app, ctx, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of kept records. Zero on a nil receiver.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Dropped returns how many records were filtered below Min.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Records returns a copy of the kept records, in emission order. Nil on
+// a nil receiver.
+func (l *Log) Records() []LogRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LogRecord(nil), l.records...)
+}
+
+// Count returns how many kept records are at or above level.
+func (l *Log) Count(level Level) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, r := range l.records {
+		if r.Level >= level {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the log in a DLT-viewer-like fixed-column text form:
+//
+//	12.345678 RTE      ERR      error    Sensor.sample: ...
+//
+// The timestamp column is virtual seconds. Safe on a nil receiver.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, r := range l.Records() {
+		_, err := fmt.Fprintf(w, "%17.6f %-8s %-8s %-7s %s\n",
+			float64(r.At)/1e9, r.App, r.Ctx, r.Level, r.Msg)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the log as JSON lines, one record per line. Safe on
+// a nil receiver.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range l.Records() {
+		if err := enc.Encode(logRecordJSON{LogRecord: r, LevelName: r.Level.String()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilLogDiscards(t *testing.T) {
+	var l *Log
+	l.Emit(1, LevelError, "RTE", "ERR", "dropped")
+	l.Emitf(2, LevelInfo, "RTE", "MODE", "x %d", 1)
+	if l.Len() != 0 || l.Count(LevelVerbose) != 0 || l.Dropped() != 0 || l.Records() != nil {
+		t.Fatal("nil log must discard and report zero state")
+	}
+	var sb strings.Builder
+	if err := l.WriteText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WriteText wrote %q, err %v", sb.String(), err)
+	}
+	if err := l.WriteJSON(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WriteJSON wrote %q, err %v", sb.String(), err)
+	}
+}
+
+func TestLogLevelFilter(t *testing.T) {
+	l := NewLog(LevelWarn)
+	l.Emit(10, LevelInfo, "RTE", "ERR", "below threshold")
+	l.Emit(20, LevelError, "RTE", "ERR", "kept")
+	if l.Len() != 1 || l.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 1/1", l.Len(), l.Dropped())
+	}
+	if l.Count(LevelError) != 1 || l.Count(LevelFatal) != 0 {
+		t.Fatal("count by level wrong")
+	}
+	rec := l.Records()[0]
+	if rec.At != 20 || rec.App != "RTE" || rec.Ctx != "ERR" || rec.Msg != "kept" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestLogWriters(t *testing.T) {
+	l := NewLog(LevelVerbose)
+	l.Emit(1_500_000_000, LevelWarn, "SIM", "KRN", "queue deep")
+	var text strings.Builder
+	if err := l.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1.500000", "SIM", "KRN", "warn", "queue deep"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q: %q", want, text.String())
+		}
+	}
+	var js strings.Builder
+	if err := l.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("JSON line does not parse: %v", err)
+	}
+	if decoded["level"] != "warn" || decoded["app"] != "SIM" {
+		t.Fatalf("decoded = %v", decoded)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelVerbose.String() != "verbose" || LevelFatal.String() != "fatal" {
+		t.Fatal("level names wrong")
+	}
+	if Level(99).String() != "level(99)" {
+		t.Fatal("unknown level rendering wrong")
+	}
+}

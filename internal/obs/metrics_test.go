@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs run.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "Jobs run."); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1001 {
+		t.Fatalf("sum = %d, want 1001", h.Sum())
+	}
+	// v=0 and v=-5 land in bucket 0; v=1 in bucket 1 (le 1); v=2,3 in
+	// bucket 2 (le 3); v=1000 in bucket 10 (le 1023).
+	if got := h.buckets[0].Load(); got != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.buckets[2].Load(); got != 2 {
+		t.Fatalf("bucket le=3 = %d, want 2", got)
+	}
+	if BucketBound(10) != 1023 {
+		t.Fatalf("BucketBound(10) = %d, want 1023", BucketBound(10))
+	}
+	if BucketBound(64) != math.MaxInt64 {
+		t.Fatal("top bucket bound must be MaxInt64")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "")
+	r.Counter("aa_total", "")
+	r.Gauge("mm", "", Label{Key: "stage", Value: "b"})
+	r.Gauge("mm", "", Label{Key: "stage", Value: "a"})
+	s := r.Snapshot()
+	var names []string
+	for _, smp := range s {
+		names = append(names, smp.Name+labelString(smp.Labels))
+	}
+	want := []string{"aa_total", `mm{stage="a"}`, `mm{stage="b"}`, "zz_total"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPullStyleMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(41)
+	r.CounterFunc("pull_total", "Pulled.", func() uint64 { return n })
+	r.GaugeFunc("pull_gauge", "Pulled gauge.", func() float64 { return 2.5 })
+	n++
+	s := r.Snapshot()
+	if s[1].Value != 42 {
+		t.Fatalf("counter func read %v, want 42", s[1].Value)
+	}
+	if s[0].Value != 2.5 {
+		t.Fatalf("gauge func read %v, want 2.5", s[0].Value)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache_hits_total", "Cache hits.", Label{Key: "cache", Value: "rta"}).Add(12)
+	r.Gauge("pool_busy", "Busy workers.").Set(3)
+	h := r.Histogram("stage_duration_ns", "Stage wall time.", Label{Key: "stage", Value: "ecu"})
+	h.Observe(100)
+	h.Observe(3000)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cache_hits_total counter",
+		`cache_hits_total{cache="rta"} 12`,
+		"# TYPE pool_busy gauge",
+		"pool_busy 3",
+		"# TYPE stage_duration_ns histogram",
+		`stage_duration_ns_bucket{stage="ecu",le="127"} 1`,
+		`stage_duration_ns_bucket{stage="ecu",le="+Inf"} 2`,
+		`stage_duration_ns_sum{stage="ecu"} 3100`,
+		`stage_duration_ns_count{stage="ecu"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_hist", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist", "").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

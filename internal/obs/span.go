@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records wall-clock spans — named, optionally nested intervals —
+// for pipeline-style work. A nil *Tracer is valid and records nothing,
+// so instrumented code traces unconditionally. Safe for concurrent use:
+// parallel jobs start sibling spans under a shared parent.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []spanData
+}
+
+// spanData is one recorded span. start/end are offsets from the tracer
+// epoch; end < 0 means still open.
+type spanData struct {
+	name   string
+	parent int // index into spans; -1 for roots
+	start  time.Duration
+	end    time.Duration
+}
+
+// Span is a handle to an open span. A nil *Span is valid: End is a no-op
+// and children of a nil span become roots.
+type Span struct {
+	t   *Tracer
+	idx int
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a root span. Nil-safe: returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span { return t.StartChild(nil, name) }
+
+// StartChild opens a span under parent (nil parent makes a root). The
+// returned handle's End closes it; spans left open are closed at export
+// time.
+func (t *Tracer) StartChild(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	p := -1
+	if parent != nil && parent.t == t {
+		p = parent.idx
+	}
+	t.spans = append(t.spans, spanData{name: name, parent: p, start: time.Since(t.epoch), end: -1})
+	return &Span{t: t, idx: len(t.spans) - 1}
+}
+
+// End closes the span. Safe on a nil receiver; double End keeps the
+// first close.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.t.spans[s.idx].end < 0 {
+		s.t.spans[s.idx].end = time.Since(s.t.epoch)
+	}
+}
+
+// Len returns the number of recorded spans. Zero on a nil receiver.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// snapshot copies the spans, closing any still-open span at the current
+// time so exports always see finite intervals.
+func (t *Tracer) snapshot() []spanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]spanData(nil), t.spans...)
+	now := time.Since(t.epoch)
+	for i := range out {
+		if out[i].end < 0 {
+			out[i].end = now
+		}
+	}
+	return out
+}
+
+// WriteTree renders the spans as an indented text tree in start order:
+//
+//	verify                         12.4ms
+//	  verify/ecu                    1.2ms
+//
+// Safe on a nil receiver (writes nothing).
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.snapshot()
+	children := make(map[int][]int, len(spans))
+	var roots []int
+	for i := range spans {
+		if spans[i].parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[spans[i].parent] = append(children[spans[i].parent], i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return spans[idx[a]].start < spans[idx[b]].start })
+	}
+	byStart(roots)
+	var render func(idx []int, depth int) error
+	render = func(idx []int, depth int) error {
+		for _, i := range idx {
+			s := &spans[i]
+			_, err := fmt.Fprintf(w, "%*s%-*s %12v\n", 2*depth, "", 48-2*depth, s.name, s.end-s.start)
+			if err != nil {
+				return err
+			}
+			kids := children[i]
+			byStart(kids)
+			if err := render(kids, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return render(roots, 0)
+}
+
+// ChromeEvents converts the spans to Chrome trace events. Concurrent
+// sibling spans are spread over lanes (thread IDs) so overlapping
+// intervals never share a lane unless one contains the other — the shape
+// chrome://tracing and Perfetto render correctly.
+func (t *Tracer) ChromeEvents() []TraceEvent {
+	spans := t.snapshot()
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	// Longest-first among equal starts, so containers get lanes before
+	// their contents.
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := &spans[order[a]], &spans[order[b]]
+		if sa.start != sb.start {
+			return sa.start < sb.start
+		}
+		return sa.end-sa.start > sb.end-sb.start
+	})
+	type laneState struct{ spans []int }
+	var lanes []laneState
+	lane := make([]int, len(spans))
+	for _, i := range order {
+		s := &spans[i]
+		placed := false
+		for li := range lanes {
+			ok := true
+			for _, j := range lanes[li].spans {
+				o := &spans[j]
+				overlap := s.start < o.end && o.start < s.end
+				contained := (o.start <= s.start && s.end <= o.end) || (s.start <= o.start && o.end <= s.end)
+				if overlap && !contained {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				lanes[li].spans = append(lanes[li].spans, i)
+				lane[i] = li
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes = append(lanes, laneState{spans: []int{i}})
+			lane[i] = len(lanes) - 1
+		}
+	}
+	out := make([]TraceEvent, 0, len(spans))
+	for _, i := range order {
+		s := &spans[i]
+		out = append(out, TraceEvent{
+			Name: s.name, Phase: "X",
+			TS:  float64(s.start) / 1e3, // ns → µs
+			Dur: float64(s.end-s.start) / 1e3,
+			PID: 1, TID: int64(lane[i] + 1),
+		})
+	}
+	return out
+}
+
+// WriteChrome writes the spans as a Chrome trace-event JSON document
+// loadable in chrome://tracing and Perfetto. Safe on a nil receiver
+// (writes an empty trace).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, t.ChromeEvents())
+}

@@ -10,7 +10,70 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"autorte/internal/obs"
 )
+
+// poolStats is the pool's shared instrumentation. The counters are
+// always declared but only maintained once Observe has been called
+// (checking `enabled` is a single atomic load per batch), so the
+// uninstrumented hot path pays nothing measurable.
+var poolStats struct {
+	enabled atomic.Bool
+	batches atomic.Uint64 // ForEach calls that dispatched at least one job
+	jobs    atomic.Uint64 // jobs executed
+	waitNS  atomic.Uint64 // total ns jobs spent eligible before starting
+	busyNS  atomic.Uint64 // total ns workers spent inside job functions
+	busy    atomic.Int64  // workers currently inside a job function
+	busyMax atomic.Int64  // high-water mark of busy
+	skipped atomic.Uint64 // jobs skipped after a sibling error
+}
+
+// Observe registers the pool's occupancy metrics into a registry and
+// enables their collection (collection stays enabled for the process
+// lifetime; the counters are global because the pool is). Metrics:
+//
+//	par_batches_total       ForEach invocations
+//	par_jobs_total          jobs executed
+//	par_jobs_skipped_total  jobs skipped by error cancellation
+//	par_queue_wait_ns_total ns jobs waited between eligibility and start
+//	par_busy_ns_total       ns workers spent executing jobs
+//	par_busy_workers        workers inside a job right now
+//	par_busy_workers_max    high-water mark of par_busy_workers
+func Observe(reg *obs.Registry) {
+	poolStats.enabled.Store(true)
+	reg.CounterFunc("par_batches_total", "ForEach invocations that dispatched jobs.", poolStats.batches.Load)
+	reg.CounterFunc("par_jobs_total", "Jobs executed by the worker pool.", poolStats.jobs.Load)
+	reg.CounterFunc("par_jobs_skipped_total", "Jobs skipped after a sibling job error.", poolStats.skipped.Load)
+	reg.CounterFunc("par_queue_wait_ns_total", "Nanoseconds jobs spent eligible before a worker picked them up.", poolStats.waitNS.Load)
+	reg.CounterFunc("par_busy_ns_total", "Nanoseconds workers spent inside job functions.", poolStats.busyNS.Load)
+	reg.GaugeFunc("par_busy_workers", "Workers currently executing a job.", func() float64 { return float64(poolStats.busy.Load()) })
+	reg.GaugeFunc("par_busy_workers_max", "High-water mark of concurrently busy workers.", func() float64 { return float64(poolStats.busyMax.Load()) })
+}
+
+// runJob executes one job with occupancy accounting. batchStart is when
+// the job became eligible (the ForEach call); zero batchStart means
+// instrumentation is off.
+func runJob(batchStart time.Time, job func(i int) error, i int) error {
+	if batchStart.IsZero() {
+		return job(i)
+	}
+	started := time.Now()
+	poolStats.waitNS.Add(uint64(started.Sub(batchStart).Nanoseconds()))
+	busy := poolStats.busy.Add(1)
+	for {
+		max := poolStats.busyMax.Load()
+		if busy <= max || poolStats.busyMax.CompareAndSwap(max, busy) {
+			break
+		}
+	}
+	err := job(i)
+	poolStats.busyNS.Add(uint64(time.Since(started).Nanoseconds()))
+	poolStats.busy.Add(-1)
+	poolStats.jobs.Add(1)
+	return err
+}
 
 // Workers normalizes a requested worker count: values <= 0 select
 // runtime.GOMAXPROCS(0).
@@ -33,13 +96,18 @@ func ForEach(workers, n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	var batchStart time.Time
+	if poolStats.enabled.Load() {
+		batchStart = time.Now()
+		poolStats.batches.Add(1)
+	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := runJob(batchStart, job, i); err != nil {
 				return err
 			}
 		}
@@ -55,9 +123,12 @@ func ForEach(workers, n int, job func(i int) error) error {
 			defer wg.Done()
 			for i := range idx {
 				if stop.Load() {
+					if !batchStart.IsZero() {
+						poolStats.skipped.Add(1)
+					}
 					continue
 				}
-				if err := job(i); err != nil {
+				if err := runJob(batchStart, job, i); err != nil {
 					errs[i] = err
 					stop.Store(true)
 				}

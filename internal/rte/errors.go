@@ -2,6 +2,7 @@ package rte
 
 import (
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/trace"
 )
 
@@ -54,11 +55,17 @@ func newErrorManager(p *Platform) *ErrorManager {
 
 // Report records an error and communicates it to the application layer by
 // switching into the error's mode (activating subscribed handlers) — the
-// "means for mode management and diagnostic purposes" of §2.
+// "means for mode management and diagnostic purposes" of §2. Every report
+// also increments the per-kind rte_errors_total counter and lands in the
+// DLT event log when one is attached.
 func (em *ErrorManager) Report(source string, kind ErrorKind, info string) {
 	now := em.p.K.Now()
 	em.records = append(em.records, ErrorRecord{At: int64(now), Source: source, Kind: kind, Info: info})
 	em.p.Trace.Emit(now, trace.Error, source, int64(len(em.records)), string(kind)+": "+info)
+	em.p.Metrics.Counter("rte_errors_total",
+		"Errors reported through the platform error manager, by kind.",
+		obs.Label{Key: "kind", Value: string(kind)}).Inc()
+	em.p.DLT.Emit(int64(now), obs.LevelError, "RTE", "ERR", source+": "+string(kind)+": "+info)
 	em.p.SwitchMode(string(kind))
 }
 
@@ -67,6 +74,11 @@ func (em *ErrorManager) Report(source string, kind ErrorKind, info string) {
 // modes; applications can define their own (e.g. "limp-home", "degraded")
 // and switch into them from behaviours or test harnesses.
 func (p *Platform) SwitchMode(mode string) {
+	p.Metrics.Counter("rte_mode_switches_total",
+		"Mode switches performed by the platform, by mode.",
+		obs.Label{Key: "mode", Value: mode}).Inc()
+	p.DLT.Emitf(int64(p.K.Now()), obs.LevelInfo, "RTE", "MODE",
+		"mode switch -> %s (%d subscribed handlers)", mode, len(p.Errors.subs[ErrorKind(mode)]))
 	for _, taskName := range p.Errors.subs[ErrorKind(mode)] {
 		if t := p.tasks[taskName]; t != nil {
 			ecu := p.Sys.Mapping[taskName[:indexDot(taskName)]]

@@ -1,0 +1,87 @@
+package rte
+
+import (
+	"strings"
+	"testing"
+
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/sim"
+)
+
+// TestPlatformMetricsAndDLT runs a platform with the event log attached
+// and checks the observability wiring end to end: the error manager
+// increments per-kind counters and logs to DLT, the kernel's executed
+// events surface as a pull counter, and the Prometheus export carries
+// all of it.
+func TestPlatformMetricsAndDLT(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	dlt := p.EnableDLT(obs.LevelInfo)
+	p.SetBehavior("Sensor", "sample", func(c *Context) {
+		if c.Job() == 2 {
+			c.Report(ErrSensor, "implausible reading")
+		}
+		c.Write("out", "v", 1)
+	})
+	p.Run(sim.MS(50))
+
+	series := map[string]float64{}
+	for _, smp := range p.Metrics.Snapshot() {
+		key := smp.Name
+		for _, l := range smp.Labels {
+			key += "{" + l.Key + "=" + l.Value + "}"
+		}
+		series[key] = smp.Value
+	}
+	if series["rte_errors_total{kind=sensor}"] != 1 {
+		t.Fatalf("rte_errors_total{kind=sensor} = %v, want 1", series["rte_errors_total{kind=sensor}"])
+	}
+	if series["rte_mode_switches_total{mode=sensor}"] != 1 {
+		t.Fatalf("rte_mode_switches_total{mode=sensor} = %v, want 1", series["rte_mode_switches_total{mode=sensor}"])
+	}
+	if series["sim_events_executed_total"] == 0 {
+		t.Fatal("kernel executed-events counter stayed zero after a run")
+	}
+	if series["rte_trace_records"] == 0 {
+		t.Fatal("trace-records gauge stayed zero after a run")
+	}
+
+	if dlt.Len() < 3 { // started + error + mode switch
+		t.Fatalf("DLT has %d records, want at least 3", dlt.Len())
+	}
+	var text strings.Builder
+	if err := dlt.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"platform started", "sensor: implausible reading", "mode switch -> sensor"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("DLT text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var prom strings.Builder
+	if err := obs.WritePrometheus(&prom, p.Metrics.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `rte_errors_total{kind="sensor"} 1`) {
+		t.Fatalf("Prometheus export missing the error counter:\n%s", prom.String())
+	}
+}
+
+// TestDLTLevelFilter checks that records below the attached minimum are
+// counted as dropped, not stored.
+func TestDLTLevelFilter(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	dlt := p.EnableDLT(obs.LevelError)
+	p.Run(sim.MS(10))
+	for _, r := range dlt.Records() {
+		if r.Level < obs.LevelError {
+			t.Fatalf("record below minimum stored: %+v", r)
+		}
+	}
+	if dlt.Dropped() == 0 {
+		t.Fatal("info-level platform records should have been dropped at LevelError")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"autorte/internal/can"
 	"autorte/internal/flexray"
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/osek"
 	"autorte/internal/protection"
 	"autorte/internal/sim"
@@ -119,6 +120,14 @@ type Platform struct {
 	Sys   *model.System
 	// Errors is the platform error manager (§2 error handling).
 	Errors *ErrorManager
+	// Metrics is the platform's metrics registry, always present: kernel
+	// event counts, error-manager counters and trace volume register here
+	// at Build time, and applications may add their own series.
+	Metrics *obs.Registry
+	// DLT is the structured event log (AUTOSAR DLT style). Nil by default
+	// — every emission is nil-safe and free — until EnableDLT attaches a
+	// sink.
+	DLT *obs.Log
 
 	opts     Options
 	cpus     map[string]*osek.CPU
@@ -173,6 +182,7 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 	p := &Platform{
 		K:        sim.NewKernel(),
 		Trace:    &trace.Recorder{},
+		Metrics:  obs.NewRegistry(),
 		Sys:      sys,
 		opts:     opts,
 		cpus:     map[string]*osek.CPU{},
@@ -187,6 +197,13 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 		frSend:   map[string]func(float64){},
 	}
 	p.Errors = newErrorManager(p)
+	p.K.Observe(p.Metrics)
+	p.Metrics.GaugeFunc("rte_trace_records",
+		"Records accumulated by the platform trace recorder.",
+		func() float64 { return float64(len(p.Trace.Records)) })
+	p.Metrics.GaugeFunc("rte_dtcs",
+		"Distinct diagnostic trouble codes aggregated from error reports.",
+		func() float64 { return float64(len(p.Errors.DTCs())) })
 	if err := p.buildCPUs(); err != nil {
 		return nil, err
 	}
@@ -248,10 +265,25 @@ func (p *Platform) TTPCluster(name string) *ttp.Cluster {
 // Routes returns the resolved communication routes.
 func (p *Platform) Routes() []vfb.Route { return p.routes }
 
+// EnableDLT attaches the structured event log, keeping records at or
+// above min, and returns it. Before this call every DLT emission hits a
+// nil sink and is discarded for free (the nil-*Recorder idiom).
+func (p *Platform) EnableDLT(min obs.Level) *obs.Log {
+	if p.DLT == nil {
+		p.DLT = obs.NewLog(min)
+	} else {
+		p.DLT.Min = min
+	}
+	return p.DLT
+}
+
 // Run starts every CPU and bus and executes the simulation to the horizon.
 func (p *Platform) Run(horizon sim.Time) {
 	if !p.started {
 		p.started = true
+		p.DLT.Emitf(int64(p.K.Now()), obs.LevelInfo, "RTE", "LIFE",
+			"platform started: %d ECUs, %d buses, %d tasks",
+			len(p.cpus), len(p.canBus)+len(p.frBus)+len(p.ttpBus), len(p.tasks))
 		for _, c := range p.cpus {
 			c.Start()
 		}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"autorte/internal/obs"
 )
 
 // Key returns the canonical cache key of a task set: the tasks are
@@ -175,4 +177,17 @@ func (c *Cache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Observe registers the cache's hit/miss/size series into a registry
+// under the shared cache metric names, labeled cache="rta". Safe on a
+// nil receiver (registers nothing).
+func (c *Cache) Observe(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	label := obs.Label{Key: "cache", Value: "rta"}
+	reg.CounterFunc("analysis_cache_hits_total", "Memoized analysis lookups served from cache.", c.hits.Load, label)
+	reg.CounterFunc("analysis_cache_misses_total", "Memoized analysis lookups that ran the analysis.", c.misses.Load, label)
+	reg.GaugeFunc("analysis_cache_entries", "Distinct problems held by the analysis cache.", func() float64 { return float64(c.Len()) }, label)
 }

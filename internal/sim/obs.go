@@ -1,0 +1,21 @@
+package sim
+
+import "autorte/internal/obs"
+
+// Observe registers the kernel's execution metrics into a registry:
+//
+//	sim_events_executed_total  events executed since kernel creation
+//	sim_queue_depth            scheduled (non-cancelled) events pending
+//
+// The readers run at snapshot time on the snapshotting goroutine; like
+// the kernel itself they are not safe to invoke concurrently with Run —
+// snapshot between runs, which is also the only time the values are
+// deterministic.
+func (k *Kernel) Observe(reg *obs.Registry) {
+	reg.CounterFunc("sim_events_executed_total",
+		"Events executed by the discrete-event kernel.",
+		func() uint64 { return k.events })
+	reg.GaugeFunc("sim_queue_depth",
+		"Scheduled (non-cancelled) events pending in the kernel queue.",
+		func() float64 { return float64(k.Pending()) })
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"io"
+	"sort"
+
+	"autorte/internal/obs"
+)
+
+// ChromeEvents converts a recorder's virtual-time records into Chrome
+// trace events: one viewer lane (thread) per source, execution slices
+// reconstructed from Start/Resume..Preempt/Finish/Abort pairs, and
+// instant markers for activations, deadline misses, aborts, drops and
+// errors. Virtual nanoseconds map to trace microseconds fractionally, so
+// sub-µs slices survive. A nil recorder yields no events.
+func ChromeEvents(r *Recorder) []obs.TraceEvent {
+	if r == nil {
+		return nil
+	}
+	var sources []string
+	seen := map[string]bool{}
+	for _, rec := range r.Records {
+		if !seen[rec.Source] {
+			seen[rec.Source] = true
+			sources = append(sources, rec.Source)
+		}
+	}
+	sort.Strings(sources)
+	tid := make(map[string]int64, len(sources))
+	events := []obs.TraceEvent{obs.ProcessName(1, "autorte platform")}
+	for i, s := range sources {
+		tid[s] = int64(i + 1)
+		events = append(events, obs.ThreadName(1, tid[s], s))
+	}
+	us := func(t int64) float64 { return float64(t) / 1e3 }
+	running := map[string]int64{} // source -> slice start, virtual ns
+	const notRunning = -1
+	for s := range seen {
+		running[s] = notRunning
+	}
+	slice := func(src string, from, to int64) {
+		events = append(events, obs.TraceEvent{
+			Name: "run", Cat: "exec", Phase: "X",
+			TS: us(from), Dur: us(to - from), PID: 1, TID: tid[src],
+		})
+	}
+	instant := func(src, name string, at int64, args map[string]any) {
+		events = append(events, obs.TraceEvent{
+			Name: name, Cat: "marker", Phase: "i", Scope: "t",
+			TS: us(at), PID: 1, TID: tid[src], Args: args,
+		})
+	}
+	for _, rec := range r.Records {
+		src, at := rec.Source, int64(rec.At)
+		switch rec.Kind {
+		case Start, Resume:
+			running[src] = at
+		case Preempt, Finish:
+			if running[src] != notRunning {
+				slice(src, running[src], at)
+				running[src] = notRunning
+			}
+		case Abort:
+			if running[src] != notRunning {
+				slice(src, running[src], at)
+				running[src] = notRunning
+			}
+			instant(src, "abort", at, argInfo(rec))
+		case Miss:
+			instant(src, "deadline miss", at, argInfo(rec))
+		case Drop:
+			instant(src, "drop", at, argInfo(rec))
+		case Error:
+			instant(src, "error", at, argInfo(rec))
+		}
+	}
+	// Close slices still running at the last recorded instant.
+	var last int64
+	for _, rec := range r.Records {
+		if int64(rec.At) > last {
+			last = int64(rec.At)
+		}
+	}
+	for _, s := range sources {
+		if running[s] != notRunning && last > running[s] {
+			slice(s, running[s], last)
+		}
+	}
+	return events
+}
+
+func argInfo(rec Record) map[string]any {
+	if rec.Info == "" {
+		return map[string]any{"job": rec.Job}
+	}
+	return map[string]any{"job": rec.Job, "info": rec.Info}
+}
+
+// WriteChrome writes the recorder's records as a Chrome trace-event JSON
+// document loadable in chrome://tracing and Perfetto. Safe on a nil
+// recorder (writes an empty trace).
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return obs.WriteChromeTrace(w, ChromeEvents(r))
+}

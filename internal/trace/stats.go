@@ -85,6 +85,6 @@ func (s Stats) String() string {
 	if s.N == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v p99=%v max=%v jitter=%v miss=%d",
-		s.N, s.Min, s.Mean, s.P95, s.P99, s.Max, s.Jitter, s.MissCount)
+	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v p99=%v max=%v jitter=%v miss=%d abort=%d",
+		s.N, s.Min, s.Mean, s.P95, s.P99, s.Max, s.Jitter, s.MissCount, s.AbortCount)
 }
