@@ -1,8 +1,17 @@
-# Tier-1 gate plus vet and the race detector — the full pre-merge check.
-check:
+# Tier-1 gate plus vet, autovet and the race detector — the full
+# pre-merge check.
+check: lint
 	go build ./...
 	go vet ./...
 	go test -race ./...
+
+# Build and run autovet, the repo's own go/analysis suite (see
+# internal/analysis): walltime, nilsafe, baregoroutine, kindswitch and
+# the //autovet: directive validator. Driven through `go vet -vettool`
+# so results are cached by the go command like any other vet pass.
+lint:
+	go build -o bin/autovet ./cmd/autovet
+	go vet -vettool=$(abspath bin/autovet) ./...
 
 test:
 	go test ./...
@@ -18,4 +27,4 @@ bench:
 bench-all:
 	go test -run '^$$' -bench . -benchmem ./...
 
-.PHONY: check test bench bench-all
+.PHONY: check lint test bench bench-all

@@ -1,0 +1,36 @@
+// Autovet is the platform's static-analysis gate: a vet tool bundling
+// the autorte/internal/analysis suite, which turns the repo's
+// reliability invariants — virtual-time determinism, nil-safe
+// observability, bounded concurrency, exhaustive enum handling — into
+// machine-checked contracts.
+//
+// It speaks the unitchecker protocol, so the go command drives it (and
+// caches its results) exactly like the standard vet suite:
+//
+//	go build -o bin/autovet ./cmd/autovet
+//	go vet -vettool=$(pwd)/bin/autovet ./...
+//
+// or just "make lint" (included in "make check"). See the package
+// documentation of autorte/internal/analysis for the analyzer list and
+// the //autovet:allow directive syntax.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"autorte/internal/analysis/baregoroutine"
+	"autorte/internal/analysis/directive"
+	"autorte/internal/analysis/kindswitch"
+	"autorte/internal/analysis/nilsafe"
+	"autorte/internal/analysis/walltime"
+)
+
+func main() {
+	unitchecker.Main(
+		walltime.Analyzer,
+		nilsafe.Analyzer,
+		baregoroutine.Analyzer,
+		kindswitch.Analyzer,
+		directive.Analyzer,
+	)
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,23 +32,39 @@ type Result struct {
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON file")
 	flag.Parse()
+	n, err := run(os.Stdin, os.Stdout, *out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", n, *out)
+}
 
+// run echoes in to stdout, parses benchmark lines, and writes the JSON
+// artifact to out. Input containing no benchmark lines is an error — an
+// empty artifact would silently satisfy downstream tracking while the
+// benchmarks never ran (a mistyped -bench pattern, a build failure
+// swallowed by the pipe) — and the output file is left unwritten so a
+// previous good artifact is not clobbered.
+func run(in io.Reader, stdout io.Writer, out string) (int, error) {
 	results := map[string]Result{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 		if name, r, ok := parseBenchLine(line); ok {
 			results[name] = r
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal(err)
+		return 0, err
 	}
-	f, err := os.Create(*out)
+	if len(results) == 0 {
+		return 0, fmt.Errorf("no benchmark lines in input: nothing matched the `BenchmarkName N ... ns/op` shape (did the -bench pattern select anything?); not writing %s", out)
+	}
+	f, err := os.Create(out)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -56,9 +73,9 @@ func main() {
 		err = cerr
 	}
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	return len(results), nil
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

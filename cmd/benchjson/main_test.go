@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, r, ok := parseBenchLine("BenchmarkVerify-8   \t120\t  9536271 ns/op\t  212 B/op\t       3 allocs/op")
@@ -19,6 +24,41 @@ func TestParseBenchLineWithoutMem(t *testing.T) {
 	name, r, ok := parseBenchLine("BenchmarkDSEDescend-16 52 22801933 ns/op")
 	if !ok || name != "BenchmarkDSEDescend" || r.NsPerOp != 22801933 {
 		t.Fatalf("ok=%v name=%q r=%+v", ok, name, r)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	in := strings.NewReader("goos: linux\nPASS\nok  \tautorte\t0.01s\n")
+	var echoed strings.Builder
+	n, err := run(in, &echoed, out)
+	if err == nil {
+		t.Fatalf("run succeeded (%d results) on input with no benchmark lines", n)
+	}
+	if !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("error %q does not explain the empty input", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Fatalf("output file was written despite the error (stat: %v)", statErr)
+	}
+	if !strings.Contains(echoed.String(), "PASS") {
+		t.Fatalf("input was not echoed through: %q", echoed.String())
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	in := strings.NewReader("BenchmarkVerify-8 120 9536271 ns/op\n")
+	n, err := run(in, &strings.Builder{}, out)
+	if err != nil || n != 1 {
+		t.Fatalf("run = %d, %v; want 1 benchmark", n, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"BenchmarkVerify\"") {
+		t.Fatalf("artifact missing benchmark: %s", data)
 	}
 }
 

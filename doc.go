@@ -39,4 +39,14 @@
 // Everything timed runs on a deterministic virtual-time discrete-event
 // kernel (internal/sim): the Go scheduler and garbage collector cannot
 // perturb any measured latency. See DESIGN.md and EXPERIMENTS.md.
+//
+// Those invariants are enforced by autovet (cmd/autovet), the repo's own
+// go/analysis suite (internal/analysis): walltime forbids wall-clock
+// reads in the virtual-time packages, nilsafe requires nil-receiver
+// guards on the opt-in observability types, baregoroutine forbids raw
+// goroutines outside internal/par, kindswitch makes switches over
+// platform enums exhaustive, and autovetdirective validates the
+// //autovet:allow / //autovet:nilsafe directives that document the
+// deliberate exceptions. Run it with "make lint" (part of "make check");
+// see README "Static analysis".
 package autorte

@@ -1,0 +1,67 @@
+// Package baregoroutine defines an analyzer that forbids raw go
+// statements outside the bounded worker pool.
+//
+// All fan-out in this platform goes through internal/par, whose pool
+// caps concurrency, records queue-wait and busy metrics, and converts
+// panics into errors. A bare "go f()" anywhere else escapes those
+// bounds: it can oversubscribe the host during a parallel verification
+// sweep, and a panic in it kills the process instead of failing one
+// work item. Only internal/par itself and test files may spawn
+// goroutines directly; anything else needs //autovet:allow
+// baregoroutine and a reason.
+package baregoroutine
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"autorte/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "baregoroutine",
+	Doc: "forbid raw go statements outside internal/par and tests\n\n" +
+		"Fan-out must use internal/par's bounded pool so concurrency stays\n" +
+		"capped, instrumented and panic-safe. Suppress a justified exception\n" +
+		"with //autovet:allow baregoroutine.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "par" || strings.HasSuffix(pass.Pkg.Path(), "internal/par") {
+		return nil, nil
+	}
+	isTest := func(f *ast.File) bool {
+		return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+	}
+	var files []*ast.File
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = isTest(f)
+		if !skip[f] {
+			files = append(files, f)
+		}
+	}
+	allow := directive.CollectAllow(pass, "baregoroutine", files)
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	var inSkipped bool
+	ins.Preorder([]ast.Node{(*ast.File)(nil), (*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if f, ok := n.(*ast.File); ok {
+			inSkipped = skip[f]
+			return
+		}
+		if inSkipped {
+			return
+		}
+		allow.Reportf(n.Pos(),
+			"bare goroutine: fan-out must go through internal/par's bounded pool (or justify with //autovet:allow baregoroutine)")
+	})
+	allow.ReportUnused()
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package baregoroutine_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/baregoroutine"
+	"autorte/internal/analysis/checktest"
+)
+
+func TestBareGoroutine(t *testing.T) {
+	checktest.Run(t, "testdata", baregoroutine.Analyzer, "b", "par")
+}

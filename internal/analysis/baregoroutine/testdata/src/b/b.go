@@ -1,0 +1,30 @@
+// Package b is baregoroutine-analyzer testdata.
+package b
+
+import "sync"
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `bare goroutine: fan-out must go through internal/par`
+	}
+}
+
+func background() {
+	go func() { // want `bare goroutine`
+		println("worker")
+	}()
+}
+
+func justified(stop chan struct{}) {
+	go func() { //autovet:allow baregoroutine long-lived drain loop, not fan-out
+		<-stop
+	}()
+}
+
+func boundedAlternative(wg *sync.WaitGroup) {
+	wg.Wait() // using sync primitives without spawning is fine
+}
+
+func stale() {
+	println("clean") //autovet:allow baregoroutine // want `unused //autovet:allow baregoroutine directive`
+}

@@ -1,0 +1,10 @@
+package b
+
+// Test files may spawn goroutines freely.
+func spawnInTest() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}

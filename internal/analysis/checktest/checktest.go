@@ -1,0 +1,233 @@
+// Package checktest is a minimal analysistest replacement: it loads a
+// package from an analyzer's testdata/src tree, type-checks it (local
+// testdata imports are resolved from sibling directories, everything
+// else from the standard library source), runs the analyzer and its
+// requirements, and compares the diagnostics against expectations
+// written as trailing comments on the offending lines:
+//
+//	time.Now() // want "wall-clock"
+//
+// Each string after "want" is a regular expression that must match a
+// diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, both fail
+// the test. (golang.org/x/tools/go/analysis/analysistest itself needs
+// go/packages and friends, which this repo deliberately does not
+// vendor; this harness covers the subset the autovet suite needs.)
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named package and applies a to
+// it, checking diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		l := &loader{
+			testdata: testdata,
+			fset:     token.NewFileSet(),
+			loaded:   map[string]*loadedPkg{},
+		}
+		lp, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		diags := runAnalyzer(t, a, l.fset, lp)
+		checkExpectations(t, l.fset, lp.files, diags)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	loaded   map[string]*loadedPkg
+	std      types.Importer
+}
+
+// Import resolves an import path: testdata sibling directories win,
+// everything else falls back to the standard library source importer
+// (which works without pre-compiled export data).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.testdata, "src", path); dirExists(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.loaded[path] = lp
+	return lp, nil
+}
+
+// runAnalyzer executes a's requirements then a itself, collecting a's
+// diagnostics. Facts are not supported (no autovet analyzer uses them).
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]any{}
+	var exec func(a *analysis.Analyzer, collect bool)
+	exec = func(a *analysis.Analyzer, collect bool) {
+		if _, done := results[a]; done && !collect {
+			return
+		}
+		for _, req := range a.Requires {
+			exec(req, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	exec(a, true)
+	return diags
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type expectation struct {
+	re  *regexp.Regexp
+	met bool
+}
+
+// checkExpectations matches diagnostics against // want comments by
+// (file, line). Unmatched diagnostics and unmet expectations both fail.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.met && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.met {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package directive_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/directive"
+)
+
+func TestDirectiveAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", directive.Analyzer, "d")
+}
+
+const src = `package p
+
+func f() {
+	_ = 1 //autovet:allow walltime reason words here
+	//autovet:allow kindswitch
+	_ = 2
+	_ = 3 //autovet:allow nilsafe // want "stale"
+	//autovet:nilsafe
+	_ = 4 // not a directive line
+}
+`
+
+func parse(t *testing.T) ([]directive.Directive, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(string) ([]byte, error) { return []byte(src), nil }
+	return directive.ParseFile(fset, f, read), fset
+}
+
+func TestParseFile(t *testing.T) {
+	dirs, _ := parse(t)
+	if len(dirs) != 4 {
+		t.Fatalf("got %d directives, want 4", len(dirs))
+	}
+
+	d := dirs[0] // trailing allow with a free-form reason
+	if d.Verb != directive.VerbAllow || d.Analyzer() != "walltime" {
+		t.Errorf("dirs[0]: verb=%q analyzer=%q, want allow/walltime", d.Verb, d.Analyzer())
+	}
+	if d.OwnLine {
+		t.Errorf("dirs[0]: trailing directive reported as own-line")
+	}
+	if len(d.Args) != 4 { // walltime + three reason words
+		t.Errorf("dirs[0]: args = %q, want 4 fields", d.Args)
+	}
+
+	d = dirs[1] // own-line allow
+	if d.Analyzer() != "kindswitch" || !d.OwnLine {
+		t.Errorf("dirs[1]: analyzer=%q ownline=%v, want kindswitch/true", d.Analyzer(), d.OwnLine)
+	}
+
+	d = dirs[2] // nested "// want" comment must be stripped from args
+	if d.Analyzer() != "nilsafe" || len(d.Args) != 1 {
+		t.Errorf("dirs[2]: analyzer=%q args=%q, want nilsafe with no trailing want", d.Analyzer(), d.Args)
+	}
+
+	d = dirs[3]
+	if d.Verb != directive.VerbNilsafe || !d.OwnLine {
+		t.Errorf("dirs[3]: verb=%q ownline=%v, want nilsafe/true", d.Verb, d.OwnLine)
+	}
+}
+
+// TestParseFileNoSource checks the fallback when source is unreadable:
+// directives still parse, only OwnLine detection degrades.
+func TestParseFileNoSource(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(string) ([]byte, error) { return nil, errNoSource }
+	dirs := directive.ParseFile(fset, f, read)
+	if len(dirs) != 4 {
+		t.Fatalf("got %d directives, want 4", len(dirs))
+	}
+	for _, d := range dirs {
+		if d.OwnLine {
+			t.Errorf("OwnLine should stay false when source is unreadable")
+		}
+	}
+}
+
+type noSourceError struct{}
+
+func (noSourceError) Error() string { return "no source" }
+
+var errNoSource = noSourceError{}

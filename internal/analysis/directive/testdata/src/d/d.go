@@ -1,0 +1,30 @@
+// Package d is autovetdirective-analyzer testdata: malformed and
+// misplaced directives are themselves diagnosed.
+package d
+
+//autovet: // want `autovet directive is missing a verb`
+
+//autovet:frobnicate // want `unknown autovet directive verb "frobnicate"`
+
+//autovet:allow // want `//autovet:allow needs an analyzer name`
+
+//autovet:allow walltim // want `unknown analyzer "walltim" in //autovet:allow`
+
+// Rec is properly marked: no diagnostic.
+//
+//autovet:nilsafe
+type Rec struct{}
+
+// Valid allow directives are not the directive analyzer's business
+// (each analyzer reports its own stale allows).
+func ok() {
+	_ = 1 //autovet:allow walltime justified elsewhere
+}
+
+//autovet:nilsafe // want `//autovet:nilsafe must be part of a type declaration's comment`
+var misplaced int
+
+func alsoMisplaced() {
+	//autovet:nilsafe // want `//autovet:nilsafe must be part of a type declaration's comment`
+	_ = misplaced
+}

@@ -1,0 +1,42 @@
+// Package analysis hosts autovet, the repo's go/analysis lint suite:
+// custom analyzers that enforce the platform's reliability invariants
+// the same way the paper argues isolation must be enforced — by
+// machine-checked contract, not convention.
+//
+// The suite (run by cmd/autovet via "make lint" / "make check"):
+//
+//   - walltime — forbids wall-clock reads (time.Now, time.Since,
+//     time.Sleep, timers, tickers) in the virtual-time packages (sim,
+//     sched, can, flexray, rte, vfb, osek, ttp, ttethernet, noc, e2e,
+//     fault, trace, experiments, obs, par, core). Only sim.Time may
+//     flow through the simulated platform; host-time instrumentation
+//     must be justified inline with //autovet:allow walltime.
+//
+//   - nilsafe — exported pointer-receiver methods on types marked
+//     //autovet:nilsafe (trace.Recorder, obs.Registry, obs.Log,
+//     obs.Tracer) must begin with a nil-receiver guard, preserving the
+//     "nil means disabled" observability contract.
+//
+//   - baregoroutine — forbids raw go statements outside internal/par
+//     and test files; all fan-out uses the bounded, instrumented,
+//     panic-safe worker pool.
+//
+//   - kindswitch — switches over module-local enum types (trace.Kind,
+//     model.ConfigClass, rte.IsolationKind, ...) must cover every
+//     declared constant or carry a default clause.
+//
+//   - autovetdirective — validates the //autovet: directives
+//     themselves: unknown verbs or analyzer names and misplaced
+//     //autovet:nilsafe markers are reported, and each analyzer reports
+//     its own stale //autovet:allow directives that no longer suppress
+//     anything.
+//
+// Directive syntax: "//autovet:allow <analyzer> [reason]" at the end of
+// a line suppresses that analyzer on that line; alone on a line it
+// suppresses the line below. "//autovet:nilsafe" on a type declaration
+// opts the type into the nilsafe contract.
+//
+// Each analyzer has regression tests driven by
+// autorte/internal/analysis/checktest, a small analysistest-style
+// harness, over positive/negative testdata packages.
+package analysis

@@ -1,0 +1,140 @@
+// Package kindswitch defines an analyzer that requires switches over
+// the platform's enum-like types to be exhaustive or carry a default.
+//
+// The model, trace and rte layers lean on small closed enums —
+// trace.Kind, model.ConfigClass, rte error kinds, bus/frame kinds. A
+// switch that silently ignores a newly added enumerator is how a Drop
+// record fails to show up in a Gantt chart or a new isolation level
+// falls through to "no isolation": the compiler says nothing. This
+// analyzer treats any module-local defined type with two or more
+// package-level constants as an enum; a switch over such a type must
+// either cover every declared constant value or say what happens
+// otherwise with a default clause.
+package kindswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"autorte/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc: "switches over enum-like platform types must be exhaustive or have a default\n\n" +
+		"An enum is a module-local defined type with >= 2 package-level\n" +
+		"constants. Missing enumerators are listed in the diagnostic; either\n" +
+		"add the cases, add a default, or suppress a deliberate partial\n" +
+		"switch with //autovet:allow kindswitch.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// modpath restricts enum detection to types defined in this module (or
+// in the package under analysis, which covers the analyzer's own
+// testdata), keeping stdlib types with many constants of one type —
+// time.Duration is the classic trap — out of scope.
+var modpath = "autorte"
+
+func init() {
+	Analyzer.Flags.StringVar(&modpath, "modpath", modpath,
+		"module path prefix whose types are treated as enums")
+}
+
+func localEnumType(pass *analysis.Pass, t types.Type) (*types.TypeName, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false // error type, builtins
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 || basic.Info()&types.IsBoolean != 0 {
+		return nil, false
+	}
+	path := obj.Pkg().Path()
+	if obj.Pkg() != pass.Pkg && path != modpath && !strings.HasPrefix(path, modpath+"/") {
+		return nil, false
+	}
+	return obj, true
+}
+
+// enumerators returns the package-level constants of type t declared in
+// its defining package, keyed by exact constant value.
+func enumerators(obj *types.TypeName) map[string][]string {
+	scope := obj.Pkg().Scope()
+	vals := map[string][]string{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), obj.Type()) {
+			continue
+		}
+		key := c.Val().ExactString()
+		vals[key] = append(vals[key], c.Name())
+	}
+	return vals
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	allow := directive.CollectAllow(pass, "kindswitch", pass.Files)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		sw := n.(*ast.SwitchStmt)
+		if sw.Tag == nil {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[sw.Tag]
+		if !ok {
+			return
+		}
+		obj, ok := localEnumType(pass, tv.Type)
+		if !ok {
+			return
+		}
+		enums := enumerators(obj)
+		if len(enums) < 2 {
+			return // one constant is a named value, not an enumeration
+		}
+		covered := map[string]bool{}
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				return // default clause: partiality is explicit
+			}
+			for _, e := range cc.List {
+				cv, ok := pass.TypesInfo.Types[e]
+				if !ok || cv.Value == nil {
+					return // non-constant case: coverage is not decidable
+				}
+				covered[cv.Value.ExactString()] = true
+			}
+		}
+		var missing []string
+		for key, names := range enums {
+			if !covered[key] {
+				missing = append(missing, names[0])
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		sort.Strings(missing)
+		typeName := obj.Name()
+		if obj.Pkg() != pass.Pkg {
+			typeName = obj.Pkg().Name() + "." + typeName
+		}
+		allow.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s (add the cases or a default clause)",
+			typeName, strings.Join(missing, ", "))
+	})
+	allow.ReportUnused()
+	return nil, nil
+}

@@ -1,0 +1,23 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/kindswitch"
+)
+
+func TestKindswitch(t *testing.T) {
+	checktest.Run(t, "testdata", kindswitch.Analyzer, "k")
+}
+
+// TestCrossPackage narrows modpath so the testdata package "kinds"
+// counts as module-local, the way autorte/internal/... types do in the
+// real tree.
+func TestCrossPackage(t *testing.T) {
+	if err := kindswitch.Analyzer.Flags.Set("modpath", "kinds"); err != nil {
+		t.Fatal(err)
+	}
+	defer kindswitch.Analyzer.Flags.Set("modpath", "autorte")
+	checktest.Run(t, "testdata", kindswitch.Analyzer, "xk")
+}

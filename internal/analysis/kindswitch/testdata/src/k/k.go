@@ -1,0 +1,118 @@
+// Package k is kindswitch-analyzer testdata: same-package enums.
+package k
+
+// Kind is an enum: a defined type with >= 2 package-level constants.
+type Kind uint8
+
+const (
+	A Kind = iota
+	B
+	C
+	AliasA = A // same value as A: covered whenever A is
+)
+
+// Mode is a string-backed enum.
+type Mode string
+
+const (
+	Off Mode = "off"
+	On  Mode = "on"
+)
+
+// Lonely has a single constant, which names a value, not an enumeration.
+type Lonely int
+
+const JustOne Lonely = 7
+
+func exhaustive(k Kind) int {
+	switch k {
+	case A:
+		return 0
+	case B:
+		return 1
+	case C:
+		return 2
+	}
+	return -1
+}
+
+func withDefault(k Kind) int {
+	switch k {
+	case A:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func missingOne(k Kind) int {
+	switch k { // want `switch over Kind is not exhaustive: missing C`
+	case A, B:
+		return 0
+	}
+	return -1
+}
+
+func missingTwo(k Kind) int {
+	switch k { // want `switch over Kind is not exhaustive: missing B, C`
+	case A:
+		return 0
+	}
+	return -1
+}
+
+func aliasCovers(k Kind) int {
+	switch k { // want `switch over Kind is not exhaustive: missing B`
+	case AliasA, C: // AliasA covers A's value
+		return 0
+	}
+	return -1
+}
+
+func stringEnum(m Mode) bool {
+	switch m { // want `switch over Mode is not exhaustive: missing On`
+	case Off:
+		return false
+	}
+	return true
+}
+
+func nonConstantCase(k, other Kind) int {
+	switch k { // coverage undecidable: not reported
+	case other:
+		return 1
+	}
+	return 0
+}
+
+func lonely(l Lonely) bool {
+	switch l { // single-constant type: not an enum
+	case JustOne:
+		return true
+	}
+	return false
+}
+
+func plainInt(n int) bool {
+	switch n { // built-in types are never enums
+	case 1:
+		return true
+	}
+	return false
+}
+
+func allowed(k Kind) int {
+	switch k { //autovet:allow kindswitch only A is reachable here
+	case A:
+		return 0
+	}
+	return -1
+}
+
+func stale(k Kind) int {
+	switch k { //autovet:allow kindswitch // want `unused //autovet:allow kindswitch directive`
+	case A, B, C:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,11 @@
+// Package kinds declares an enum consumed by package xk, exercising
+// cross-package exhaustiveness checking.
+package kinds
+
+type Frame uint8
+
+const (
+	Static Frame = iota
+	Dynamic
+	Sync
+)

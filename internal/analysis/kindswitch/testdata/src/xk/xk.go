@@ -1,0 +1,22 @@
+// Package xk switches over an enum imported from package kinds.
+package xk
+
+import "kinds"
+
+func describe(f kinds.Frame) string {
+	switch f { // want `switch over kinds.Frame is not exhaustive: missing Sync`
+	case kinds.Static:
+		return "static"
+	case kinds.Dynamic:
+		return "dynamic"
+	}
+	return "?"
+}
+
+func full(f kinds.Frame) string {
+	switch f {
+	case kinds.Static, kinds.Dynamic, kinds.Sync:
+		return "known"
+	}
+	return "?"
+}

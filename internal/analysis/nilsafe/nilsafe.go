@@ -1,0 +1,132 @@
+// Package nilsafe defines an analyzer enforcing the platform's
+// nil-receiver idiom on opt-in observability types.
+//
+// Observability in this codebase is optional by construction: a nil
+// *trace.Recorder, *obs.Registry, *obs.Log or *obs.Tracer is a valid,
+// do-nothing instance, so substrates can record unconditionally and
+// callers opt in by supplying a real one. The contract only holds if
+// every exported pointer-receiver method begins with a nil-receiver
+// guard — one missing guard turns "tracing disabled" into a panic in
+// the middle of a verification run. Types opt in by carrying
+// //autovet:nilsafe on their declaration; the analyzer then insists the
+// first statement of each exported pointer-receiver method is an if
+// whose condition checks the receiver against nil.
+package nilsafe
+
+import (
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"autorte/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc: "exported pointer-receiver methods on //autovet:nilsafe types must begin with a nil-receiver guard\n\n" +
+		"The nil-Recorder idiom (a nil receiver is a valid, disabled instance)\n" +
+		"only holds when every exported pointer-receiver method starts with\n" +
+		"'if r == nil { ... }'. Suppress a deliberate exception with\n" +
+		"//autovet:allow nilsafe.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	marked := map[string]bool{}
+	for _, f := range pass.Files {
+		for name := range directive.NilsafeMarked(f) {
+			marked[name] = true
+		}
+	}
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	allow := directive.CollectAllow(pass, "nilsafe", pass.Files)
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		recv, typeName := pointerReceiver(fd)
+		if typeName == "" || !marked[typeName] || !fd.Name.IsExported() || fd.Body == nil {
+			return
+		}
+		if beginsWithNilGuard(fd.Body, recv) {
+			return
+		}
+		allow.Reportf(fd.Name.Pos(),
+			"exported method (*%s).%s on nil-safe type must begin with a nil-receiver guard (the nil %s is a valid, disabled instance)",
+			typeName, fd.Name.Name, typeName)
+	})
+	allow.ReportUnused()
+	return nil, nil
+}
+
+// pointerReceiver returns the receiver identifier name and the receiver
+// type name when fd is a method with receiver *T; otherwise "" names.
+func pointerReceiver(fd *ast.FuncDecl) (recv, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", "" // value receivers cannot be nil
+	}
+	base := star.X
+	if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver *T[P]
+		base = idx.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) == 1 {
+		recv = field.Names[0].Name
+	}
+	return recv, id.Name
+}
+
+// beginsWithNilGuard reports whether body's first statement is an if
+// whose condition compares the receiver against nil — either the early
+// return form ("if r == nil { return }") or the wrapping form
+// ("if r != nil { ... }"), possibly alongside other conditions.
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if recv == "" || len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	return condChecksNil(ifStmt.Cond, recv)
+}
+
+func condChecksNil(e ast.Expr, recv string) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(e.X, recv)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR || e.Op == token.LAND {
+			return condChecksNil(e.X, recv) || condChecksNil(e.Y, recv)
+		}
+		if e.Op != token.EQL && e.Op != token.NEQ {
+			return false
+		}
+		return isIdent(e.X, recv) && isNil(e.Y) || isNil(e.X) && isIdent(e.Y, recv)
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

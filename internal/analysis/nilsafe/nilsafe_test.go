@@ -1,0 +1,12 @@
+package nilsafe_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/nilsafe"
+)
+
+func TestNilsafe(t *testing.T) {
+	checktest.Run(t, "testdata", nilsafe.Analyzer, "a")
+}

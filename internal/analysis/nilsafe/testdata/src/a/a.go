@@ -1,0 +1,78 @@
+// Package a is nilsafe-analyzer testdata.
+package a
+
+// Rec accumulates values. A nil *Rec is a valid, disabled instance.
+//
+//autovet:nilsafe
+type Rec struct {
+	xs []int
+}
+
+// Add uses the early-return guard form: ok.
+func (r *Rec) Add(x int) {
+	if r == nil {
+		return
+	}
+	r.xs = append(r.xs, x)
+}
+
+// Reset uses the wrapping guard form: ok.
+func (r *Rec) Reset() {
+	if r != nil {
+		r.xs = r.xs[:0]
+	}
+}
+
+// Bounded combines the guard with another condition: ok.
+func (r *Rec) Bounded(x int) bool {
+	if r == nil || x < 0 {
+		return false
+	}
+	return len(r.xs) > x
+}
+
+// Len is missing its guard entirely.
+func (r *Rec) Len() int { // want `exported method \(\*Rec\)\.Len on nil-safe type must begin with a nil-receiver guard`
+	return len(r.xs)
+}
+
+// Late guards, but not as the first statement.
+func (r *Rec) Late() int { // want `\(\*Rec\)\.Late on nil-safe type must begin with a nil-receiver guard`
+	n := 0
+	if r == nil {
+		return n
+	}
+	return len(r.xs)
+}
+
+// Wrong guards something else, not the receiver.
+func (r *Rec) Wrong(p *int) int { // want `\(\*Rec\)\.Wrong on nil-safe type must begin with a nil-receiver guard`
+	if p == nil {
+		return 0
+	}
+	return *p + len(r.xs)
+}
+
+// grow is unexported: callers inside the package own the nil check.
+func (r *Rec) grow(n int) {
+	r.xs = append(r.xs, make([]int, n)...)
+}
+
+// Snapshot has a value receiver, which cannot be nil: ok.
+func (r Rec) Snapshot() []int {
+	return append([]int(nil), r.xs...)
+}
+
+// Sum is a deliberate exception, justified inline.
+func (r *Rec) Sum() int { //autovet:allow nilsafe callers always hold a non-nil Rec
+	n := 0
+	for _, x := range r.xs {
+		n += x
+	}
+	return n
+}
+
+// Plain is not marked, so its methods are unchecked.
+type Plain struct{ n int }
+
+func (p *Plain) Bump() { p.n++ }

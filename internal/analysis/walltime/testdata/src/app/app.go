@@ -1,0 +1,9 @@
+// Package app is not a virtual-time package, so wall-clock use is fine.
+package app
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+// Package sim is walltime-analyzer testdata: its name marks it as a
+// virtual-time package, so wall-clock reads must be flagged.
+package sim
+
+import "time"
+
+// Time is the virtual clock (stand-in for the real sim.Time).
+type Time int64
+
+func bad() {
+	_ = time.Now()                  // want `time.Now is wall-clock: virtual-time package "sim"`
+	start := time.Now()             // want `time.Now is wall-clock`
+	_ = time.Since(start)           // want `time.Since is wall-clock`
+	time.Sleep(time.Millisecond)    // want `time.Sleep is wall-clock`
+	_ = time.After(time.Second)     // want `time.After is wall-clock`
+	t := time.NewTimer(time.Second) // want `time.NewTimer is wall-clock`
+	_ = t
+	f := time.Now // want `time.Now is wall-clock`
+	_ = f
+}
+
+func ok() {
+	var d time.Duration = 3 * time.Millisecond // durations are arithmetic, not clock reads
+	_ = d
+	_ = time.Unix(0, 42)
+	var vt Time = 100
+	_ = vt
+}
+
+func allowed() {
+	_ = time.Now() //autovet:allow walltime measures host time deliberately
+	//autovet:allow walltime the next line is host-side instrumentation
+	_ = time.Since(time.Unix(0, 0))
+}
+
+func stale() {
+	_ = 1 + 1 //autovet:allow walltime // want `unused //autovet:allow walltime directive`
+	//autovet:allow walltime // want `unused //autovet:allow walltime directive`
+	_ = time.Unix(0, 0)
+}

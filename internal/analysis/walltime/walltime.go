@@ -1,0 +1,110 @@
+// Package walltime defines an analyzer that forbids wall-clock time in
+// the platform's virtual-time packages.
+//
+// The simulated platform is deterministic because every timestamp in it
+// derives from sim.Time, the virtual clock advanced by the simulation
+// kernel. A single call to time.Now in a scheduling or bus package
+// silently couples results to host speed and destroys replayability —
+// exactly the class of defect the paper argues must be excluded by
+// construction rather than convention. Code in a virtual-time package
+// that genuinely measures the host (instrumentation, benchmarks of the
+// analyses themselves) must say so with //autovet:allow walltime.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"autorte/internal/analysis/directive"
+)
+
+// forbidden are the time-package functions that read or react to the
+// host's clock. Types and pure-arithmetic helpers (time.Duration,
+// time.Unix) are fine: only observing the wall clock is a violation.
+var forbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// defaultPackages are the virtual-time packages. The first group is the
+// simulated platform proper (only sim.Time may flow there); the second
+// is host-side tooling that lives close enough to the simulation that
+// every wall-clock read must carry an explicit justification.
+const defaultPackages = "sim,sched,can,flexray,rte,vfb,osek,ttp,ttethernet,noc,e2e,fault,trace,experiments,obs,par,core"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time in virtual-time packages\n\n" +
+		"Simulation determinism requires every timestamp to derive from\n" +
+		"sim.Time. Reads of the host clock (time.Now, time.Since, time.Sleep,\n" +
+		"timers, tickers) in the listed packages are reported unless excused\n" +
+		"with //autovet:allow walltime and a reason. Test files are exempt.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packagesFlag = defaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "comma-separated package names treated as virtual-time")
+}
+
+func virtualTime(pkg *types.Package) bool {
+	for _, name := range strings.Split(packagesFlag, ",") {
+		if pkg.Name() == strings.TrimSpace(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !virtualTime(pass.Pkg) {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass, f) {
+			files = append(files, f)
+		}
+	}
+	allow := directive.CollectAllow(pass, "walltime", files)
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = isTestFile(pass, f)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.SelectorExpr)(nil)}
+	var inSkipped bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if f, ok := n.(*ast.File); ok {
+			inSkipped = skip[f]
+			return
+		}
+		if inSkipped {
+			return
+		}
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !forbidden[obj.Name()] {
+			return
+		}
+		allow.Reportf(sel.Pos(),
+			"time.%s is wall-clock: virtual-time package %q must derive time from sim.Time (or justify with //autovet:allow walltime)",
+			obj.Name(), pass.Pkg.Name())
+	})
+	allow.ReportUnused()
+	return nil, nil
+}

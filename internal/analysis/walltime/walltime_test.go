@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	checktest.Run(t, "testdata", walltime.Analyzer, "sim", "app")
+}

@@ -65,12 +65,13 @@ const bReservation = 0.35
 // Supplier A is left unthrottled under server policies: the question is
 // whether B can hurt A.
 func applyPolicy(tasks []*osek.Task, policy Policy) error {
-	if policy == PlainFP {
-		return nil
-	}
 	var throttle osek.Throttle
 	budget := sim.Duration(bReservation * float64(sim.MS(4)))
 	switch policy {
+	case PlainFP:
+		// No protection: the baseline the server policies are compared
+		// against. B's overrun lands directly on A.
+		return nil
 	case DeferrableServerPolicy, PollingServerPolicy, SporadicServerPolicy:
 		kind := protection.Deferrable
 		if policy == PollingServerPolicy {

@@ -203,6 +203,10 @@ func (c *SWC) Validate() error {
 			if !portSeen[r.Trigger.Port] {
 				return fmt.Errorf("component %s runnable %s: trigger references unknown port %q", c.Name, r.Name, r.Trigger.Port)
 			}
+		case ModeSwitchEvent:
+			if r.Trigger.Mode == "" {
+				return fmt.Errorf("component %s runnable %s: mode-switch trigger with empty mode", c.Name, r.Name)
+			}
 		}
 		for _, ref := range append(append([]PortRef{}, r.Reads...), r.Writes...) {
 			if !portSeen[ref.Port] {

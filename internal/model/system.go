@@ -333,6 +333,9 @@ func (s *System) effectivePeriod(comp *SWC, run *Runnable, seen map[string]bool)
 			}
 			return best
 		}
+	case ModeSwitchEvent:
+		// Mode switches are sporadic by nature: no derivable period.
+		return 0
 	}
 	return 0
 }

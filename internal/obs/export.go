@@ -36,6 +36,9 @@ type Sample struct {
 // sorted by name, then by label sets. Pull-style series invoke their
 // reader functions here, on the snapshotting goroutine.
 func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	metrics := append([]*metric(nil), r.all...)
 	r.mu.Unlock()

@@ -51,6 +51,8 @@ type logRecordJSON struct {
 // discards everything — the same idiom as a nil *trace.Recorder — so
 // substrates log unconditionally and pay nothing when observability is
 // off. Safe for concurrent use.
+//
+//autovet:nilsafe
 type Log struct {
 	// Min drops records below this level at Emit time. The zero value
 	// (LevelVerbose) keeps everything.
@@ -139,6 +141,9 @@ func (l *Log) Count(level Level) int {
 //
 // The timestamp column is virtual seconds. Safe on a nil receiver.
 func (l *Log) WriteText(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
 	for _, r := range l.Records() {
 		_, err := fmt.Fprintf(w, "%17.6f %-8s %-8s %-7s %s\n",
 			float64(r.At)/1e9, r.App, r.Ctx, r.Level, r.Msg)
@@ -152,6 +157,9 @@ func (l *Log) WriteText(w io.Writer) error {
 // WriteJSON renders the log as JSON lines, one record per line. Safe on
 // a nil receiver.
 func (l *Log) WriteJSON(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	for _, r := range l.Records() {
 		if err := enc.Encode(logRecordJSON{LogRecord: r, LevelName: r.Level.String()}); err != nil {

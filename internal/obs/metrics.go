@@ -154,6 +154,9 @@ func seriesKey(name string, labels []Label) string {
 // the same (name, labels) series again returns the existing instrument,
 // so independent layers can share a registry without coordination.
 // Registration takes a lock; updates on the returned instruments do not.
+// A nil *Registry is valid and records nothing.
+//
+//autovet:nilsafe
 type Registry struct {
 	mu    sync.Mutex
 	index map[string]*metric
@@ -190,12 +193,18 @@ func (r *Registry) register(name, help string, kind Kind, labels []Label, create
 // Counter returns the counter for (name, labels), creating it on first
 // use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{} // live but unregistered: updates are discarded
+	}
 	m := r.register(name, help, KindCounter, labels, func(m *metric) { m.counter = &Counter{} })
 	return m.counter
 }
 
 // Gauge returns the gauge for (name, labels), creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
 	m := r.register(name, help, KindGauge, labels, func(m *metric) { m.gauge = &Gauge{} })
 	return m.gauge
 }
@@ -203,6 +212,9 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // Histogram returns the histogram for (name, labels), creating it on
 // first use.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
 	m := r.register(name, help, KindHistogram, labels, func(m *metric) { m.hist = &Histogram{} })
 	return m.hist
 }
@@ -211,10 +223,16 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 // time. Use it to surface counters a substrate already maintains (cache
 // hits, kernel event counts) without double-counting.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
 	r.register(name, help, KindCounter, labels, func(m *metric) { m.counterFn = fn })
 }
 
 // GaugeFunc registers a pull-style gauge read at snapshot time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
 	r.register(name, help, KindGauge, labels, func(m *metric) { m.gaugeFn = fn })
 }

@@ -12,6 +12,8 @@ import (
 // for pipeline-style work. A nil *Tracer is valid and records nothing,
 // so instrumented code traces unconditionally. Safe for concurrent use:
 // parallel jobs start sibling spans under a shared parent.
+//
+//autovet:nilsafe
 type Tracer struct {
 	mu    sync.Mutex
 	epoch time.Time
@@ -38,7 +40,12 @@ type Span struct {
 func NewTracer() *Tracer { return &Tracer{} }
 
 // Start opens a root span. Nil-safe: returns nil on a nil tracer.
-func (t *Tracer) Start(name string) *Span { return t.StartChild(nil, name) }
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartChild(nil, name)
+}
 
 // StartChild opens a span under parent (nil parent makes a root). The
 // returned handle's End closes it; spans left open are closed at export
@@ -50,13 +57,13 @@ func (t *Tracer) StartChild(parent *Span, name string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.epoch.IsZero() {
-		t.epoch = time.Now()
+		t.epoch = time.Now() //autovet:allow walltime spans measure host execution, not sim time
 	}
 	p := -1
 	if parent != nil && parent.t == t {
 		p = parent.idx
 	}
-	t.spans = append(t.spans, spanData{name: name, parent: p, start: time.Since(t.epoch), end: -1})
+	t.spans = append(t.spans, spanData{name: name, parent: p, start: time.Since(t.epoch), end: -1}) //autovet:allow walltime host-side span clock
 	return &Span{t: t, idx: len(t.spans) - 1}
 }
 
@@ -69,7 +76,7 @@ func (s *Span) End() {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
 	if s.t.spans[s.idx].end < 0 {
-		s.t.spans[s.idx].end = time.Since(s.t.epoch)
+		s.t.spans[s.idx].end = time.Since(s.t.epoch) //autovet:allow walltime host-side span clock
 	}
 }
 
@@ -92,7 +99,7 @@ func (t *Tracer) snapshot() []spanData {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := append([]spanData(nil), t.spans...)
-	now := time.Since(t.epoch)
+	now := time.Since(t.epoch) //autovet:allow walltime host-side span clock
 	for i := range out {
 		if out[i].end < 0 {
 			out[i].end = now
@@ -108,6 +115,9 @@ func (t *Tracer) snapshot() []spanData {
 //
 // Safe on a nil receiver (writes nothing).
 func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	spans := t.snapshot()
 	children := make(map[int][]int, len(spans))
 	var roots []int
@@ -146,6 +156,9 @@ func (t *Tracer) WriteTree(w io.Writer) error {
 // intervals never share a lane unless one contains the other — the shape
 // chrome://tracing and Perfetto render correctly.
 func (t *Tracer) ChromeEvents() []TraceEvent {
+	if t == nil {
+		return nil
+	}
 	spans := t.snapshot()
 	order := make([]int, len(spans))
 	for i := range order {
@@ -206,5 +219,8 @@ func (t *Tracer) ChromeEvents() []TraceEvent {
 // loadable in chrome://tracing and Perfetto. Safe on a nil receiver
 // (writes an empty trace).
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return WriteChromeTrace(w, nil)
+	}
 	return WriteChromeTrace(w, t.ChromeEvents())
 }

@@ -505,6 +505,8 @@ func (p *Platform) buildIsolation(ecu string, comps []*model.SWC) (map[string]os
 			}
 			out[s] = part
 		}
+	default:
+		// NoIsolation returned early above: no throttles to build.
 	}
 	return out, nil
 }

@@ -72,6 +72,8 @@ func ChromeEvents(r *Recorder) []obs.TraceEvent {
 			instant(src, "drop", at, argInfo(rec))
 		case Error:
 			instant(src, "error", at, argInfo(rec))
+		case Activate:
+			// Activation is queueing, not execution: slices open at Start.
 		}
 	}
 	// Close slices still running at the last recorded instant.
@@ -100,5 +102,8 @@ func argInfo(rec Record) map[string]any {
 // document loadable in chrome://tracing and Perfetto. Safe on a nil
 // recorder (writes an empty trace).
 func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		r = &Recorder{}
+	}
 	return obs.WriteChromeTrace(w, ChromeEvents(r))
 }

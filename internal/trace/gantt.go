@@ -100,6 +100,9 @@ func Gantt(w io.Writer, r *Recorder, sources []string, from, to sim.Time, resolu
 				mark(rec.At, rec.At, 'x')
 			case Miss:
 				mark(rec.At, rec.At, '!')
+			default:
+				// Activate, Drop and Error have no execution extent to
+				// draw on the row.
 			}
 		}
 		if runningSince >= 0 {

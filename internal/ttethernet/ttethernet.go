@@ -118,6 +118,8 @@ func (s *Stream) validate(cfg Config) error {
 		if s.MinInterval <= 0 {
 			return fmt.Errorf("ttethernet: RC stream %s needs a MinInterval contract", s.Name)
 		}
+	case BE:
+		// Best-effort streams carry no timing contract to validate.
 	}
 	if s.Period < 0 || s.Offset < 0 || s.Deadline < 0 {
 		return fmt.Errorf("ttethernet: stream %s: negative timing parameter", s.Name)
