@@ -23,8 +23,15 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem . > BENCH_pipeline.txt
 	go run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 
-# The complete benchmark suite (E1-E10 harness + platform + pipeline).
+# The complete benchmark suite (E1-E11 harness + platform + pipeline).
 bench-all:
 	go test -run '^$$' -bench . -benchmem ./...
 
-.PHONY: check lint test bench bench-all
+# Fault-injection smoke suite: the systematic campaign, the escalation
+# ladder and the graceful-degradation experiments, under the race
+# detector (the campaign runner fans scenarios out across workers).
+chaos:
+	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision' \
+		./internal/fault ./internal/health ./internal/experiments
+
+.PHONY: check lint test bench bench-all chaos

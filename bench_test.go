@@ -1,6 +1,6 @@
 package autorte
 
-// The benchmark harness: one benchmark per experiment E1–E10 (DESIGN.md's
+// The benchmark harness: one benchmark per experiment E1–E11 (DESIGN.md's
 // experiment index). Each runs the experiment at its published default
 // configuration; the measured shapes are recorded in EXPERIMENTS.md.
 // Run with:
@@ -99,6 +99,12 @@ func BenchmarkE9Extensibility(b *testing.B) {
 func BenchmarkE10ErrorHandling(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
 		return experiments.E10ErrorHandling(experiments.DefaultE10())
+	})
+}
+
+func BenchmarkE11FaultCampaign(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E11FaultCampaign(experiments.DefaultE11())
 	})
 }
 

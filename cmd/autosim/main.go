@@ -5,7 +5,7 @@
 // Usage:
 //
 //	autosim -system vehicle.json [-horizon 1s] [-isolation none|server|table]
-//	        [-budgets] [-csv trace.csv]
+//	        [-budgets] [-csv trace.csv] [-health]
 //
 // With -demo, autosim generates the canonical four-DAS vehicle instead of
 // reading a file (useful as a smoke test and for inspecting the format:
@@ -17,6 +17,11 @@
 // the platform registry (kernel events, cache and pool counters) in
 // Prometheus text format; -dlt enables the DLT-style structured event
 // log for the run and writes it as text.
+//
+// Reliability: -health supervises every component with the default health
+// policy (error qualification, recovery escalation) and prints partition
+// health after the run; -faults runs the E11 fault-injection campaign and
+// graceful-degradation tables and exits.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"sort"
 	"time"
 
+	"autorte/internal/experiments"
+	"autorte/internal/health"
 	"autorte/internal/model"
 	"autorte/internal/obs"
 	"autorte/internal/protection"
@@ -50,8 +57,23 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the event trace as Chrome trace JSON to file")
 		metricsOut = flag.String("metrics", "", "write platform metrics (Prometheus text format) to file")
 		dltOut     = flag.String("dlt", "", "enable the DLT event log and write it as text to file")
+		healthOn   = flag.Bool("health", false, "supervise every component with the default health policy and report partition health")
+		faults     = flag.Bool("faults", false, "run the E11 fault-injection campaign and graceful-degradation tables, then exit")
 	)
 	flag.Parse()
+
+	if *faults {
+		for _, run := range []func(experiments.E11Config) (*experiments.Table, error){
+			experiments.E11FaultCampaign, experiments.E11LimpHome,
+		} {
+			tab, err := run(experiments.DefaultE11())
+			if err != nil {
+				fatal(err)
+			}
+			tab.Render(os.Stdout)
+		}
+		return
+	}
 
 	sys, err := loadSystem(*systemPath, *demo, *seed)
 	if err != nil {
@@ -80,6 +102,15 @@ func main() {
 	}
 	if *dltOut != "" {
 		p.EnableDLT(obs.LevelInfo)
+	}
+	var mon *health.Monitor
+	if *healthOn {
+		mon = health.NewMonitor(p, health.MonitorOptions{})
+		for _, c := range sys.Components {
+			if len(c.Runnables) > 0 {
+				mon.MustProtect(c.Name, health.Policy{})
+			}
+		}
 	}
 	p.Run(sim.Duration(*horizon))
 
@@ -112,6 +143,13 @@ func main() {
 	}
 	if n := p.Errors.Records(); len(n) > 0 {
 		fmt.Printf("\nplatform errors reported: %d\n", len(n))
+	}
+	if mon != nil {
+		fmt.Println("\npartition health:")
+		for _, st := range mon.Status() {
+			fmt.Printf("  %-30s %-12s rung=%-16s episodes=%d attempts=%d\n",
+				st.SWC, st.State, st.Rung, st.Episodes, st.Attempts)
+		}
 	}
 	if *gantt > 0 {
 		fmt.Println("\nexecution timeline ('#' running, '!' miss, 'x' abort):")

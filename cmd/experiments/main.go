@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E10 from
+// Command experiments runs the full reproduction suite E1–E11 from
 // DESIGN.md and prints one result table per experiment (see
 // EXPERIMENTS.md for the interpretation of each).
 //

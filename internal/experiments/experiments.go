@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E10 defined in
+// Package experiments implements the reproduction suite E1–E11 defined in
 // DESIGN.md. The paper is a position paper without quantitative results,
 // so each experiment operationalizes one of its claims; EXPERIMENTS.md
 // records the qualitative shape the paper predicts next to what these
@@ -82,6 +82,8 @@ func All(w io.Writer) error {
 		func() (*Table, error) { return E8NoC(DefaultE8()) },
 		func() (*Table, error) { return E9Extensibility(DefaultE9()) },
 		func() (*Table, error) { return E10ErrorHandling(DefaultE10()) },
+		func() (*Table, error) { return E11FaultCampaign(DefaultE11()) },
+		func() (*Table, error) { return E11LimpHome(DefaultE11()) },
 	}
 	for _, run := range runs {
 		tab, err := run()

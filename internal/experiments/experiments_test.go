@@ -210,6 +210,81 @@ func TestE10AllDetected(t *testing.T) {
 	}
 }
 
+func TestE11CampaignShape(t *testing.T) {
+	tab, err := E11FaultCampaign(DefaultE11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 classes x 2 injection times + 1 permanent scenario.
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		name, detected, recovered, avail := r[0], r[1], r[5], r[7]
+		switch {
+		case strings.HasSuffix(name, "/permanent"):
+			// The permanent fault climbs the whole ladder and safe-stops.
+			if r[4] != "safe-stop/safe-stopped" {
+				t.Errorf("%s final state %q, want safe-stop/safe-stopped", name, r[4])
+			}
+			if recovered != "false" {
+				t.Errorf("%s reported recovered", name)
+			}
+		case strings.HasPrefix(name, "sensor-stuck"):
+			// Stuck passes age and range checks: undetected, service intact.
+			if detected != "false" || avail != "1" {
+				t.Errorf("stuck scenario %s: detected=%s avail=%s", name, detected, avail)
+			}
+		default:
+			if detected != "true" {
+				t.Errorf("%s not detected: %v", name, r)
+			}
+			if recovered != "true" || r[4] != "normal/healthy" {
+				t.Errorf("transient %s did not recover to normal: %v", name, r)
+			}
+		}
+	}
+}
+
+func TestE11CampaignDeterministic(t *testing.T) {
+	render := func() string {
+		tab, err := E11FaultCampaign(DefaultE11())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tab.Render(&sb)
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("campaign not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestE11LimpHomePhases(t *testing.T) {
+	tab, err := E11LimpHome(DefaultE11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[2] != "1" {
+			t.Errorf("phase %s: chain availability %s, want 1", r[0], r[2])
+		}
+	}
+	limp := tab.Rows[1]
+	if limp[3] != "0" || limp[4] == "0" || limp[5] != "true" {
+		t.Errorf("limp-home phase: shed runnables not provably inactive: %v", limp)
+	}
+	for _, i := range []int{0, 2} {
+		if tab.Rows[i][3] == "0" || tab.Rows[i][4] != "0" {
+			t.Errorf("phase %s: shed runnables not active: %v", tab.Rows[i][0], tab.Rows[i])
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{Title: "t", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
 	tab.Add(1, 2.5)

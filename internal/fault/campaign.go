@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"fmt"
+
+	"autorte/internal/par"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// This file is the fault-injection campaign runner: it sweeps a fault
+// space (sensor failure modes x bus faults x WCET overruns x injection
+// times), executes every scenario as an independent simulation in
+// parallel, and reports detection latency, recovery latency and
+// availability per scenario. Experiment E11 and `autosim -faults` drive
+// it against the reference health-monitored system.
+
+// FaultClass enumerates the injected fault classes of the campaign.
+type FaultClass uint8
+
+// The swept fault classes.
+const (
+	// FaultSensorSilent: the sensor stops producing.
+	FaultSensorSilent FaultClass = iota
+	// FaultSensorStuck: the sensor repeats its last published values.
+	FaultSensorStuck
+	// FaultSensorNoise: the sensor produces implausible values.
+	FaultSensorNoise
+	// FaultCANBurst: bus errors corrupt every frame in the window.
+	FaultCANBurst
+	// FaultOverrun: a runnable exceeds its execution budget.
+	FaultOverrun
+)
+
+var faultClassNames = [...]string{"sensor-silent", "sensor-stuck", "sensor-noise", "can-burst", "wcet-overrun"}
+
+func (c FaultClass) String() string {
+	if int(c) < len(faultClassNames) {
+		return faultClassNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Scenario is one cell of the fault space.
+type Scenario struct {
+	Name     string
+	Class    FaultClass
+	InjectAt sim.Time
+	// Until ends transient faults; sim.Infinity means permanent.
+	Until sim.Time
+}
+
+// Transient reports whether the fault ends before the horizon.
+func (s Scenario) Transient() bool { return s.Until != sim.Infinity }
+
+// Result is the measured outcome of one scenario.
+type Result struct {
+	Scenario Scenario
+	// Detected and DetectionLatency: first matching error report at or
+	// after injection.
+	Detected         bool
+	DetectionLatency sim.Duration
+	// Recovered and RecoveryLatency: whether the observed service was up
+	// at the horizon and how long after injection the last outage ended
+	// (see ServiceRecovery).
+	Recovered       bool
+	RecoveryLatency sim.Duration
+	// Availability is the fraction of expected service completions that
+	// actually happened between injection and horizon.
+	Availability float64
+	// Escalations counts recovery attempts the health monitor performed.
+	Escalations int64
+	// FinalState summarizes the end state (degradation level or partition
+	// health) as reported by the scenario runner.
+	FinalState string
+	// Errors is the total number of platform error reports.
+	Errors int64
+}
+
+// Sweep builds the cross product of fault classes and injection times.
+// window > 0 makes every fault transient ([inject, inject+window));
+// window <= 0 makes them permanent.
+func Sweep(classes []FaultClass, injectTimes []sim.Time, window sim.Duration) []Scenario {
+	var out []Scenario
+	for _, class := range classes {
+		for _, at := range injectTimes {
+			s := Scenario{Class: class, InjectAt: at, Until: sim.Infinity}
+			kind := "permanent"
+			if window > 0 {
+				s.Until = at + sim.Time(window)
+				kind = fmt.Sprintf("%v", window)
+			}
+			s.Name = fmt.Sprintf("%s@%v/%s", class, at, kind)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunCampaign executes every scenario through run on at most workers
+// goroutines (<= 0 selects GOMAXPROCS). Each scenario must build its own
+// platform inside run — simulations share nothing — so results are
+// deterministic and slot-indexed: out[i] always belongs to scenarios[i],
+// regardless of scheduling.
+func RunCampaign(workers int, scenarios []Scenario, run func(Scenario) Result) []Result {
+	out := make([]Result, len(scenarios))
+	// The job function never errors: a scenario's outcome — including a
+	// crashed or undetected fault — is data, not a campaign failure.
+	_ = par.ForEach(workers, len(scenarios), func(i int) error {
+		out[i] = run(scenarios[i])
+		return nil
+	})
+	return out
+}
+
+// Availability returns the fraction of expected periodic completions of a
+// source that actually finished in [from, to): 1.0 is full service,
+// 0 is a dead service. More than expected (catch-up after a stall) clamps
+// to 1.
+func Availability(r *trace.Recorder, source string, period sim.Duration, from, to sim.Time) float64 {
+	if period <= 0 || to <= from {
+		return 0
+	}
+	expected := int64(to-from) / int64(period)
+	if expected == 0 {
+		return 1
+	}
+	n := int64(0)
+	for _, rec := range r.BySource(source) {
+		if rec.Kind == trace.Finish && rec.At >= from && rec.At < to {
+			n++
+		}
+	}
+	av := float64(n) / float64(expected)
+	if av > 1 {
+		av = 1
+	}
+	return av
+}
+
+// ServiceRecovery examines a periodic source's finish stream after an
+// injection. The service is down whenever consecutive finishes are more
+// than 2*period apart. It returns the delay from injectAt to the finish
+// that ended the last outage — 0 if the service never went down — and
+// whether the service was up again at the horizon (false means it was
+// still down, and the latency is meaningless).
+func ServiceRecovery(r *trace.Recorder, source string, period sim.Duration, injectAt, horizon sim.Time) (sim.Duration, bool) {
+	gap := sim.Time(2 * period)
+	prev := injectAt
+	lastOutageEnd := sim.Time(-1)
+	for _, rec := range r.BySource(source) {
+		if rec.Kind != trace.Finish || rec.At <= injectAt {
+			continue
+		}
+		if rec.At-prev > gap {
+			lastOutageEnd = rec.At
+		}
+		prev = rec.At
+	}
+	if horizon-prev > gap {
+		return 0, false
+	}
+	if lastOutageEnd < 0 {
+		return 0, true
+	}
+	return lastOutageEnd - injectAt, true
+}

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+func TestSweepCrossProduct(t *testing.T) {
+	scs := Sweep([]FaultClass{FaultSensorSilent, FaultCANBurst},
+		[]sim.Time{sim.MS(50), sim.MS(80)}, sim.MS(60))
+	if len(scs) != 4 {
+		t.Fatalf("sweep produced %d scenarios, want 4", len(scs))
+	}
+	for _, s := range scs {
+		if !s.Transient() || s.Until != s.InjectAt+sim.Time(sim.MS(60)) {
+			t.Fatalf("transient window wrong: %+v", s)
+		}
+	}
+	perm := Sweep([]FaultClass{FaultOverrun}, []sim.Time{sim.MS(50)}, 0)
+	if len(perm) != 1 || perm[0].Transient() {
+		t.Fatalf("permanent sweep wrong: %+v", perm)
+	}
+}
+
+func TestAvailabilityCountsExpectedFinishes(t *testing.T) {
+	r := &trace.Recorder{}
+	// 10 expected jobs in [0,100ms); 7 finished.
+	for i := 0; i < 7; i++ {
+		r.Emit(sim.MS(10)*sim.Time(i)+sim.US(100), trace.Finish, "Act.apply", int64(i), "")
+	}
+	if av := Availability(r, "Act.apply", sim.MS(10), 0, sim.MS(100)); av != 0.7 {
+		t.Fatalf("availability %v, want 0.7", av)
+	}
+	if av := Availability(r, "Act.apply", sim.MS(10), 0, 0); av != 0 {
+		t.Fatalf("empty window availability %v, want 0", av)
+	}
+}
+
+func TestServiceRecoveryFindsLastOutage(t *testing.T) {
+	r := &trace.Recorder{}
+	emit := func(ms float64, job int64) {
+		r.Emit(sim.MS(ms), trace.Finish, "Act.apply", job, "")
+	}
+	// Up at 10,20; outage (30..70 missing); resumes 80,90,...,150.
+	emit(10, 0)
+	emit(20, 1)
+	for i := int64(0); i < 8; i++ {
+		emit(float64(80+10*i), 2+i)
+	}
+	lat, ok := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(160))
+	if !ok || lat != sim.MS(55) {
+		t.Fatalf("recovery (%v,%v), want (55ms,true)", lat, ok)
+	}
+	// Still down at horizon: no finishes after 150 but horizon 300.
+	if _, ok := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(300)); ok {
+		t.Fatal("service down at horizon reported as recovered")
+	}
+	// No outage at all.
+	lat, ok = ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(85), sim.MS(160))
+	if !ok || lat != 0 {
+		t.Fatalf("outage-free stream: (%v,%v), want (0,true)", lat, ok)
+	}
+}
+
+// campaignSystem extends monitoredSystem with a data-driven actuator:
+// availability is observed where the function is delivered, so a silent
+// sensor (whose own task keeps finishing empty jobs) registers as an
+// outage.
+func campaignSystem() *model.System {
+	sys := monitoredSystem()
+	sys.Components = append(sys.Components, &model.SWC{
+		Name:  "Act",
+		Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: sys.Interfaces[0]}},
+		Runnables: []model.Runnable{{
+			Name: "consume", WCETNominal: sim.US(10),
+			Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "v"},
+			Reads:   []model.PortRef{{Port: "in", Elem: "v"}},
+		}},
+	})
+	sys.Connectors = append(sys.Connectors,
+		model.Connector{FromSWC: "Sensor", FromPort: "out", ToSWC: "Act", ToPort: "in"})
+	sys.Mapping["Act"] = "e1"
+	return sys
+}
+
+// campaignRun is the smoke scenario runner: a monitored sensor system per
+// scenario, fully self-contained so scenarios can run concurrently.
+func campaignRun(horizon sim.Time) func(Scenario) Result {
+	return func(s Scenario) Result {
+		p := rte.MustBuild(campaignSystem(), rte.Options{})
+		switch s.Class {
+		case FaultSensorSilent:
+			p.SetBehavior("Sensor", "sample",
+				BreakSensorBetween(s.InjectAt, s.Until, Silent, 0, healthySensor))
+			p.SetBehavior("Monitor", "check", AgeMonitor("in", "v", sim.MS(25)))
+		case FaultSensorNoise:
+			p.SetBehavior("Sensor", "sample",
+				BreakSensorBetween(s.InjectAt, s.Until, Noise, 9999, healthySensor))
+			p.SetBehavior("Monitor", "check", RangeMonitor("in", "v", 0, 300, rte.ErrSensor))
+		default:
+			p.SetBehavior("Sensor", "sample", healthySensor)
+			p.SetBehavior("Monitor", "check", func(c *rte.Context) {})
+		}
+		p.Run(horizon)
+		res := Result{Scenario: s, Errors: p.Errors.Total()}
+		res.DetectionLatency, res.Detected = DetectionLatency(p.Errors.Records(), rte.ErrSensor, s.InjectAt)
+		res.Availability = Availability(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
+		res.RecoveryLatency, res.Recovered = ServiceRecovery(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
+		return res
+	}
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	scs := Sweep([]FaultClass{FaultSensorSilent, FaultSensorNoise},
+		[]sim.Time{sim.MS(50)}, sim.MS(60))
+	results := RunCampaign(4, scs, campaignRun(sim.MS(300)))
+	if len(results) != len(scs) {
+		t.Fatalf("%d results for %d scenarios", len(results), len(scs))
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Fatalf("%s not detected: %+v", r.Scenario.Name, r)
+		}
+		if r.Errors == 0 {
+			t.Fatalf("%s reported no errors", r.Scenario.Name)
+		}
+	}
+	// The silent scenario stops publishing for 60ms: availability dips but
+	// service recovers. The noisy scenario keeps publishing: full service.
+	if results[0].Availability >= 1 || !results[0].Recovered {
+		t.Fatalf("silent scenario: %+v", results[0])
+	}
+	if results[1].Availability != 1 {
+		t.Fatalf("noise scenario availability %v, want 1", results[1].Availability)
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	scs := Sweep(
+		[]FaultClass{FaultSensorSilent, FaultSensorNoise, FaultSensorStuck},
+		[]sim.Time{sim.MS(50), sim.MS(80)}, sim.MS(60))
+	render := func(rs []Result) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = fmt.Sprintf("%s det=%v/%v rec=%v/%v av=%.4f err=%d",
+				r.Scenario.Name, r.Detected, r.DetectionLatency,
+				r.Recovered, r.RecoveryLatency, r.Availability, r.Errors)
+		}
+		return out
+	}
+	seq := render(RunCampaign(1, scs, campaignRun(sim.MS(300))))
+	par := render(RunCampaign(8, scs, campaignRun(sim.MS(300))))
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("slot %d differs:\nworkers=1: %s\nworkers=8: %s", i, seq[i], par[i])
+		}
+	}
+}

@@ -44,21 +44,40 @@ func (m SensorMode) String() string {
 // BreakSensor wraps a producing behaviour so the sensor fails at time at
 // in the given mode. noiseValue is the implausible output for Noise mode.
 func BreakSensor(at sim.Time, mode SensorMode, noiseValue float64, healthy rte.Behavior) rte.Behavior {
-	var lastWrite func(*rte.Context)
+	return BreakSensorBetween(at, sim.Infinity, mode, noiseValue, healthy)
+}
+
+// latched is one captured (port, elem, value) write of the last healthy
+// job, replayed verbatim by Stuck mode.
+type latched struct {
+	port, elem string
+	value      float64
+}
+
+// BreakSensorBetween is BreakSensor with an explicit fault window: the
+// sensor misbehaves in [from, until) and is healthy outside it. A finite
+// window models transient faults for recovery experiments.
+func BreakSensorBetween(from, until sim.Time, mode SensorMode, noiseValue float64, healthy rte.Behavior) rte.Behavior {
+	var last []latched
 	return func(c *rte.Context) {
-		if c.Now() < at {
+		if now := c.Now(); now < from || now >= until {
+			// Latch what the healthy behaviour actually writes — not the
+			// behaviour itself — so Stuck repeats the last published
+			// values instead of recomputing fresh ones from live inputs.
+			last = last[:0]
+			c.OnWrite(func(port, elem string, v float64) {
+				last = append(last, latched{port, elem, v})
+			})
 			healthy(c)
-			// Remember how to re-emit for Stuck mode: re-run the healthy
-			// behaviour (state semantics make re-writing idempotent).
-			lastWrite = healthy
+			c.OnWrite(nil)
 			return
 		}
 		switch mode {
 		case Silent:
 			// produce nothing
 		case Stuck:
-			if lastWrite != nil {
-				lastWrite(c)
+			for _, w := range last {
+				c.Write(w.port, w.elem, w.value)
 			}
 		case Noise:
 			// Emit the implausible value on every declared write port of
@@ -79,9 +98,17 @@ func healthyNoise(c *rte.Context, v float64) {
 // OverrunTask makes an OS task exceed its declared WCET by factor starting
 // at virtual time from (the misbehaving-supplier fault of E3).
 func OverrunTask(k *sim.Kernel, task *osek.Task, from sim.Time, factor float64) {
+	OverrunTaskBetween(k, task, from, sim.Infinity, factor)
+}
+
+// OverrunTaskBetween is OverrunTask with an explicit fault window: jobs
+// released in [from, until) demand factor times the nominal WCET, jobs
+// outside it the nominal. A finite window models transient overload for
+// recovery experiments.
+func OverrunTaskBetween(k *sim.Kernel, task *osek.Task, from, until sim.Time, factor float64) {
 	nominal := task.WCET
 	task.Demand = func(int64) sim.Duration {
-		if k.Now() >= from {
+		if now := k.Now(); now >= from && now < until {
 			return sim.Duration(float64(nominal) * factor)
 		}
 		return nominal

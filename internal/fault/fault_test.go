@@ -99,6 +99,64 @@ func TestStuckSensorKeepsLastValue(t *testing.T) {
 	// would NOT catch this mode (that is the point of plausibility checks).
 }
 
+func TestStuckSensorLatchesLastValueNotBehaviour(t *testing.T) {
+	// The healthy behaviour derives its output from live state (the job
+	// index), so re-running it after the fault would produce FRESH values.
+	// Stuck must replay the last actually-written value instead.
+	p := rte.MustBuild(monitoredSystem(), rte.Options{})
+	p.SetBehavior("Sensor", "sample", BreakSensor(sim.MS(50), Stuck, 0,
+		func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) }))
+	var after []float64
+	p.SetBehavior("Monitor", "check", func(c *rte.Context) {
+		if c.Now() > sim.MS(50) {
+			after = append(after, c.Read("in", "v"))
+		}
+	})
+	p.Run(sim.MS(200))
+	if len(after) == 0 {
+		t.Fatal("monitor saw nothing after the fault")
+	}
+	// Last healthy job: release at 40ms is job 4 (jobs 0..4 before 50ms).
+	for i, v := range after {
+		if v != 4 {
+			t.Fatalf("post-fault sample %d = %v, want the latched 4 (stuck sensor produced fresh values)", i, v)
+		}
+	}
+	// The stuck stream keeps refreshing, so its age stays bounded.
+	p2 := rte.MustBuild(monitoredSystem(), rte.Options{})
+	p2.SetBehavior("Sensor", "sample", BreakSensor(sim.MS(50), Stuck, 0,
+		func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) }))
+	var worstAge sim.Duration
+	p2.SetBehavior("Monitor", "check", func(c *rte.Context) {
+		if a := c.Age("in", "v"); a > worstAge {
+			worstAge = a
+		}
+	})
+	p2.Run(sim.MS(200))
+	if worstAge > sim.MS(15) {
+		t.Fatalf("stuck sensor stopped refreshing: worst age %v", worstAge)
+	}
+}
+
+func TestBreakSensorBetweenRecovers(t *testing.T) {
+	p := rte.MustBuild(monitoredSystem(), rte.Options{})
+	p.SetBehavior("Sensor", "sample",
+		BreakSensorBetween(sim.MS(50), sim.MS(120), Silent, 0, healthySensor))
+	p.SetBehavior("Monitor", "check", AgeMonitor("in", "v", sim.MS(25)))
+	p.Run(sim.MS(250))
+	if _, ok := DetectionLatency(p.Errors.Records(), rte.ErrSensor, sim.MS(50)); !ok {
+		t.Fatal("transient silent window never detected")
+	}
+	// After the window the sensor publishes again: the value's age drops
+	// back under the monitor threshold and stays there.
+	if v, ok := p.Value("Monitor", "in", "v"); !ok || v != 100 {
+		t.Fatalf("sensor did not recover after the fault window: (%v,%v)", v, ok)
+	}
+	if got := p.Errors.CountKind(rte.ErrSensor); got != 1 {
+		t.Fatalf("age monitor reported %d errors, want 1 (one stall episode)", got)
+	}
+}
+
 func TestErrorReachesSubscribedDiag(t *testing.T) {
 	p := rte.MustBuild(monitoredSystem(), rte.Options{})
 	p.SetBehavior("Sensor", "sample", BreakSensor(sim.MS(50), Silent, 0, healthySensor))

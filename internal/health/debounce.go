@@ -1,0 +1,99 @@
+package health
+
+import "autorte/internal/rte"
+
+// DebounceConfig tunes counter-based error qualification, the DEM
+// fault-detection-counter pattern: each raw report bumps a per-(source,
+// kind) counter by Inc, each clean supervision window decays it by Dec,
+// and the fault qualifies once the counter reaches Threshold. Transient
+// glitches decay away before qualifying; persistent faults cross the
+// threshold and trigger recovery.
+type DebounceConfig struct {
+	// Inc is added to the counter per raw error report (default 2).
+	Inc int
+	// Dec is subtracted per clean supervision window (default 1).
+	Dec int
+	// Threshold qualifies the fault when the counter reaches it
+	// (default 2: a single report qualifies; raise it to require
+	// persistence).
+	Threshold int
+}
+
+func (c DebounceConfig) fill() DebounceConfig {
+	if c.Inc <= 0 {
+		c.Inc = 2
+	}
+	if c.Dec <= 0 {
+		c.Dec = 1
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2
+	}
+	return c
+}
+
+// debounceKey identifies one monitored fault: reports are debounced per
+// (source, kind), so an intermittent comm glitch cannot piggy-back on a
+// sensor fault's counter.
+type debounceKey struct {
+	source string
+	kind   rte.ErrorKind
+}
+
+// debouncer holds the fault detection counters of one supervised
+// partition.
+type debouncer struct {
+	cfg      DebounceConfig
+	counters map[debounceKey]int
+	// qualified latches per key once the threshold is crossed, so a
+	// sustained fault qualifies exactly once per episode.
+	qualified map[debounceKey]bool
+}
+
+func newDebouncer(cfg DebounceConfig) *debouncer {
+	return &debouncer{
+		cfg:       cfg.fill(),
+		counters:  map[debounceKey]int{},
+		qualified: map[debounceKey]bool{},
+	}
+}
+
+// fail records one raw error report and reports whether this report
+// qualified the fault (crossed the threshold for the first time this
+// episode).
+func (d *debouncer) fail(source string, kind rte.ErrorKind) bool {
+	k := debounceKey{source, kind}
+	c := d.counters[k] + d.cfg.Inc
+	if c > d.cfg.Threshold {
+		c = d.cfg.Threshold // saturate so healing time is bounded
+	}
+	d.counters[k] = c
+	if c >= d.cfg.Threshold && !d.qualified[k] {
+		d.qualified[k] = true
+		return true
+	}
+	return false
+}
+
+// pass records one clean supervision window: every counter decays by Dec
+// and keys that reach zero heal (their qualification latch re-arms).
+func (d *debouncer) pass() {
+	for k, c := range d.counters {
+		c -= d.cfg.Dec
+		if c <= 0 {
+			delete(d.counters, k)
+			delete(d.qualified, k)
+			continue
+		}
+		d.counters[k] = c
+	}
+}
+
+// clear reports whether every counter has decayed to zero.
+func (d *debouncer) clear() bool { return len(d.counters) == 0 }
+
+// reset drops all counters and qualification latches.
+func (d *debouncer) reset() {
+	d.counters = map[debounceKey]int{}
+	d.qualified = map[debounceKey]bool{}
+}

@@ -1,0 +1,168 @@
+package health
+
+import (
+	"fmt"
+
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/rte"
+	"autorte/internal/trace"
+)
+
+// Level is the graceful-degradation operating level of the system.
+type Level uint8
+
+// Degradation levels, ordered by severity. Each level keeps a configured
+// subset of runnables enabled; everything else is shed.
+const (
+	// Normal runs every runnable.
+	Normal Level = iota
+	// Degraded sheds comfort functions; the keep-set plus all mode-switch
+	// handlers stay enabled.
+	Degraded
+	// LimpHome keeps only the critical chains alive (get-home function).
+	LimpHome
+	// SafeStop halts the application: only mode-switch handlers remain to
+	// bring actuators to a safe state. Terminal for automatic escalation.
+	SafeStop
+)
+
+var levelNames = [...]string{"normal", "degraded", "limp-home", "safe-stop"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Degradation drives per-mode runnable enable-sets through the platform:
+// entering a level disables every runnable outside that level's keep-set
+// (mode-switch handlers are always kept, so error/mode reactions still
+// run) and then switches the platform into the level's mode so subscribed
+// handlers can reconfigure the application.
+type Degradation struct {
+	p     *rte.Platform
+	level Level
+	// keep maps a level to the set of "swc.runnable" names that stay
+	// enabled there. Normal needs no entry: everything runs.
+	keep map[Level]map[string]bool
+	// all lists every runnable in deterministic (component, runnable)
+	// declaration order; handlers marks the mode-switch-triggered ones.
+	all      []string
+	handlers map[string]bool
+
+	// OnChange, when set, observes every level transition.
+	OnChange func(from, to Level)
+}
+
+// NewDegradation builds the degradation controller. keep lists, per
+// level, the "swc.runnable" names that stay enabled at that level; names
+// must exist in the system. The platform starts at Normal.
+func NewDegradation(p *rte.Platform, keep map[Level][]string) (*Degradation, error) {
+	d := &Degradation{
+		p:        p,
+		keep:     map[Level]map[string]bool{},
+		handlers: map[string]bool{},
+	}
+	known := map[string]bool{}
+	for _, comp := range p.Sys.Components {
+		for i := range comp.Runnables {
+			run := &comp.Runnables[i]
+			name := comp.Name + "." + run.Name
+			known[name] = true
+			d.all = append(d.all, name)
+			if run.Trigger.Kind == model.ModeSwitchEvent {
+				d.handlers[name] = true
+			}
+		}
+	}
+	for level, names := range keep {
+		set := map[string]bool{}
+		for _, n := range names {
+			if !known[n] {
+				return nil, fmt.Errorf("health: degradation keep-set for %v names unknown runnable %s", level, n)
+			}
+			set[n] = true
+		}
+		d.keep[level] = set
+	}
+	p.Metrics.Gauge("health_degradation_level",
+		"Current graceful-degradation level (0 normal .. 3 safe-stop).").Set(0)
+	return d, nil
+}
+
+// MustDegradation is NewDegradation that panics on error; for tests and
+// examples.
+func MustDegradation(p *rte.Platform, keep map[Level][]string) *Degradation {
+	d, err := NewDegradation(p, keep)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Level returns the current degradation level.
+func (d *Degradation) Level() Level { return d.level }
+
+// Enabled reports whether a runnable is in the enable-set of a level.
+func (d *Degradation) enabled(name string, level Level) bool {
+	return level == Normal || d.handlers[name] || d.keep[level][name]
+}
+
+// To switches the system to the given level: runnables outside the
+// level's enable-set are shed (their subsequent activations become
+// auditable Drop records), runnables inside it are (re-)enabled, and the
+// platform switches into the level's mode. Idempotent per level.
+func (d *Degradation) To(level Level) {
+	if level == d.level {
+		return
+	}
+	from := d.level
+	d.level = level
+	now := d.p.K.Now()
+	shed := 0
+	for _, name := range d.all {
+		on := d.enabled(name, level)
+		if !on {
+			shed++
+		}
+		i := indexDot(name)
+		// Enable-set applied before the mode switch so freshly re-enabled
+		// handlers can react to the new mode immediately.
+		if err := d.p.SetRunnableEnabled(name[:i], name[i+1:], on); err != nil {
+			// Names were validated at construction; an error here means the
+			// platform lost the task, which is a programming error.
+			panic(err)
+		}
+	}
+	d.p.Metrics.Gauge("health_degradation_level",
+		"Current graceful-degradation level (0 normal .. 3 safe-stop).").Set(int64(level))
+	d.p.Metrics.Counter("health_degradations_total",
+		"Degradation level transitions, by entered level.",
+		obs.Label{Key: "to", Value: level.String()}).Inc()
+	d.p.Trace.Emit(now, trace.Recover, "health", int64(level),
+		"degradation "+from.String()+" -> "+level.String())
+	d.p.DLT.Emitf(int64(now), obs.LevelWarn, "HLTH", "DEGR",
+		"degradation %s -> %s (%d runnables shed)", from, level, shed)
+	d.p.SwitchMode(level.String())
+	if d.OnChange != nil {
+		d.OnChange(from, level)
+	}
+}
+
+// AtLeast raises the level to at least the given one; it never lowers it.
+func (d *Degradation) AtLeast(level Level) {
+	if level > d.level {
+		d.To(level)
+	}
+}
+
+func indexDot(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return len(s)
+}

@@ -1,0 +1,98 @@
+package health
+
+import (
+	"fmt"
+
+	"autorte/internal/rte"
+)
+
+// This file implements logical (program-flow) supervision: behaviours of
+// a supervised runnable report checkpoints, and the monitor verifies each
+// job walks the declared control-flow graph from Initial to Final. A job
+// that skips checkpoints, visits them out of order, or ends mid-graph
+// raises an ErrFlow platform error, which feeds the same qualification
+// and escalation path as every other error. (Deadline supervision lives
+// in the per-window guard check; alive supervision is rte.Supervise.)
+
+// FlowGraph declares the legal checkpoint sequences of one runnable.
+type FlowGraph struct {
+	// Initial is the checkpoint every job must report first.
+	Initial int
+	// Final is the checkpoint every job must end on.
+	Final int
+	// Next lists the legal successor checkpoints of each checkpoint.
+	Next map[int][]int
+}
+
+// flowMonitor tracks one supervised runnable's walk through its graph.
+type flowMonitor struct {
+	fg     FlowGraph
+	job    int64
+	active bool // a job's walk is open (Initial seen, Final not yet)
+	last   int
+}
+
+// SuperviseFlow installs program-flow supervision on a runnable of an
+// already-protected component. The behaviour must report its checkpoints
+// via Monitor.Checkpoint.
+func (m *Monitor) SuperviseFlow(swc, runnable string, fg FlowGraph) error {
+	g := m.guards[swc]
+	if g == nil {
+		return fmt.Errorf("health: protect %s before supervising its flow", swc)
+	}
+	comp := m.p.Sys.Component(swc)
+	if comp.Runnable(runnable) == nil {
+		return fmt.Errorf("health: component %s has no runnable %s", swc, runnable)
+	}
+	g.flows[runnable] = &flowMonitor{fg: fg, job: -1}
+	return nil
+}
+
+// Checkpoint reports that the calling behaviour reached a checkpoint.
+// Unsupervised callers are ignored, so shared behaviours can report
+// unconditionally.
+func (m *Monitor) Checkpoint(c *rte.Context, id int) {
+	g := m.guards[c.Component()]
+	if g == nil {
+		return
+	}
+	fm := g.flows[c.Runnable()]
+	if fm == nil {
+		return
+	}
+	report := func(format string, args ...any) {
+		m.p.Errors.Report(c.Component(), rte.ErrFlow,
+			c.Runnable()+": "+fmt.Sprintf(format, args...))
+	}
+	if c.Job() != fm.job {
+		if fm.active {
+			report("job %d ended at checkpoint %d before reaching final %d", fm.job, fm.last, fm.fg.Final)
+		}
+		fm.job = c.Job()
+		fm.active = false
+	}
+	if !fm.active {
+		if id != fm.fg.Initial {
+			report("job %d started at checkpoint %d, want initial %d", fm.job, id, fm.fg.Initial)
+		}
+		// Re-sync on the reported checkpoint either way, so one bad start
+		// yields one error, not a cascade.
+		fm.last = id
+		fm.active = id != fm.fg.Final
+		return
+	}
+	legal := false
+	for _, n := range fm.fg.Next[fm.last] {
+		if n == id {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		report("job %d made illegal transition %d -> %d", fm.job, fm.last, id)
+	}
+	fm.last = id
+	if id == fm.fg.Final {
+		fm.active = false
+	}
+}

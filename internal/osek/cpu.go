@@ -124,9 +124,15 @@ func (c *CPU) schedulePeriodic(t *Task, at sim.Time) {
 
 // Activate releases one job of t (or queues the activation if a job is in
 // progress). Returns false if the activation was dropped because the queue
-// limit was reached (OSEK E_OS_LIMIT).
+// limit was reached (OSEK E_OS_LIMIT) or the task is suspended.
 func (c *CPU) Activate(t *Task) bool {
 	now := c.k.Now()
+	if t.suspended {
+		// Suspended tasks shed every activation; the Drop record is the
+		// auditable evidence that a shed runnable stayed inactive.
+		c.Trace.Emit(now, trace.Drop, t.Name, t.nextJob, "suspended")
+		return false
+	}
 	id := t.nextJob
 	t.nextJob++
 	c.Trace.Emit(now, trace.Activate, t.Name, id, "")
@@ -298,6 +304,53 @@ func (c *CPU) onCheckpoint() {
 	default:
 		// Throttle exhausted: job stays active but ineligible.
 		c.reschedule()
+	}
+}
+
+// Kill aborts the current job of t (if any) and discards its queued
+// activations — the restart primitive of recovery escalation. Unlike a
+// budget abort it fires no OnAbort hook: killing is a deliberate recovery
+// action, not a detected fault. Returns whether a job was in progress.
+func (c *CPU) Kill(t *Task, reason string) bool {
+	t.pending = nil
+	j := t.current
+	if j == nil {
+		return false
+	}
+	if c.running == j {
+		c.charge()
+		c.running = nil
+	}
+	if j.deadline != nil {
+		j.deadline.Cancel()
+	}
+	for i, a := range c.active {
+		if a == j {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	t.current = nil
+	c.Trace.Emit(c.k.Now(), trace.Abort, t.Name, j.id, reason)
+	if t.Throttle != nil {
+		t.Throttle.Pending(c.k.Now(), c.throttleHasWork(t.Throttle))
+	}
+	c.reschedule()
+	return true
+}
+
+// SetSuspended suspends or resumes a task. Suspending kills the job in
+// progress and sheds every subsequent activation (periodic releases keep
+// arriving and are dropped with a "suspended" trace record); resuming lets
+// the next activation through unchanged. Degraded operating modes use this
+// to shed non-critical runnables.
+func (c *CPU) SetSuspended(t *Task, suspended bool) {
+	if t.suspended == suspended {
+		return
+	}
+	t.suspended = suspended
+	if suspended {
+		c.Kill(t, "suspended")
 	}
 }
 

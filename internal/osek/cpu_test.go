@@ -363,3 +363,77 @@ func TestContextSwitchOverhead(t *testing.T) {
 		t.Fatalf("context-switch cost did not raise utilization: %v vs %v", uCtx, uPlain)
 	}
 }
+
+func TestKillAbortsCurrentJobAndQueue(t *testing.T) {
+	k, c, rec := newCPU(t)
+	task := &Task{Name: "a", Priority: 1, WCET: sim.MS(4), Period: sim.MS(10), MaxQueued: 2}
+	var finished, aborted int
+	task.OnFinish = func(int64) { finished++ }
+	task.OnAbort = func(int64) { aborted++ }
+	c.MustAddTask(task)
+	// Kill mid-job at 2ms: the in-flight job dies, no OnAbort fires, and
+	// the next periodic release (10ms) runs normally.
+	k.At(sim.MS(2), func() { c.Kill(task, "restart") })
+	run(k, c, sim.MS(25))
+	if aborted != 0 {
+		t.Fatalf("Kill fired OnAbort %d times; recovery kills must not report faults", aborted)
+	}
+	if finished != 2 {
+		t.Fatalf("finished %d jobs, want 2 (releases at 10ms and 20ms)", finished)
+	}
+	if rec.Count(trace.Abort, "a") != 1 {
+		t.Fatalf("abort records = %d, want 1", rec.Count(trace.Abort, "a"))
+	}
+	if got := rec.BySource("a"); got[len(got)-1].Kind != trace.Finish {
+		t.Fatalf("last record %v, want finish", got[len(got)-1].Kind)
+	}
+}
+
+func TestKillWithoutCurrentJobIsNoop(t *testing.T) {
+	k, c, rec := newCPU(t)
+	task := &Task{Name: "a", Priority: 1, WCET: sim.MS(1), Period: sim.MS(10), Offset: sim.MS(5)}
+	c.MustAddTask(task)
+	killed := true
+	k.At(sim.MS(2), func() { killed = c.Kill(task, "restart") })
+	run(k, c, sim.MS(20))
+	if killed {
+		t.Fatal("Kill reported a job before any was released")
+	}
+	if rec.Count(trace.Abort, "a") != 0 {
+		t.Fatal("no-op kill produced an abort record")
+	}
+}
+
+func TestSuspendShedsActivationsAndResumeRestores(t *testing.T) {
+	k, c, rec := newCPU(t)
+	task := &Task{Name: "a", Priority: 1, WCET: sim.MS(1), Period: sim.MS(10)}
+	c.MustAddTask(task)
+	k.At(sim.MS(15), func() { c.SetSuspended(task, true) })
+	k.At(sim.MS(55), func() { c.SetSuspended(task, false) })
+	run(k, c, sim.MS(95))
+	// Finishes: releases at 0,10 then 60..90 => 2 + 4 = 6.
+	if got := rec.Count(trace.Finish, "a"); got != 6 {
+		t.Fatalf("finished %d jobs, want 6", got)
+	}
+	// Releases at 20,30,40,50 shed with an auditable drop record.
+	if got := rec.Count(trace.Drop, "a"); got != 4 {
+		t.Fatalf("dropped %d activations, want 4", got)
+	}
+	if task.Suspended() {
+		t.Fatal("task still reports suspended after resume")
+	}
+}
+
+func TestSuspendKillsInFlightJob(t *testing.T) {
+	k, c, rec := newCPU(t)
+	task := &Task{Name: "a", Priority: 1, WCET: sim.MS(8), Period: sim.MS(20)}
+	c.MustAddTask(task)
+	k.At(sim.MS(3), func() { c.SetSuspended(task, true) })
+	run(k, c, sim.MS(15))
+	if rec.Count(trace.Finish, "a") != 0 {
+		t.Fatal("suspended task still finished a job")
+	}
+	if rec.Count(trace.Abort, "a") != 1 {
+		t.Fatal("in-flight job not killed on suspend")
+	}
+}

@@ -75,12 +75,17 @@ type Task struct {
 	OnFinish func(job int64)
 	OnAbort  func(job int64)
 
-	cpu      *CPU
-	nextJob  int64
-	pending  []pendingActivation // queued activations beyond the current job
-	current  *job
-	released int64
+	cpu       *CPU
+	nextJob   int64
+	pending   []pendingActivation // queued activations beyond the current job
+	current   *job
+	released  int64
+	suspended bool
 }
+
+// Suspended reports whether the task is currently suspended (activations
+// are dropped; see CPU.SetSuspended).
+func (t *Task) Suspended() bool { return t.suspended }
 
 // pendingActivation is a queued activation waiting for the current job to
 // finish; it keeps the original arrival time for response-time accounting.

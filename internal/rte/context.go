@@ -12,7 +12,16 @@ type Context struct {
 	comp *model.SWC
 	run  *model.Runnable
 	job  int64
+	// onWrite, when set, observes every Write made during this job.
+	// Behaviour wrappers (fault injectors, probes) install it to capture
+	// what the wrapped behaviour actually published.
+	onWrite func(port, elem string, v float64)
 }
+
+// OnWrite installs an observer for every Write this job performs. The hook
+// lives for the current job only: each job gets a fresh Context. Wrappers
+// like fault.BreakSensor use it to latch the last published values.
+func (c *Context) OnWrite(fn func(port, elem string, v float64)) { c.onWrite = fn }
 
 // Now returns the current virtual time.
 func (c *Context) Now() sim.Time { return c.p.K.Now() }
@@ -22,6 +31,9 @@ func (c *Context) Job() int64 { return c.job }
 
 // Component returns the owning component's name.
 func (c *Context) Component() string { return c.comp.Name }
+
+// Runnable returns the executing runnable's name.
+func (c *Context) Runnable() string { return c.run.Name }
 
 // Writes returns the runnable's declared output elements, letting generic
 // behaviours (probes, fault injectors) publish without hard-coded ports.
@@ -58,6 +70,9 @@ func (c *Context) Age(port, elem string) sim.Duration {
 // updated (and their data-received runnables activated) immediately;
 // remote consumers receive it after the bus latency.
 func (c *Context) Write(port, elem string, v float64) {
+	if c.onWrite != nil {
+		c.onWrite(port, elem, v)
+	}
 	key := storeKey(c.comp.Name, port, elem)
 	for _, b := range c.p.outgoing[key] {
 		if b.local {

@@ -16,6 +16,9 @@ const (
 	ErrComm   ErrorKind = "comm"
 	ErrMemory ErrorKind = "memory"
 	ErrTiming ErrorKind = "timing"
+	// ErrFlow is a program-flow (logical supervision) violation: a
+	// supervised runnable visited checkpoints out of graph order.
+	ErrFlow ErrorKind = "flow"
 )
 
 // ErrorRecord is one reported platform error.
@@ -26,19 +29,52 @@ type ErrorRecord struct {
 	Info   string
 }
 
+// DefaultErrorRecordCap is the default bound on retained raw error
+// records. Long fault campaigns report without limit; the raw freeze
+// frames beyond the cap are the only thing dropped — DTC aggregation and
+// per-kind counts stay exact forever.
+const DefaultErrorRecordCap = 4096
+
 // ErrorManager implements the consistent error handling concept: errors
 // are reported once, recorded, and communicated to the application layer
 // by activating subscribed mode-switch runnables. Applications use this
 // for mode management and diagnostics.
 type ErrorManager struct {
-	p       *Platform
+	p *Platform
+	// records is a bounded ring of the most recent reports; start is the
+	// ring's read index once it has wrapped.
 	records []ErrorRecord
+	cap     int
+	start   int
+	total   int64
+	// Exact aggregates, maintained on every report so the ring cap never
+	// distorts diagnostics.
+	dtcs     []DTC
+	dtcIndex map[string]int
+	byKind   map[ErrorKind]int
 	// subscribers per kind: tasks to activate.
 	subs map[ErrorKind][]string
+
+	// OnReport, when set, observes every report as it is recorded — the
+	// hook the health monitor's error qualification attaches to. It runs
+	// after the report is counted and logged but before the mode switch.
+	OnReport func(ErrorRecord)
 }
 
 func newErrorManager(p *Platform) *ErrorManager {
-	em := &ErrorManager{p: p, subs: map[ErrorKind][]string{}}
+	ringCap := p.opts.ErrorRecordCap
+	if ringCap == 0 {
+		ringCap = DefaultErrorRecordCap
+	}
+	if ringCap < 0 {
+		ringCap = 0 // explicit "unbounded"
+	}
+	em := &ErrorManager{
+		p: p, cap: ringCap,
+		dtcIndex: map[string]int{},
+		byKind:   map[ErrorKind]int{},
+		subs:     map[ErrorKind][]string{},
+	}
 	// Auto-subscribe every mode-switch runnable whose Mode names an error
 	// kind.
 	for _, comp := range p.Sys.Components {
@@ -60,12 +96,36 @@ func newErrorManager(p *Platform) *ErrorManager {
 // DLT event log when one is attached.
 func (em *ErrorManager) Report(source string, kind ErrorKind, info string) {
 	now := em.p.K.Now()
-	em.records = append(em.records, ErrorRecord{At: int64(now), Source: source, Kind: kind, Info: info})
-	em.p.Trace.Emit(now, trace.Error, source, int64(len(em.records)), string(kind)+": "+info)
+	rec := ErrorRecord{At: int64(now), Source: source, Kind: kind, Info: info}
+	em.total++
+	em.byKind[kind]++
+	key := source + "/" + string(kind)
+	if i, ok := em.dtcIndex[key]; ok {
+		d := &em.dtcs[i]
+		d.Occurrences++
+		d.LastAt = rec.At
+		d.LastInfo = info
+	} else {
+		em.dtcIndex[key] = len(em.dtcs)
+		em.dtcs = append(em.dtcs, DTC{
+			Source: source, Kind: kind, Occurrences: 1,
+			FirstAt: rec.At, LastAt: rec.At, LastInfo: info,
+		})
+	}
+	if em.cap > 0 && len(em.records) >= em.cap {
+		em.records[em.start] = rec
+		em.start = (em.start + 1) % em.cap
+	} else {
+		em.records = append(em.records, rec)
+	}
+	em.p.Trace.Emit(now, trace.Error, source, em.total, string(kind)+": "+info)
 	em.p.Metrics.Counter("rte_errors_total",
 		"Errors reported through the platform error manager, by kind.",
 		obs.Label{Key: "kind", Value: string(kind)}).Inc()
 	em.p.DLT.Emit(int64(now), obs.LevelError, "RTE", "ERR", source+": "+string(kind)+": "+info)
+	if em.OnReport != nil {
+		em.OnReport(rec)
+	}
 	em.p.SwitchMode(string(kind))
 }
 
@@ -96,8 +156,22 @@ func indexDot(s string) int {
 	return len(s)
 }
 
-// Records returns all reported errors.
-func (em *ErrorManager) Records() []ErrorRecord { return em.records }
+// Records returns the retained error records in report order: all of them
+// while under the ring cap, the most recent cap reports after that (Total
+// counts every report ever made).
+func (em *ErrorManager) Records() []ErrorRecord {
+	if em.start == 0 {
+		return em.records
+	}
+	out := make([]ErrorRecord, 0, len(em.records))
+	out = append(out, em.records[em.start:]...)
+	out = append(out, em.records[:em.start]...)
+	return out
+}
+
+// Total returns how many errors have ever been reported, independent of
+// the record ring cap.
+func (em *ErrorManager) Total() int64 { return em.total }
 
 // DTC is a diagnostic trouble code entry: the aggregated view of one
 // (source, kind) fault with occurrence count and first/last freeze frames
@@ -111,35 +185,18 @@ type DTC struct {
 	LastInfo    string
 }
 
-// DTCs aggregates the raw error records into trouble codes, ordered by
-// first occurrence.
+// DTCs returns the aggregated trouble codes, ordered by first occurrence.
+// The aggregation is maintained per report, so it stays exact even after
+// the raw record ring has dropped old freeze frames.
 func (em *ErrorManager) DTCs() []DTC {
-	index := map[string]int{}
-	var out []DTC
-	for _, r := range em.records {
-		key := r.Source + "/" + string(r.Kind)
-		if i, ok := index[key]; ok {
-			out[i].Occurrences++
-			out[i].LastAt = r.At
-			out[i].LastInfo = r.Info
-			continue
-		}
-		index[key] = len(out)
-		out = append(out, DTC{
-			Source: r.Source, Kind: r.Kind, Occurrences: 1,
-			FirstAt: r.At, LastAt: r.At, LastInfo: r.Info,
-		})
-	}
+	out := make([]DTC, len(em.dtcs))
+	copy(out, em.dtcs)
 	return out
 }
 
-// CountKind returns how many errors of a kind were reported.
-func (em *ErrorManager) CountKind(kind ErrorKind) int {
-	n := 0
-	for _, r := range em.records {
-		if r.Kind == kind {
-			n++
-		}
-	}
-	return n
-}
+// DTCCount returns the number of distinct (source, kind) trouble codes.
+func (em *ErrorManager) DTCCount() int { return len(em.dtcs) }
+
+// CountKind returns how many errors of a kind were reported, independent
+// of the record ring cap.
+func (em *ErrorManager) CountKind(kind ErrorKind) int { return em.byKind[kind] }

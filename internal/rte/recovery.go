@@ -1,0 +1,126 @@
+package rte
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autorte/internal/obs"
+	"autorte/internal/sim"
+)
+
+// This file holds the platform-level recovery primitives the health
+// subsystem's escalation ladder (internal/health) drives: restart a single
+// runnable, restart a whole SWC partition, or reset an ECU. Each primitive
+// is usable on its own from application or test code.
+
+// RestartRunnable kills the runnable's in-flight job and queued
+// activations. The next activation (periodic release or data arrival)
+// starts it fresh — the "restart runnable" rung of recovery escalation.
+func (p *Platform) RestartRunnable(swc, runnable string) error {
+	name := swc + "." + runnable
+	task := p.tasks[name]
+	if task == nil {
+		return fmt.Errorf("rte: no task %s to restart", name)
+	}
+	cpu := p.cpus[p.Sys.Mapping[swc]]
+	cpu.Kill(task, "restart")
+	p.DLT.Emitf(int64(p.K.Now()), obs.LevelWarn, "RTE", "RCVR", "restart runnable %s", name)
+	return nil
+}
+
+// RestartComponent restarts an SWC partition: every runnable's job and
+// activation queue is killed and the component's consumer-side port state
+// is re-initialized to never-written, so stale pre-fault inputs cannot
+// leak into the restarted partition.
+func (p *Platform) RestartComponent(swc string) error {
+	comp := p.Sys.Component(swc)
+	if comp == nil {
+		return fmt.Errorf("rte: unknown component %s", swc)
+	}
+	cpu := p.cpus[p.Sys.Mapping[swc]]
+	for i := range comp.Runnables {
+		cpu.Kill(p.tasks[swc+"."+comp.Runnables[i].Name], "partition-restart")
+	}
+	p.clearStore(swc)
+	p.DLT.Emitf(int64(p.K.Now()), obs.LevelWarn, "RTE", "RCVR", "restart partition %s", swc)
+	return nil
+}
+
+// ResetECU simulates an ECU reset: every job on the ECU is killed, the
+// port state of every component mapped there is re-initialized, and all
+// its tasks stay suspended for the downtime (the reboot window) before
+// activations resume. Tasks that were already suspended — e.g. shed by a
+// degraded operating mode — remain suspended after the reset.
+func (p *Platform) ResetECU(ecu string, downtime sim.Duration) error {
+	cpu := p.cpus[ecu]
+	if cpu == nil {
+		return fmt.Errorf("rte: unknown ECU %s", ecu)
+	}
+	if downtime < 0 {
+		return fmt.Errorf("rte: negative ECU reset downtime")
+	}
+	var comps []string
+	for comp, e := range p.Sys.Mapping {
+		if e == ecu {
+			comps = append(comps, comp)
+		}
+	}
+	sort.Strings(comps)
+	var rebooting []string
+	for _, swc := range comps {
+		comp := p.Sys.Component(swc)
+		for i := range comp.Runnables {
+			name := swc + "." + comp.Runnables[i].Name
+			task := p.tasks[name]
+			cpu.Kill(task, "ecu-reset")
+			if downtime > 0 && !task.Suspended() {
+				cpu.SetSuspended(task, true)
+				rebooting = append(rebooting, name)
+			}
+		}
+		p.clearStore(swc)
+	}
+	p.DLT.Emitf(int64(p.K.Now()), obs.LevelWarn, "RTE", "RCVR",
+		"ECU %s reset (%v downtime, %d tasks)", ecu, downtime, len(rebooting))
+	if len(rebooting) > 0 {
+		p.K.After(downtime, func() {
+			for _, name := range rebooting {
+				cpu.SetSuspended(p.tasks[name], false)
+			}
+		})
+	}
+	return nil
+}
+
+// SetRunnableEnabled enables or disables a runnable's task. Disabled
+// runnables shed every activation (each shed is an auditable Drop trace
+// record) until re-enabled — the mechanism behind per-mode enable-sets in
+// graceful degradation.
+func (p *Platform) SetRunnableEnabled(swc, runnable string, enabled bool) error {
+	name := swc + "." + runnable
+	task := p.tasks[name]
+	if task == nil {
+		return fmt.Errorf("rte: no task %s to enable/disable", name)
+	}
+	p.cpus[p.Sys.Mapping[swc]].SetSuspended(task, !enabled)
+	return nil
+}
+
+// RunnableEnabled reports whether the runnable's task currently accepts
+// activations.
+func (p *Platform) RunnableEnabled(swc, runnable string) bool {
+	task := p.tasks[swc+"."+runnable]
+	return task != nil && !task.Suspended()
+}
+
+// clearStore re-initializes every consumer-side buffer of one component to
+// the never-written state.
+func (p *Platform) clearStore(swc string) {
+	prefix := swc + "/"
+	for key, c := range p.store {
+		if strings.HasPrefix(key, prefix) {
+			*c = cell{}
+		}
+	}
+}

@@ -92,6 +92,11 @@ type Options struct {
 	// component of ASIL-C or higher redundantly on both physical channels
 	// (FlexRay's dependability feature applied by criticality).
 	DualChannelFlexRay bool
+	// ErrorRecordCap bounds the raw error records the error manager
+	// retains (a ring of the most recent reports). Zero selects
+	// DefaultErrorRecordCap; negative means unbounded. DTC aggregation
+	// and per-kind counts stay exact regardless of the cap.
+	ErrorRecordCap int
 }
 
 func (o *Options) fill() {
@@ -203,7 +208,7 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 		func() float64 { return float64(len(p.Trace.Records)) })
 	p.Metrics.GaugeFunc("rte_dtcs",
 		"Distinct diagnostic trouble codes aggregated from error reports.",
-		func() float64 { return float64(len(p.Errors.DTCs())) })
+		func() float64 { return float64(p.Errors.DTCCount()) })
 	if err := p.buildCPUs(); err != nil {
 		return nil, err
 	}

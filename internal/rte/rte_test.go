@@ -1,6 +1,7 @@
 package rte
 
 import (
+	"fmt"
 	"testing"
 
 	"autorte/internal/flexray"
@@ -509,4 +510,161 @@ func TestDualChannelFlexRayOption(t *testing.T) {
 		t.Fatalf("QM single-channel stream unaffected by channel loss: %d", ctrlWire)
 	}
 	_ = applied
+}
+
+func TestErrorRecordRingBounded(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{ErrorRecordCap: 8})
+	for i := 0; i < 20; i++ {
+		i := i
+		p.K.At(sim.MS(float64(i)), func() {
+			p.Errors.Report("Sensor", ErrSensor, fmt.Sprintf("glitch %d", i))
+		})
+	}
+	p.K.At(sim.MS(25), func() { p.Errors.Report("Ctrl", ErrComm, "lost") })
+	p.Run(sim.MS(50))
+	recs := p.Errors.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	// Chronological order preserved across the wrap; newest report last.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatalf("records out of order: %+v", recs)
+		}
+	}
+	if recs[7].Kind != ErrComm {
+		t.Fatalf("last record %+v, want the comm error", recs[7])
+	}
+	// Aggregates stay exact despite the dropped freeze frames.
+	if p.Errors.Total() != 21 {
+		t.Fatalf("total = %d, want 21", p.Errors.Total())
+	}
+	if p.Errors.CountKind(ErrSensor) != 20 {
+		t.Fatalf("sensor count = %d, want 20", p.Errors.CountKind(ErrSensor))
+	}
+	dtcs := p.Errors.DTCs()
+	if len(dtcs) != 2 || dtcs[0].Occurrences != 20 || dtcs[0].FirstAt != int64(sim.MS(0)) {
+		t.Fatalf("DTC aggregation lost history: %+v", dtcs)
+	}
+	if dtcs[0].LastInfo != "glitch 19" {
+		t.Fatalf("freeze frame wrong: %+v", dtcs[0])
+	}
+}
+
+func TestErrorManagerOnReportHook(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	var seen []ErrorRecord
+	p.Errors.OnReport = func(r ErrorRecord) { seen = append(seen, r) }
+	p.K.At(sim.MS(10), func() { p.Errors.Report("Sensor", ErrSensor, "x") })
+	p.Run(sim.MS(20))
+	if len(seen) != 1 || seen[0].Source != "Sensor" || seen[0].At != int64(sim.MS(10)) {
+		t.Fatalf("hook saw %+v", seen)
+	}
+}
+
+func TestRestartRunnableKillsJobAndRecovers(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	// Make the sensor's 3rd job hang (huge demand); restart it at 35ms.
+	p.Task("Sensor", "sample").Demand = func(job int64) sim.Duration {
+		if job == 2 {
+			return sim.Second
+		}
+		return sim.US(50)
+	}
+	p.K.At(sim.MS(35), func() {
+		if err := p.RestartRunnable("Sensor", "sample"); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run(sim.MS(95))
+	// Jobs 0,1 finish; job 2 killed; releases from 40ms on run again.
+	if got := p.Trace.Count(trace.Finish, "Sensor.sample"); got < 7 {
+		t.Fatalf("sensor finished %d jobs after restart, want >=7", got)
+	}
+	if p.Trace.Count(trace.Abort, "Sensor.sample") != 1 {
+		t.Fatal("hung job not killed")
+	}
+	if err := p.RestartRunnable("Ghost", "x"); err == nil {
+		t.Fatal("unknown runnable restarted")
+	}
+}
+
+func TestRestartComponentClearsPortState(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	p.SetBehavior("Sensor", "sample", func(c *Context) {
+		if c.Now() < sim.MS(30) {
+			c.Write("out", "v", 42)
+		}
+	})
+	p.K.At(sim.MS(50), func() {
+		if _, ok := p.Value("Ctrl", "in", "v"); !ok {
+			t.Error("controller never received pre-restart value")
+		}
+		if err := p.RestartComponent("Ctrl"); err != nil {
+			t.Error(err)
+		}
+		if _, ok := p.Value("Ctrl", "in", "v"); ok {
+			t.Error("partition restart kept stale port state")
+		}
+	})
+	p.Run(sim.MS(95))
+	if err := p.RestartComponent("Ghost"); err == nil {
+		t.Fatal("unknown component restarted")
+	}
+}
+
+func TestResetECUDowntimeAndResume(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	p.K.At(sim.MS(32), func() {
+		if err := p.ResetECU("ecu1", sim.MS(30)); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run(sim.MS(95))
+	// Sensor releases at 0..30 run (4 jobs); 40,50,60 shed during the
+	// reboot window [32ms, 62ms); 70,80,90 run again.
+	if got := p.Trace.Count(trace.Finish, "Sensor.sample"); got != 7 {
+		t.Fatalf("sensor finished %d jobs across ECU reset, want 7", got)
+	}
+	if got := p.Trace.Count(trace.Drop, "Sensor.sample"); got != 3 {
+		t.Fatalf("reboot window shed %d activations, want 3", got)
+	}
+	if !p.RunnableEnabled("Sensor", "sample") {
+		t.Fatal("task still suspended after downtime")
+	}
+	if err := p.ResetECU("ghost", 0); err == nil {
+		t.Fatal("unknown ECU reset")
+	}
+	if err := p.ResetECU("ecu1", -1); err == nil {
+		t.Fatal("negative downtime accepted")
+	}
+}
+
+func TestSetRunnableEnabledSheds(t *testing.T) {
+	s := chainSystem(model.BusCAN)
+	p := MustBuild(s, Options{})
+	p.K.At(sim.MS(15), func() {
+		if err := p.SetRunnableEnabled("Sensor", "sample", false); err != nil {
+			t.Error(err)
+		}
+	})
+	p.K.At(sim.MS(55), func() {
+		if err := p.SetRunnableEnabled("Sensor", "sample", true); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run(sim.MS(95))
+	if got := p.Trace.Count(trace.Finish, "Sensor.sample"); got != 6 {
+		t.Fatalf("finished %d jobs, want 6 (2 before shed, 4 after resume)", got)
+	}
+	if got := p.Trace.Count(trace.Drop, "Sensor.sample"); got != 4 {
+		t.Fatalf("shed %d activations, want 4", got)
+	}
+	if err := p.SetRunnableEnabled("Ghost", "x", false); err == nil {
+		t.Fatal("unknown runnable disabled")
+	}
 }

@@ -72,6 +72,8 @@ func ChromeEvents(r *Recorder) []obs.TraceEvent {
 			instant(src, "drop", at, argInfo(rec))
 		case Error:
 			instant(src, "error", at, argInfo(rec))
+		case Recover:
+			instant(src, "recover", at, argInfo(rec))
 		case Activate:
 			// Activation is queueing, not execution: slices open at Start.
 		}

@@ -27,9 +27,10 @@ const (
 	Miss                 // deadline passed before Finish
 	Drop                 // discarded before transmission/start
 	Error                // fault detected / error reported
+	Recover              // recovery action performed (restart, reset, degrade)
 )
 
-var kindNames = [...]string{"activate", "start", "preempt", "resume", "finish", "abort", "miss", "drop", "error"}
+var kindNames = [...]string{"activate", "start", "preempt", "resume", "finish", "abort", "miss", "drop", "error", "recover"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -54,6 +55,19 @@ type Record struct {
 //autovet:nilsafe
 type Recorder struct {
 	Records []Record
+
+	// counts indexes records by kind (all sources) and by (kind, source)
+	// so Count is O(1): supervision and health monitors poll counts every
+	// window, which would otherwise rescan the whole trace each time.
+	// Maintained by Add; callers must not append to Records directly.
+	counts map[countKey]int
+}
+
+// countKey indexes the incremental counters; an empty source holds the
+// all-sources total for a kind.
+type countKey struct {
+	kind   Kind
+	source string
 }
 
 // Add appends a record. Safe on a nil receiver (no-op).
@@ -62,6 +76,13 @@ func (r *Recorder) Add(rec Record) {
 		return
 	}
 	r.Records = append(r.Records, rec)
+	if r.counts == nil {
+		r.counts = map[countKey]int{}
+	}
+	if rec.Source != "" {
+		r.counts[countKey{rec.Kind, rec.Source}]++
+	}
+	r.counts[countKey{rec.Kind, ""}]++
 }
 
 // Emit is shorthand for Add. Safe on a nil receiver (no-op).
@@ -76,6 +97,7 @@ func (r *Recorder) Emit(at sim.Time, kind Kind, source string, job int64, info s
 func (r *Recorder) Reset() {
 	if r != nil {
 		r.Records = r.Records[:0]
+		r.counts = nil
 	}
 }
 
@@ -94,18 +116,14 @@ func (r *Recorder) BySource(source string) []Record {
 }
 
 // Count returns how many records of the given kind a source produced.
-// An empty source matches all sources.
+// An empty source matches all sources. O(1): counts are maintained
+// incrementally by Add, so per-window supervision polls stay cheap no
+// matter how long the trace grows.
 func (r *Recorder) Count(kind Kind, source string) int {
 	if r == nil {
 		return 0
 	}
-	n := 0
-	for _, rec := range r.Records {
-		if rec.Kind == kind && (source == "" || rec.Source == source) {
-			n++
-		}
-	}
-	return n
+	return r.counts[countKey{kind, source}]
 }
 
 // WriteCSV writes all records as CSV. Safe on a nil receiver (writes

@@ -53,6 +53,41 @@ func TestCountFiltersByKindAndSource(t *testing.T) {
 	}
 }
 
+func TestCountIsIncremental(t *testing.T) {
+	// Count must agree with a linear scan at every point, including after
+	// Reset, since it now reads the incremental index instead of scanning.
+	var r Recorder
+	scan := func(kind Kind, source string) int {
+		n := 0
+		for _, rec := range r.Records {
+			if rec.Kind == kind && (source == "" || rec.Source == source) {
+				n++
+			}
+		}
+		return n
+	}
+	rnd := sim.NewRand(7)
+	sources := []string{"a", "b", "c"}
+	for i := 0; i < 200; i++ {
+		r.Emit(sim.Time(i), Kind(rnd.Intn(9)), sources[rnd.Intn(3)], int64(i), "")
+	}
+	for k := Activate; k <= Error; k++ {
+		for _, src := range []string{"", "a", "b", "c", "ghost"} {
+			if got, want := r.Count(k, src), scan(k, src); got != want {
+				t.Fatalf("Count(%v,%q) = %d, scan says %d", k, src, got, want)
+			}
+		}
+	}
+	r.Reset()
+	if r.Count(Finish, "") != 0 || r.Count(Finish, "a") != 0 {
+		t.Fatal("counts survived Reset")
+	}
+	r.Emit(0, Finish, "a", 0, "")
+	if r.Count(Finish, "") != 1 || r.Count(Finish, "a") != 1 {
+		t.Fatal("counts wrong after Reset + Emit")
+	}
+}
+
 func TestComputeStats(t *testing.T) {
 	s := Compute([]sim.Duration{10, 20, 30, 40, 50})
 	if s.N != 5 || s.Min != 10 || s.Max != 50 || s.Mean != 30 || s.Jitter != 40 {
