@@ -1,9 +1,9 @@
-# Tier-1 gate plus vet, autovet and the race detector — the full
-# pre-merge check.
+# Tier-1 gate plus vet, autovet, the race detector and shuffled test
+# order (order-dependence is a bug) — the full pre-merge check.
 check: lint
 	go build ./...
 	go vet ./...
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 # Build and run autovet, the repo's own go/analysis suite (see
 # internal/analysis): walltime, nilsafe, baregoroutine, kindswitch and
@@ -31,7 +31,7 @@ bench-all:
 # ladder and the graceful-degradation experiments, under the race
 # detector (the campaign runner fans scenarios out across workers).
 chaos:
-	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision' \
+	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12' \
 		./internal/fault ./internal/health ./internal/experiments
 
 .PHONY: check lint test bench bench-all chaos

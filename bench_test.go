@@ -108,6 +108,12 @@ func BenchmarkE11FaultCampaign(b *testing.B) {
 	})
 }
 
+func BenchmarkE12DetectionCoverage(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E12DetectionCoverage(experiments.DefaultE12())
+	})
+}
+
 // BenchmarkPlatformThroughput measures raw simulation speed: virtual
 // events per wall second on the full generated vehicle. This is the
 // substrate-cost figure behind every experiment above.

@@ -72,6 +72,15 @@ func main() {
 			}
 			tab.Render(os.Stdout)
 		}
+		for _, run := range []func(experiments.E12Config) (*experiments.Table, error){
+			experiments.E12DetectionCoverage, experiments.E12Overhead, experiments.E12Recovery,
+		} {
+			tab, err := run(experiments.DefaultE12())
+			if err != nil {
+				fatal(err)
+			}
+			tab.Render(os.Stdout)
+		}
 		return
 	}
 

@@ -116,3 +116,52 @@ func stale(k Kind) int {
 	}
 	return -1
 }
+
+// E2EStatus mirrors the six-value receiver check status of the E2E
+// protection layer (ok, repeated, wrong-sequence, not-available,
+// no-new-data, error) — wide enums must still be fully enumerated.
+type E2EStatus uint8
+
+const (
+	StatusOK E2EStatus = iota
+	StatusRepeated
+	StatusWrongSequence
+	StatusNotAvailable
+	StatusNoNewData
+	StatusError
+)
+
+func e2eExhaustive(s E2EStatus) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRepeated:
+		return "repeated"
+	case StatusWrongSequence:
+		return "wrong-sequence"
+	case StatusNotAvailable:
+		return "not-available"
+	case StatusNoNewData:
+		return "no-new-data"
+	case StatusError:
+		return "error"
+	}
+	return "?"
+}
+
+func e2eMissingTail(s E2EStatus) bool {
+	switch s { // want `switch over E2EStatus is not exhaustive: missing StatusError, StatusNoNewData`
+	case StatusOK, StatusRepeated, StatusWrongSequence, StatusNotAvailable:
+		return true
+	}
+	return false
+}
+
+func e2eAcceptGate(s E2EStatus) bool {
+	switch s { // the receive-gate idiom: default handles every fault status
+	case StatusOK:
+		return true
+	default:
+		return false
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"autorte/internal/e2eprot"
 	"autorte/internal/sim"
 )
 
@@ -91,6 +92,11 @@ type IPdu struct {
 	Period sim.Duration
 	// MinDelay rate-limits Direct/Mixed event transmissions.
 	MinDelay sim.Duration
+	// E2E, when non-nil, makes this a protected PDU: the transmitter
+	// stamps an E2E protection header (CRC + sequence counter) into the
+	// payload bytes the config reserves, and receive-side Verifiers check
+	// it. Validate rejects signals laid out over the reserved header.
+	E2E *e2eprot.Config
 }
 
 // Validate checks the PDU layout: signal fields inside the payload and
@@ -103,6 +109,14 @@ func (p *IPdu) Validate() error {
 		return fmt.Errorf("com: PDU %s: length %d outside 1..254", p.Name, p.Length)
 	}
 	used := make([]bool, p.Length*8)
+	e2eFrom, e2eTo := -1, -1
+	if p.E2E != nil {
+		if err := p.E2E.Validate(p.Length); err != nil {
+			return fmt.Errorf("com: PDU %s: %w", p.Name, err)
+		}
+		e2eFrom = p.E2E.Offset * 8
+		e2eTo = (p.E2E.Offset + p.E2E.Profile.HeaderLen()) * 8
+	}
 	seen := map[string]bool{}
 	for i := range p.Signals {
 		s := &p.Signals[i]
@@ -121,6 +135,9 @@ func (p *IPdu) Validate() error {
 			return fmt.Errorf("com: PDU %s signal %s: %w", p.Name, s.Name, err)
 		}
 		for _, b := range positions {
+			if b >= e2eFrom && b < e2eTo {
+				return fmt.Errorf("com: PDU %s signal %s: overlaps the E2E protection header at bit %d", p.Name, s.Name, b)
+			}
 			if used[b] {
 				return fmt.Errorf("com: PDU %s signal %s: overlaps another signal at bit %d", p.Name, s.Name, b)
 			}

@@ -3,6 +3,7 @@ package com
 import (
 	"fmt"
 
+	"autorte/internal/e2eprot"
 	"autorte/internal/sim"
 )
 
@@ -46,13 +47,76 @@ func (r *Router) Route(pdu *IPdu, payload []byte) int {
 	return len(chs)
 }
 
+// Verifier wraps a Channel with receive-side E2E verification: every
+// payload is checked against the PDU's protection header before being
+// forwarded, and non-OK receptions are dropped and reported through
+// OnStatus. Wrapping each hop's ingress (including the gateway's) gives
+// hop-by-hop detection while the protection header itself travels
+// untouched from the sending runnable to the final receiver.
+type Verifier struct {
+	pdu  *IPdu
+	rx   *e2eprot.Receiver
+	next Channel
+	now  func() sim.Time
+	// OnStatus observes every check verdict, including the dropped ones.
+	OnStatus func(pdu *IPdu, st e2eprot.Status)
+}
+
+// NewVerifier wraps next with verification for the protected PDU. The
+// now func supplies virtual time for staleness supervision (nil means
+// always time zero).
+func NewVerifier(pdu *IPdu, next Channel, now func() sim.Time) (*Verifier, error) {
+	if pdu.E2E == nil {
+		return nil, fmt.Errorf("com: verifier for %s: PDU has no E2E config", pdu.Name)
+	}
+	if err := pdu.Validate(); err != nil {
+		return nil, err
+	}
+	return &Verifier{pdu: pdu, rx: e2eprot.NewReceiver(*pdu.E2E), next: next, now: now}, nil
+}
+
+// Receiver exposes the underlying E2E receiver, e.g. for window state
+// queries or a Reset after channel failover.
+func (v *Verifier) Receiver() *e2eprot.Receiver { return v.rx }
+
+func (v *Verifier) at() sim.Time {
+	if v.now == nil {
+		return 0
+	}
+	return v.now()
+}
+
+// SendPDU implements Channel: verify, then forward only OK receptions.
+func (v *Verifier) SendPDU(pdu *IPdu, payload []byte) {
+	st := v.rx.Check(v.at(), payload)
+	if v.OnStatus != nil {
+		v.OnStatus(pdu, st)
+	}
+	if st == e2eprot.StatusOK && v.next != nil {
+		v.next.SendPDU(pdu, payload)
+	}
+}
+
+// Supervise runs a timeout check with no reception: NoNewData within the
+// configured Timeout, NotAvailable beyond it. The verdict feeds OnStatus
+// like any reception.
+func (v *Verifier) Supervise(now sim.Time) e2eprot.Status {
+	st := v.rx.Check(now, nil)
+	if v.OnStatus != nil {
+		v.OnStatus(v.pdu, st)
+	}
+	return st
+}
+
 // Transmitter drives one I-PDU's transmission mode: it keeps the latest
 // signal values and emits payloads to a router according to the PDU's
-// mode (periodic timer, update-triggered, or both).
+// mode (periodic timer, update-triggered, or both). Protected PDUs are
+// stamped with their E2E header on every send.
 type Transmitter struct {
 	Pdu    *IPdu
 	router *Router
 	k      *sim.Kernel
+	e2e    *e2eprot.Sender
 
 	values   map[string]float64
 	lastSend sim.Time
@@ -69,7 +133,11 @@ func NewTransmitter(k *sim.Kernel, pdu *IPdu, router *Router) (*Transmitter, err
 	if router == nil {
 		return nil, fmt.Errorf("com: transmitter for %s: nil router", pdu.Name)
 	}
-	return &Transmitter{Pdu: pdu, router: router, k: k, values: map[string]float64{}, lastSend: -1}, nil
+	t := &Transmitter{Pdu: pdu, router: router, k: k, values: map[string]float64{}, lastSend: -1}
+	if pdu.E2E != nil {
+		t.e2e = e2eprot.NewSender(*pdu.E2E)
+	}
+	return t, nil
 }
 
 // Start arms the periodic timer for Periodic/Mixed PDUs.
@@ -114,5 +182,9 @@ func (t *Transmitter) Sent() int64 { return t.sent }
 func (t *Transmitter) send() {
 	t.lastSend = t.k.Now()
 	t.sent++
-	t.router.Route(t.Pdu, t.Pdu.Pack(t.values))
+	payload := t.Pdu.Pack(t.values)
+	if t.e2e != nil {
+		_ = t.e2e.Protect(payload) // layout already validated against the PDU
+	}
+	t.router.Route(t.Pdu, payload)
 }

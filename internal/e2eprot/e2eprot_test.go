@@ -1,0 +1,266 @@
+package e2eprot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autorte/internal/sim"
+)
+
+func roundTrip(t *testing.T, profile ProfileKind) (*Sender, *Receiver, []byte) {
+	t.Helper()
+	cfg := Config{Profile: profile, DataID: 0x1234, Offset: 4}
+	s, r := NewSender(cfg), NewReceiver(cfg)
+	payload := make([]byte, 8)
+	payload[0] = 0xAB
+	if err := s.Protect(payload); err != nil {
+		t.Fatal(err)
+	}
+	return s, r, payload
+}
+
+func TestProtectCheckOK(t *testing.T) {
+	for _, p := range []ProfileKind{P01, P05} {
+		_, r, payload := roundTrip(t, p)
+		if st := r.Check(0, payload); st != StatusOK {
+			t.Fatalf("%v: fresh payload status %v, want ok", p, st)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	for _, p := range []ProfileKind{P01, P05} {
+		_, r, payload := roundTrip(t, p)
+		payload[0] ^= 0x40 // flip a data bit
+		if st := r.Check(0, payload); st != StatusError {
+			t.Fatalf("%v: corrupted payload status %v, want error", p, st)
+		}
+	}
+}
+
+func TestHeaderCorruptionDetected(t *testing.T) {
+	_, r, payload := roundTrip(t, P05)
+	payload[4] ^= 0x01 // flip a CRC bit
+	if st := r.Check(0, payload); st != StatusError {
+		t.Fatalf("corrupted CRC status %v, want error", st)
+	}
+}
+
+func TestMasqueradeDetected(t *testing.T) {
+	// Same layout, different DataID: internally consistent, wrong stream.
+	for _, p := range []ProfileKind{P01, P05} {
+		wrong := NewSender(Config{Profile: p, DataID: 0x9999, Offset: 4})
+		r := NewReceiver(Config{Profile: p, DataID: 0x1234, Offset: 4})
+		payload := make([]byte, 8)
+		if err := wrong.Protect(payload); err != nil {
+			t.Fatal(err)
+		}
+		if st := r.Check(0, payload); st != StatusError {
+			t.Fatalf("%v: masqueraded payload status %v, want error", p, st)
+		}
+	}
+}
+
+func TestDuplicateRepeated(t *testing.T) {
+	_, r, payload := roundTrip(t, P01)
+	if st := r.Check(0, payload); st != StatusOK {
+		t.Fatal(st)
+	}
+	cp := append([]byte(nil), payload...)
+	if st := r.Check(1, cp); st != StatusRepeated {
+		t.Fatalf("duplicate status %v, want repeated", st)
+	}
+}
+
+func TestCounterToleratesSmallLoss(t *testing.T) {
+	cfg := Config{Profile: P01, DataID: 7, MaxDeltaCounter: 2}
+	s, r := NewSender(cfg), NewReceiver(cfg)
+	send := func() []byte {
+		p := make([]byte, 4)
+		if err := s.Protect(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if st := r.Check(0, send()); st != StatusOK {
+		t.Fatal(st)
+	}
+	_ = send() // lost in transit: delta 2 still accepted
+	if st := r.Check(1, send()); st != StatusOK {
+		t.Fatalf("delta-2 status %v, want ok", st)
+	}
+	_, _, _ = send(), send(), send() // three lost: delta 4 > MaxDeltaCounter
+	if st := r.Check(2, send()); st != StatusWrongSequence {
+		t.Fatalf("delta-4 status %v, want wrong-sequence", st)
+	}
+	// Resynchronized: the next consecutive payload is OK again.
+	if st := r.Check(3, send()); st != StatusOK {
+		t.Fatalf("post-resync status %v, want ok", st)
+	}
+}
+
+func TestP01CounterWraps(t *testing.T) {
+	cfg := Config{Profile: P01, DataID: 3, MaxDeltaCounter: 1}
+	s, r := NewSender(cfg), NewReceiver(cfg)
+	for i := 0; i < 40; i++ { // crosses the 0..14 wrap twice
+		p := make([]byte, 4)
+		if err := s.Protect(p); err != nil {
+			t.Fatal(err)
+		}
+		if st := r.Check(sim.Time(i), p); st != StatusOK {
+			t.Fatalf("send %d: status %v, want ok (counter wrap)", i, st)
+		}
+	}
+}
+
+func TestTimeoutSupervision(t *testing.T) {
+	cfg := Config{Profile: P01, DataID: 5, Timeout: sim.MS(30)}
+	s, r := NewSender(cfg), NewReceiver(cfg)
+	if st := r.Check(0, nil); st != StatusNotAvailable {
+		t.Fatalf("never-received status %v, want not-available", st)
+	}
+	p := make([]byte, 4)
+	if err := s.Protect(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Check(sim.MS(10), p); st != StatusOK {
+		t.Fatal("valid payload rejected")
+	}
+	if st := r.Check(sim.MS(25), nil); st != StatusNoNewData {
+		t.Fatalf("within-timeout status %v, want no-new-data", st)
+	}
+	if st := r.Check(sim.MS(50), nil); st != StatusNotAvailable {
+		t.Fatalf("past-timeout status %v, want not-available", st)
+	}
+}
+
+func TestTruncatedPayloadIsError(t *testing.T) {
+	_, r, payload := roundTrip(t, P05)
+	if st := r.Check(0, payload[:5]); st != StatusError {
+		t.Fatalf("truncated payload status %v, want error", st)
+	}
+}
+
+func TestStateMachineQualification(t *testing.T) {
+	cfg := Config{Profile: P01, DataID: 9, WindowSize: 4, MinOKForValid: 3, MaxErrorsForValid: 1}
+	s, r := NewSender(cfg), NewReceiver(cfg)
+	if st := r.State(); st != SMNoData {
+		t.Fatalf("initial state %v, want no-data", st)
+	}
+	ok := func(i int) {
+		p := make([]byte, 4)
+		if err := s.Protect(p); err != nil {
+			t.Fatal(err)
+		}
+		if st := r.Check(sim.Time(i), p); st != StatusOK {
+			t.Fatal(st)
+		}
+	}
+	ok(0)
+	if st := r.State(); st != SMInit {
+		t.Fatalf("after first ok: state %v, want init", st)
+	}
+	ok(1)
+	ok(2)
+	ok(3)
+	if st := r.State(); st != SMValid {
+		t.Fatalf("after window of oks: state %v, want valid", st)
+	}
+	// Two errors within the window cross MaxErrorsForValid.
+	bad := []byte{1, 2, 3, 4}
+	r.Check(4, bad)
+	if st := r.State(); st != SMValid {
+		t.Fatalf("one error should be tolerated, state %v", st)
+	}
+	r.Check(5, append([]byte(nil), bad...))
+	if st := r.State(); st != SMInvalid {
+		t.Fatalf("after two errors: state %v, want invalid", st)
+	}
+	// Recovery: fresh OKs push the errors out of the window.
+	ok(6)
+	ok(7)
+	ok(8)
+	ok(9)
+	if st := r.State(); st != SMValid {
+		t.Fatalf("after recovery: state %v, want valid", st)
+	}
+}
+
+func TestResetGivesFreshStart(t *testing.T) {
+	_, r, payload := roundTrip(t, P01)
+	if st := r.Check(0, payload); st != StatusOK {
+		t.Fatal(st)
+	}
+	r.Reset()
+	if st := r.State(); st != SMNoData {
+		t.Fatalf("state after reset %v, want no-data", st)
+	}
+	// The same payload (same counter) is accepted again: no stale counter.
+	if st := r.Check(1, payload); st != StatusOK {
+		t.Fatalf("replay after reset %v, want ok (fresh counter baseline)", st)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Profile: P01, Offset: 3}).Validate(4); err == nil {
+		t.Fatal("header past payload accepted")
+	}
+	if err := (Config{Profile: P05, Offset: -1}).Validate(8); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := (Config{Profile: P01, MaxDeltaCounter: 15}).Validate(8); err == nil {
+		t.Fatal("MaxDeltaCounter outside counter range accepted")
+	}
+	if err := (Config{Profile: ProfileKind(9)}).Validate(8); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := (Config{Profile: P05, WindowSize: 2, MinOKForValid: 3}).Validate(8); err == nil {
+		t.Fatal("MinOKForValid > WindowSize accepted")
+	}
+	if err := (Config{Profile: P05, Offset: 5}).Validate(8); err != nil {
+		t.Fatalf("valid tail-offset config rejected: %v", err)
+	}
+}
+
+func TestProtectTooShortPayload(t *testing.T) {
+	s := NewSender(Config{Profile: P05})
+	if err := s.Protect(make([]byte, 2)); err == nil {
+		t.Fatal("protect of too-short payload accepted")
+	}
+}
+
+func TestRandomCorruptionQuick(t *testing.T) {
+	// Property: any single-bit flip anywhere in the payload is detected.
+	cfg := Config{Profile: P01, DataID: 0xBEEF}
+	f := func(data [6]byte, bit uint16) bool {
+		s, r := NewSender(cfg), NewReceiver(cfg)
+		payload := append(make([]byte, 2), data[:]...) // 2-byte header + 6 data
+		if err := s.Protect(payload); err != nil {
+			return false
+		}
+		pos := int(bit) % (len(payload) * 8)
+		payload[pos/8] ^= 1 << (pos % 8)
+		return r.Check(0, payload) == StatusError
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusAndStateNames(t *testing.T) {
+	if StatusOK.String() != "ok" || StatusError.String() != "error" ||
+		StatusNotAvailable.String() != "not-available" {
+		t.Fatal("status names")
+	}
+	if SMValid.String() != "valid" || SMInvalid.String() != "invalid" {
+		t.Fatal("state names")
+	}
+	if StatusError.DetectedClass() != "crc" || StatusRepeated.DetectedClass() != "duplicate" ||
+		StatusWrongSequence.DetectedClass() != "sequence" || StatusNotAvailable.DetectedClass() != "timeout" ||
+		StatusOK.DetectedClass() != "" || StatusNoNewData.DetectedClass() != "" {
+		t.Fatal("detected classes")
+	}
+	if P01.String() != "P01" || P05.String() != "P05" {
+		t.Fatal("profile names")
+	}
+}

@@ -107,6 +107,10 @@ func runE11Scenario(cfg E11Config, s fault.Scenario) fault.Result {
 	case fault.FaultOverrun:
 		p.SetBehavior("Sensor", "sample", healthy)
 		fault.OverrunTaskBetween(p.K, p.Task("Sensor", "sample"), s.InjectAt, s.Until, 50)
+	default:
+		// Communication classes are exercised by E12's protected-channel
+		// harness, not the recovery-ladder sweep.
+		p.SetBehavior("Sensor", "sample", healthy)
 	}
 	p.SetBehavior("Ctrl", "step", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
 	p.SetBehavior("Act", "apply", func(c *rte.Context) {})

@@ -297,3 +297,84 @@ func TestTableRender(t *testing.T) {
 		}
 	}
 }
+
+func TestE12CoverageProtectedVsUnprotected(t *testing.T) {
+	tab, err := E12DetectionCoverage(DefaultE12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 6 classes x {protected, unprotected}
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		class, ch, injected, coverage, residual := r[0], r[1], r[2], r[4], r[5]
+		if injected == "0" {
+			t.Errorf("%s/%s injected nothing", class, ch)
+		}
+		switch ch {
+		case "protected":
+			if coverage != "1.000" {
+				t.Errorf("%s protected coverage %s, want 1.000", class, coverage)
+			}
+		case "unprotected":
+			if coverage != "0.000" || residual != "1.000" {
+				t.Errorf("%s unprotected coverage/residual %s/%s, want 0.000/1.000",
+					class, coverage, residual)
+			}
+			if r[3] != "0" {
+				t.Errorf("%s unprotected detected %s faults without means to", class, r[3])
+			}
+		default:
+			t.Errorf("unexpected channel %q", ch)
+		}
+	}
+}
+
+func TestE12OverheadMeasured(t *testing.T) {
+	tab, err := E12Overhead(DefaultE12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	unprot, prot := tab.Rows[0], tab.Rows[1]
+	if unprot[1] != "2" || prot[1] != "4" {
+		t.Fatalf("pdu bytes %s/%s, want 2/4 (P01 header)", unprot[1], prot[1])
+	}
+	if unprot[5] != "+0.0%" || !strings.HasPrefix(prot[5], "+") {
+		t.Fatalf("bandwidth overhead %s/%s", unprot[5], prot[5])
+	}
+}
+
+func TestE12RecoveryOutcomes(t *testing.T) {
+	tab, err := E12Recovery(DefaultE12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	corrupt, frloss := tab.Rows[0], tab.Rows[1]
+	if corrupt[1] != "true" || corrupt[5] != "safe-stop/safe-stopped" {
+		t.Fatalf("sustained corruption did not climb the ladder: %v", corrupt)
+	}
+	if frloss[1] != "true" || frloss[4] != "2" || frloss[6] != "true" {
+		t.Fatalf("flexray loss did not fail over and recover: %v", frloss)
+	}
+}
+
+func TestE12Deterministic(t *testing.T) {
+	render := func() string {
+		tab, err := E12DetectionCoverage(DefaultE12())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tab.Render(&sb)
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("coverage table not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -30,9 +30,25 @@ const (
 	FaultCANBurst
 	// FaultOverrun: a runnable exceeds its execution budget.
 	FaultOverrun
+	// FaultCommCorrupt: received payloads carry flipped bits (comm.go).
+	FaultCommCorrupt
+	// FaultCommMasquerade: an internally valid frame of a foreign stream.
+	FaultCommMasquerade
+	// FaultCommDrop: frames are lost in transit.
+	FaultCommDrop
+	// FaultCommDuplicate: every frame is delivered twice.
+	FaultCommDuplicate
+	// FaultCommDelay: frames are held beyond the receiver's timeout bound.
+	FaultCommDelay
+	// FaultCommResequence: consecutive frames swap order.
+	FaultCommResequence
 )
 
-var faultClassNames = [...]string{"sensor-silent", "sensor-stuck", "sensor-noise", "can-burst", "wcet-overrun"}
+var faultClassNames = [...]string{
+	"sensor-silent", "sensor-stuck", "sensor-noise", "can-burst", "wcet-overrun",
+	"comm-corrupt", "comm-masquerade", "comm-drop", "comm-duplicate",
+	"comm-delay", "comm-resequence",
+}
 
 func (c FaultClass) String() string {
 	if int(c) < len(faultClassNames) {

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"autorte/internal/e2eprot"
+	"autorte/internal/flexray"
+	"autorte/internal/overlay"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+// Communication fault taxonomy: the receive-side fault models of the E2E
+// protection literature (corruption, masquerade, loss, repetition, delay,
+// re-sequencing). Each injector installs an rte.RxTamper on one signal and
+// is active in the [from, until) window; until == 0 means permanent. The
+// same injector works on protected and unprotected platforms, so detection
+// coverage can be compared under an identical fault load.
+
+// CommInjector accounts the faults one communication injector actually
+// produced — the denominator of a detection-coverage measurement.
+type CommInjector struct {
+	// Injected counts fault events: corrupted/forged/dropped/delayed
+	// frames, extra duplicate copies, or swapped pairs.
+	Injected int
+}
+
+func inWindow(at, from sim.Time, until sim.Time) bool {
+	return at >= from && (until == 0 || at < until)
+}
+
+// CorruptPayload flips one random payload bit of every frame delivered in
+// the window — the bit-error model a bus CRC would catch on the wire but
+// nothing catches past the controller (gateway RAM, driver buffers).
+func CorruptPayload(p *rte.Platform, signal string, from, until sim.Time, seed uint64) *CommInjector {
+	inj := &CommInjector{}
+	r := sim.NewRand(seed)
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		if !inWindow(at, from, until) || len(payload) == 0 {
+			deliver(payload)
+			return
+		}
+		cp := append([]byte(nil), payload...)
+		bit := int(r.Uint64() % uint64(len(cp)*8))
+		cp[bit/8] ^= 1 << (bit % 8)
+		inj.Injected++
+		deliver(cp)
+	})
+	return inj
+}
+
+// Masquerade substitutes frames of a foreign stream: the payload carries a
+// wrong value, and on a protected platform the forged frame is re-protected
+// under a different DataID — internally consistent, so only the receiver's
+// implicit DataID binding can expose it. Unprotected receivers accept the
+// impostor silently.
+func Masquerade(p *rte.Platform, signal string, from, until sim.Time) *CommInjector {
+	inj := &CommInjector{}
+	var forge *e2eprot.Sender
+	if cfg, ok := p.E2EConfig(signal); ok {
+		cfg.DataID ^= 0x5A5A // the impostor stream's identity
+		forge = e2eprot.NewSender(cfg)
+	}
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		if !inWindow(at, from, until) || len(payload) == 0 {
+			deliver(payload)
+			return
+		}
+		cp := append([]byte(nil), payload...)
+		cp[0] ^= 0x0F // plausible but wrong data from the foreign stream
+		if forge != nil {
+			_ = forge.Protect(cp)
+		}
+		inj.Injected++
+		deliver(cp)
+	})
+	return inj
+}
+
+// DropPDU loses every frame in the window — the dead-channel/stuck-gateway
+// model. Only timeout supervision can see it.
+func DropPDU(p *rte.Platform, signal string, from, until sim.Time) *CommInjector {
+	inj := &CommInjector{}
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		if !inWindow(at, from, until) {
+			deliver(payload)
+			return
+		}
+		inj.Injected++
+	})
+	return inj
+}
+
+// DuplicatePDU delivers every frame in the window twice — the babbling
+// gateway/retransmission-storm model. The extra copy is the counted fault.
+func DuplicatePDU(p *rte.Platform, signal string, from, until sim.Time) *CommInjector {
+	inj := &CommInjector{}
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		deliver(payload)
+		if !inWindow(at, from, until) {
+			return
+		}
+		inj.Injected++
+		deliver(append([]byte(nil), payload...))
+	})
+	return inj
+}
+
+// DelayPDU holds every frame in the window for delay before delivering it.
+// A delay beyond the receiver's timeout bound manifests as NotAvailable;
+// shorter delays are tolerated staleness, invisible by design.
+func DelayPDU(p *rte.Platform, signal string, from, until sim.Time, delay sim.Duration) *CommInjector {
+	inj := &CommInjector{}
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		if !inWindow(at, from, until) {
+			deliver(payload)
+			return
+		}
+		inj.Injected++
+		cp := append([]byte(nil), payload...)
+		p.K.AtPrio(at+delay, 45, func() { deliver(cp) })
+	})
+	return inj
+}
+
+// ResequencePDU swaps consecutive frame pairs in the window: the first of
+// each pair is held until the second arrives, then they deliver in reversed
+// order. One swapped pair counts as one fault.
+func ResequencePDU(p *rte.Platform, signal string, from, until sim.Time) *CommInjector {
+	inj := &CommInjector{}
+	var held []byte
+	p.TamperRx(signal, func(at sim.Time, payload []byte, deliver func([]byte)) {
+		if !inWindow(at, from, until) {
+			deliver(payload)
+			return
+		}
+		if held == nil {
+			held = append([]byte(nil), payload...)
+			return
+		}
+		inj.Injected++
+		deliver(payload)
+		deliver(held)
+		held = nil
+	})
+	return inj
+}
+
+// FlexRayBurst corrupts frames on a FlexRay bus with the given probability
+// per physical channel during [from, until). Because each channel rolls
+// independently, ChannelAB frames survive unless both copies are hit —
+// the dual-channel redundancy argument, measurable.
+func FlexRayBurst(bus *flexray.Bus, from, until sim.Time, probability float64, seed uint64) {
+	r := sim.NewRand(seed)
+	bus.ErrorInjector = func(_ *flexray.Frame, _ flexray.Channel, at sim.Time) bool {
+		if at < from || at >= until {
+			return false
+		}
+		return r.Float64() < probability
+	}
+}
+
+// OverlayBurst corrupts payloads inside the CAN-overlay NoC fabric with the
+// given probability during [from, until): one random payload bit flips per
+// hit frame. No bus-level CRC exists at that layer, so without E2E
+// protection the corruption reaches the application unnoticed.
+func OverlayBurst(v *overlay.VirtualCAN, from, until sim.Time, probability float64, seed uint64) {
+	r := sim.NewRand(seed)
+	v.Tamper = func(_ *overlay.Message, at sim.Time, payload []byte) []byte {
+		if at < from || at >= until || len(payload) == 0 {
+			return payload
+		}
+		if r.Float64() >= probability {
+			return payload
+		}
+		cp := append([]byte(nil), payload...)
+		bit := int(r.Uint64() % uint64(len(cp)*8))
+		cp[bit/8] ^= 1 << (bit % 8)
+		return cp
+	}
+}

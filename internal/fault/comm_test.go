@@ -1,0 +1,286 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"autorte/internal/e2eprot"
+	"autorte/internal/flexray"
+	"autorte/internal/model"
+	"autorte/internal/noc"
+	"autorte/internal/obs"
+	"autorte/internal/overlay"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+const commSignal = "Sensor.out.v->Act.in"
+
+// commSystem: Sensor on ecu1 feeds Act on ecu2 over one CAN bus — the
+// minimal remote channel the comm injectors tamper with.
+func commSystem() *model.System {
+	ifV := &model.PortInterface{
+		Name: "IfV", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "v", Type: model.UInt16}},
+	}
+	return &model.System{
+		Name:       "comm",
+		Interfaces: []*model.PortInterface{ifV},
+		Components: []*model.SWC{
+			{
+				Name:  "Sensor",
+				Ports: []model.Port{{Name: "out", Direction: model.Provided, Interface: ifV}},
+				Runnables: []model.Runnable{{
+					Name: "sample", WCETNominal: sim.US(50),
+					Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(10)},
+					Writes:  []model.PortRef{{Port: "out", Elem: "v"}},
+				}},
+			},
+			{
+				Name:  "Act",
+				Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: ifV}},
+				Runnables: []model.Runnable{{
+					Name: "apply", WCETNominal: sim.US(20),
+					Trigger: model.Trigger{Kind: model.DataReceivedEvent, Port: "in", Elem: "v"},
+					Reads:   []model.PortRef{{Port: "in", Elem: "v"}},
+				}},
+			},
+		},
+		ECUs: []*model.ECU{
+			{Name: "ecu1", Speed: 1, Buses: []string{"bus0"}},
+			{Name: "ecu2", Speed: 1, Buses: []string{"bus0"}},
+		},
+		Buses:      []*model.Bus{{Name: "bus0", Kind: model.BusCAN, BitRate: 500_000}},
+		Connectors: []model.Connector{{FromSWC: "Sensor", FromPort: "out", ToSWC: "Act", ToPort: "in"}},
+		Mapping:    map[string]string{"Sensor": "ecu1", "Act": "ecu2"},
+	}
+}
+
+func commPlatform(protected bool) (*rte.Platform, *int, *float64) {
+	opts := rte.Options{}
+	if protected {
+		opts.E2E = &rte.E2EOptions{}
+	}
+	p := rte.MustBuild(commSystem(), opts)
+	applied := new(int)
+	last := new(float64)
+	p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+	p.SetBehavior("Act", "apply", func(c *rte.Context) { *applied++; *last = c.Read("in", "v") })
+	return p, applied, last
+}
+
+func commDetected(p *rte.Platform, class string) int {
+	return int(p.Metrics.Counter("e2e_detected_faults_total",
+		"Communication faults detected by E2E protection, by detected class.",
+		obs.Label{Key: "class", Value: class}).Value())
+}
+
+func TestCorruptPayloadCoverage(t *testing.T) {
+	p, applied, _ := commPlatform(true)
+	inj := CorruptPayload(p, commSignal, sim.MS(30), sim.MS(70), 1)
+	p.Run(sim.MS(95))
+	if inj.Injected == 0 {
+		t.Fatal("injector produced no faults")
+	}
+	if n := commDetected(p, "crc"); n != inj.Injected {
+		t.Fatalf("detected %d crc faults of %d injected", n, inj.Injected)
+	}
+	if *applied >= 10 {
+		t.Fatalf("corrupted frames were not dropped: applied=%d", *applied)
+	}
+
+	// The same fault load on an unprotected platform passes silently.
+	u, appliedU, _ := commPlatform(false)
+	injU := CorruptPayload(u, commSignal, sim.MS(30), sim.MS(70), 1)
+	u.Run(sim.MS(95))
+	if injU.Injected == 0 || u.Errors.CountKind(rte.ErrComm) != 0 {
+		t.Fatalf("unprotected: injected=%d commErrors=%d, want >0/0",
+			injU.Injected, u.Errors.CountKind(rte.ErrComm))
+	}
+	if *appliedU != 10 {
+		t.Fatalf("unprotected chain applied %d times, want 10", *appliedU)
+	}
+}
+
+func TestMasqueradeDetectedOnlyWhenProtected(t *testing.T) {
+	p, _, last := commPlatform(true)
+	inj := Masquerade(p, commSignal, sim.MS(30), 0)
+	p.Run(sim.MS(95))
+	if inj.Injected == 0 {
+		t.Fatal("no impostor frames injected")
+	}
+	// The forged frames are internally consistent; only the DataID binding
+	// exposes them, as a CRC mismatch.
+	if n := commDetected(p, "crc"); n != inj.Injected {
+		t.Fatalf("detected %d of %d impostor frames", n, inj.Injected)
+	}
+	if *last != 100 {
+		t.Fatalf("impostor value %v reached the receiver", *last)
+	}
+
+	u, _, lastU := commPlatform(false)
+	Masquerade(u, commSignal, sim.MS(30), 0)
+	u.Run(sim.MS(95))
+	if u.Errors.CountKind(rte.ErrComm) != 0 {
+		t.Fatal("unprotected platform detected the masquerade without means to")
+	}
+	if *lastU == 100 {
+		t.Fatal("impostor frames did not bite on the unprotected platform")
+	}
+}
+
+func TestDropPDUDetectedByTimeout(t *testing.T) {
+	p, _, _ := commPlatform(true)
+	inj := DropPDU(p, commSignal, sim.MS(30), 0) // permanent
+	p.Run(sim.MS(95))
+	if inj.Injected == 0 {
+		t.Fatal("nothing dropped")
+	}
+	if n := commDetected(p, "timeout"); n == 0 {
+		t.Fatal("dead window left no timeout detections")
+	}
+	if p.Errors.CountKind(rte.ErrComm) == 0 {
+		t.Fatal("no comm errors for a dead channel")
+	}
+}
+
+func TestDuplicatePDUDetected(t *testing.T) {
+	p, applied, _ := commPlatform(true)
+	inj := DuplicatePDU(p, commSignal, 0, 0)
+	p.Run(sim.MS(95))
+	if inj.Injected == 0 {
+		t.Fatal("no duplicates injected")
+	}
+	if n := commDetected(p, "duplicate"); n != inj.Injected {
+		t.Fatalf("detected %d of %d duplicates", n, inj.Injected)
+	}
+	if *applied != 10 {
+		t.Fatalf("applied %d times under duplication, want 10", *applied)
+	}
+}
+
+func TestResequencePDUDetected(t *testing.T) {
+	p, _, _ := commPlatform(true)
+	inj := ResequencePDU(p, commSignal, 0, 0)
+	p.Run(sim.MS(95))
+	if inj.Injected == 0 {
+		t.Fatal("no pairs swapped")
+	}
+	// The held-back frame of each pair arrives behind its successor and is
+	// flagged wrong-sequence; the resync to its stale counter can flag the
+	// next pair's lead frame too, so detections meet or exceed the pairs.
+	if n := commDetected(p, "sequence"); n < inj.Injected {
+		t.Fatalf("detected %d of %d swapped pairs", n, inj.Injected)
+	}
+}
+
+func TestDelayPDUBeyondTimeout(t *testing.T) {
+	p, _, _ := commPlatform(true)
+	// Default timeout bound is 3 periods = 30ms; a 45ms delay breaks it.
+	inj := DelayPDU(p, commSignal, sim.MS(20), 0, sim.MS(45))
+	p.Run(sim.MS(150))
+	if inj.Injected == 0 {
+		t.Fatal("nothing delayed")
+	}
+	if n := commDetected(p, "timeout"); n == 0 {
+		t.Fatal("over-timeout delay left no timeout detections")
+	}
+
+	// A short delay is tolerated staleness: no detections at all.
+	q, _, _ := commPlatform(true)
+	DelayPDU(q, commSignal, sim.MS(20), 0, sim.MS(5))
+	q.Run(sim.MS(150))
+	if n := q.Errors.CountKind(rte.ErrComm); n != 0 {
+		t.Fatalf("tolerated delay reported %d comm errors", n)
+	}
+}
+
+func TestFlexRayBurstDualChannelRedundancy(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := flexray.Config{
+		StaticSlots: 4, SlotLength: sim.US(200),
+		Minislots: 20, MinislotLength: sim.US(10), NIT: sim.US(100),
+	}
+	b := flexray.MustNewBus(k, "fr0", cfg, &trace.Recorder{})
+	var single, dual int
+	b.MustAddFrame(&flexray.Frame{
+		Name: "a", Kind: flexray.Static, SlotID: 1, Channel: flexray.ChannelA,
+		Period:    sim.MS(5),
+		OnDeliver: func(_, _ sim.Time, _ []byte) { single++ },
+	})
+	b.MustAddFrame(&flexray.Frame{
+		Name: "ab", Kind: flexray.Static, SlotID: 2, Channel: flexray.ChannelAB,
+		Period:    sim.MS(5),
+		OnDeliver: func(_, _ sim.Time, _ []byte) { dual++ },
+	})
+	// 50% per-channel corruption: the single-channel frame survives ~50%,
+	// the dual-channel frame ~75% — redundancy, measured.
+	FlexRayBurst(b, 0, sim.MS(1000), 0.5, 7)
+	b.Start()
+	k.Run(sim.MS(500))
+	if single == 0 || dual == 0 {
+		t.Fatalf("no deliveries at all: single=%d dual=%d", single, dual)
+	}
+	if dual <= single {
+		t.Fatalf("dual-channel frame (%d) did not outlive single-channel (%d)", dual, single)
+	}
+	if single >= 100 {
+		t.Fatalf("burst corrupted nothing: single=%d of 100", single)
+	}
+}
+
+func TestOverlayBurstCaughtOnlyByE2E(t *testing.T) {
+	k := sim.NewKernel()
+	net := noc.MustNewNetwork(k, noc.Config{
+		Width: 4, Height: 4, FlitTime: sim.US(1), Mode: noc.TDMA, SlotLength: sim.US(100),
+	}, &trace.Recorder{})
+	v := overlay.New(net)
+	if err := v.AttachNode("engine", noc.Coord{X: 0, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AttachNode("dash", noc.Coord{X: 3, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := e2eprot.Config{Profile: e2eprot.P01, DataID: 0x1234, Offset: 6}
+	rx := e2eprot.NewReceiver(cfg)
+	tx := e2eprot.NewSender(cfg)
+	var checks, clean int
+	m := &overlay.Message{
+		Name: "rpm", ID: 0x100, DLC: 8, Period: sim.MS(10),
+		OnDeliver: func(_, at sim.Time, payload []byte) {
+			if len(payload) == 0 {
+				return
+			}
+			checks++
+			if rx.Check(at, payload) == e2eprot.StatusOK {
+				clean++
+			}
+		},
+	}
+	if err := v.AttachMessage(m, "engine", "dash"); err != nil {
+		t.Fatal(err)
+	}
+	// Fabric corruption: every frame gets one bit flipped inside the NoC,
+	// below any bus CRC. Only the end-to-end check can see it.
+	OverlayBurst(v, 0, sim.MS(1000), 1.0, 3)
+	net.Start()
+	sent := []byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0, 0}
+	protected := append([]byte(nil), sent...)
+	if err := tx.Protect(protected); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.MS(5), func() { _ = v.Send("rpm", protected) })
+	k.Run(sim.MS(95))
+	if checks < 3 {
+		t.Fatalf("only %d protected deliveries", checks)
+	}
+	if clean != 0 {
+		t.Fatalf("%d of %d corrupted frames passed the E2E check", clean, checks)
+	}
+	// The corrupted payload itself still looks like a frame — an
+	// unprotected legacy receiver would have consumed it.
+	if bytes.Equal(protected, sent) {
+		t.Fatal("sanity: protection did not alter the frame")
+	}
+}

@@ -18,6 +18,12 @@ type Bus struct {
 	// Mute drops transmissions of the listed senders (failed node or bus
 	// guardian action).
 	Mute map[string]bool
+	// ErrorInjector, when set, is consulted once per physical channel a
+	// frame transmits on: returning true corrupts that channel's copy,
+	// which the receiver's frame CRC discards. The frame is delivered iff
+	// at least one alive channel carries a clean copy — FlexRay has no
+	// retransmission, so an all-channels-corrupted instance is lost.
+	ErrorInjector func(f *Frame, ch Channel, at sim.Time) bool
 
 	k       *sim.Kernel
 	frames  []*Frame
@@ -232,6 +238,15 @@ func (b *Bus) deliver(f *Frame, at sim.Time) {
 		}
 		return
 	}
+	if !b.cleanCopySurvives(f, b.k.Now()) {
+		// Transmitted but corrupted on every usable channel: the instances
+		// are consumed and lost (receiver CRC discards them).
+		delete(b.queued, f)
+		for _, q := range pend {
+			b.Trace.Emit(b.k.Now(), trace.Error, f.Name, q.job, "corrupted on all channels")
+		}
+		return
+	}
 	delete(b.queued, f)
 	for _, q := range pend {
 		q := q
@@ -242,6 +257,25 @@ func (b *Bus) deliver(f *Frame, at sim.Time) {
 			}
 		})
 	}
+}
+
+// cleanCopySurvives reports whether at least one alive physical channel
+// of the frame escapes the error injector at time t.
+func (b *Bus) cleanCopySurvives(f *Frame, t sim.Time) bool {
+	if b.ErrorInjector == nil {
+		return true
+	}
+	aOK := b.failedA == 0 || t < b.failedA
+	bOK := b.failedB == 0 || t < b.failedB
+	onA := f.Channel == ChannelA || f.Channel == ChannelAB
+	onB := f.Channel == ChannelB || f.Channel == ChannelAB
+	if onA && aOK && !b.ErrorInjector(f, ChannelA, t) {
+		return true
+	}
+	if onB && bOK && !b.ErrorInjector(f, ChannelB, t) {
+		return true
+	}
+	return false
 }
 
 // runDynamic walks the minislot counter in FrameID order: a pending frame

@@ -40,6 +40,13 @@ type VirtualCAN struct {
 	net   *noc.Network
 	nodes map[string]noc.Coord
 	msgs  map[string]*Message
+
+	// Tamper, when set, intercepts every delivered payload inside the
+	// overlay fabric — the gateway-RAM/NoC corruption no bus-level CRC
+	// ever sees. It may mutate the payload or return nil to drop the
+	// frame. End-to-end protection (package e2eprot) is the only layer
+	// that can catch what it does.
+	Tamper func(m *Message, at sim.Time, payload []byte) []byte
 }
 
 // New creates the overlay on a network. The network must not be started
@@ -100,6 +107,12 @@ func (v *VirtualCAN) AttachMessage(m *Message, sender, receiver string) error {
 				m.payloads = m.payloads[1:] // event stream: consume
 			}
 			// Periodic streams keep the latest payload (state semantics).
+		}
+		if v.Tamper != nil && payload != nil {
+			payload = v.Tamper(m, delivered, payload)
+			if payload == nil {
+				return // tampered into oblivion: the frame is lost in the fabric
+			}
 		}
 		if m.OnDeliver != nil {
 			m.OnDeliver(queued, delivered, payload)

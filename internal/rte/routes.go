@@ -6,6 +6,7 @@ import (
 
 	"autorte/internal/can"
 	"autorte/internal/com"
+	"autorte/internal/e2eprot"
 	"autorte/internal/flexray"
 	"autorte/internal/model"
 	"autorte/internal/sim"
@@ -51,6 +52,7 @@ type busSegment struct {
 	bus     string
 	sender  string // transmitting ECU
 	srcSWC  string // producing component (criticality-based channel policy)
+	dst     string // consuming component (E2E fault attribution)
 	period  sim.Duration
 	bits    int
 	deliver func(float64)
@@ -95,15 +97,19 @@ func (p *Platform) buildRoutes() error {
 			p.addBinding(r, binding{route: r, local: true, deliver: deliver})
 			continue
 		}
-		srcSWC, _, _, _ := routeEndpoints(r)
+		srcSWC, _, dstSWC, dstPort := routeEndpoints(r)
+		dstKey := storeKey(dstSWC, dstPort, r.Elem)
 		if r.Via == "" {
 			send, err := wire(busSegment{
 				signal: r.SignalName, bus: r.Bus,
-				sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC,
+				sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC, dst: dstSWC,
 				period: sim.Duration(r.Period), bits: r.Bits, deliver: deliver,
 			})
 			if err != nil {
 				return err
+			}
+			if ch := p.e2eChans[r.SignalName]; ch != nil {
+				p.e2eByDst[dstKey] = ch
 			}
 			p.addBinding(r, binding{route: r, send: send})
 			continue
@@ -113,7 +119,7 @@ func (p *Platform) buildRoutes() error {
 		// gateway of Figure 1, realized at the Via ECU).
 		send2, err := wire(busSegment{
 			signal: r.SignalName + "~2", bus: r.Bus2,
-			sender: r.Via, srcSWC: srcSWC,
+			sender: r.Via, srcSWC: srcSWC, dst: dstSWC,
 			period: sim.Duration(r.Period), bits: r.Bits, deliver: deliver,
 		})
 		if err != nil {
@@ -121,12 +127,16 @@ func (p *Platform) buildRoutes() error {
 		}
 		send1, err := wire(busSegment{
 			signal: r.SignalName + "~1", bus: r.Bus,
-			sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC,
+			sender: p.Sys.Mapping[srcSWC], srcSWC: srcSWC, dst: dstSWC,
 			period: sim.Duration(r.Period), bits: r.Bits,
 			deliver: func(v float64) { send2(v) },
 		})
 		if err != nil {
 			return err
+		}
+		// The consumer-facing qualification state is the final hop's.
+		if ch := p.e2eChans[r.SignalName+"~2"]; ch != nil {
+			p.e2eByDst[dstKey] = ch
 		}
 		p.addBinding(r, binding{route: r, send: send1})
 	}
@@ -146,30 +156,30 @@ func (p *Platform) wireCANSegment(seg busSegment, nextID map[string]uint32) (fun
 	id := 0x100 + nextID[seg.bus]
 	nextID[seg.bus]++
 	pdu := signalPDU(seg.signal, seg.bits)
+	e2e := p.protectSegment(seg, pdu, e2eprot.P01)
 	msg := &can.Message{
 		Name: seg.signal,
 		ID:   id,
-		DLC:  (seg.bits + 7) / 8,
+		DLC:  pdu.Length,
 		// Periodic auto-queue stays off: the RTE queues payloads when
 		// producers write. The producer period feeds deadline monitoring.
 		Deadline: seg.period,
 	}
 	msg.SetSender(seg.sender)
-	deliver := seg.deliver
+	rx := p.receivePath(seg, pdu, e2e)
 	signal := seg.signal
 	msg.OnDeliver = func(_, _ sim.Time, payload []byte) {
-		vals, err := pdu.Unpack(payload)
-		if err != nil {
-			p.Errors.Report(signal, ErrComm, err.Error())
-			return
-		}
-		deliver(vals["v"])
+		p.deliverRx(signal, payload, rx)
 	}
 	if err := bus.AddMessage(msg); err != nil {
 		return nil, err
 	}
 	return func(v float64) {
-		bus.QueuePayload(msg, pdu.Pack(map[string]float64{"v": v}))
+		payload := pdu.Pack(map[string]float64{"v": v})
+		if e2e != nil {
+			_ = e2e.tx.Protect(payload) // layout validated at build
+		}
+		bus.QueuePayload(msg, payload)
 	}, nil
 }
 
@@ -195,27 +205,30 @@ func (p *Platform) wireFlexRay(busName string, segs []busSegment) error {
 	}
 	install := func(seg busSegment, frame *flexray.Frame) error {
 		pdu := signalPDU(seg.signal, seg.bits)
+		e2e := p.protectSegment(seg, pdu, e2eprot.P05)
 		if p.opts.DualChannelFlexRay {
 			if c := p.Sys.Component(seg.srcSWC); c != nil && c.ASIL >= model.ASILC {
 				frame.Channel = flexray.ChannelAB
 			}
 		}
+		if e2e != nil {
+			e2e.failover = frFailover(frame)
+		}
 		frame.SetSender(seg.sender)
-		deliver := seg.deliver
+		rx := p.receivePath(seg, pdu, e2e)
 		signal := seg.signal
 		frame.OnDeliver = func(_, _ sim.Time, payload []byte) {
-			vals, err := pdu.Unpack(payload)
-			if err != nil {
-				p.Errors.Report(signal, ErrComm, err.Error())
-				return
-			}
-			deliver(vals["v"])
+			p.deliverRx(signal, payload, rx)
 		}
 		if err := bus.AddFrame(frame); err != nil {
 			return err
 		}
 		p.frSend[busName+"/"+seg.signal] = func(v float64) {
-			bus.QueuePayload(frame, pdu.Pack(map[string]float64{"v": v}))
+			payload := pdu.Pack(map[string]float64{"v": v})
+			if e2e != nil {
+				_ = e2e.tx.Protect(payload) // layout validated at build
+			}
+			bus.QueuePayload(frame, payload)
 		}
 		return nil
 	}
@@ -230,10 +243,14 @@ func (p *Platform) wireFlexRay(busName string, segs []busSegment) error {
 		}
 	}
 	for i, seg := range events {
+		payloadBytes := (seg.bits + 7) / 8
+		if p.opts.E2E != nil {
+			payloadBytes += e2eprot.P05.HeaderLen()
+		}
 		if err := install(seg, &flexray.Frame{
 			Name: seg.signal, Kind: flexray.Dynamic,
 			FrameID: cfg.StaticSlots + 1 + i,
-			Length:  1 + (seg.bits+7)/8/2, // rough words-per-minislot model
+			Length:  1 + payloadBytes/2, // rough words-per-minislot model
 		}); err != nil {
 			return err
 		}

@@ -97,6 +97,11 @@ type Options struct {
 	// DefaultErrorRecordCap; negative means unbounded. DTC aggregation
 	// and per-kind counts stay exact regardless of the cap.
 	ErrorRecordCap int
+	// E2E, when non-nil, protects every bus-carried signal route with an
+	// AUTOSAR-style end-to-end protection header (CRC + sequence counter
+	// + DataID): P01 on CAN segments, P05 on FlexRay segments, each
+	// gateway hop protected separately. See E2EOptions.
+	E2E *E2EOptions
 }
 
 func (o *Options) fill() {
@@ -146,8 +151,14 @@ type Platform struct {
 	behavior map[string]Behavior  // "swc.runnable"
 	// frSend maps "bus/signal" to the FlexRay send closure; filled by
 	// wireFlexRay after schedule synthesis.
-	frSend  map[string]func(float64)
-	started bool
+	frSend map[string]func(float64)
+	// E2E protection state: per-signal channel ends, the consumer-port
+	// index behind Context.E2EStatus, and the reception tamper hooks the
+	// comm-fault injectors install.
+	e2eChans map[string]*e2eChannel
+	e2eByDst map[string]*e2eChannel
+	rxTamper map[string]RxTamper
+	started  bool
 }
 
 // cell is one consumer-side buffer with freshness metadata.
@@ -200,6 +211,9 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 		outgoing: map[string][]binding{},
 		behavior: map[string]Behavior{},
 		frSend:   map[string]func(float64){},
+		e2eChans: map[string]*e2eChannel{},
+		e2eByDst: map[string]*e2eChannel{},
+		rxTamper: map[string]RxTamper{},
 	}
 	p.Errors = newErrorManager(p)
 	p.K.Observe(p.Metrics)
@@ -301,6 +315,7 @@ func (p *Platform) Run(horizon sim.Time) {
 		for _, a := range p.ttpBus {
 			a.start()
 		}
+		p.startE2ESupervision()
 	}
 	p.K.Run(horizon)
 }
