@@ -18,10 +18,25 @@ test:
 
 # Verification & DSE pipeline benchmarks (see EXPERIMENTS.md "Performance").
 # Emits BENCH_pipeline.json (name -> ns/op, allocs/op) alongside the
-# human-readable output.
+# human-readable output, then enforces the performance budget: par no
+# slower than seq, BenchmarkVerify/large within its allocs/op ceiling,
+# and the incremental DSE path at least 3x faster than cached-par.
 bench:
 	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem . > BENCH_pipeline.txt
 	go run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
+	go run ./cmd/benchguard -bench BENCH_pipeline.json
+
+# Old-vs-new benchmark comparison against the committed baseline: rerun
+# the pipeline benchmarks, print the benchstat-style delta table, and
+# apply the same budget. CI uploads the table as a PR artifact. The
+# baseline ref defaults to HEAD (right for a local pre-commit run, where
+# HEAD still holds the previous artifact); CI points it at the PR base.
+BENCH_BASEREF ?= HEAD
+bench-compare:
+	git show $(BENCH_BASEREF):BENCH_pipeline.json > BENCH_baseline.json
+	$(MAKE) bench
+	go run ./cmd/benchguard -bench BENCH_pipeline.json -old BENCH_baseline.json > BENCH_compare.txt || { cat BENCH_compare.txt; exit 1; }
+	cat BENCH_compare.txt
 
 # The complete benchmark suite (E1-E11 harness + platform + pipeline).
 bench-all:
@@ -34,4 +49,4 @@ chaos:
 	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12' \
 		./internal/fault ./internal/health ./internal/experiments
 
-.PHONY: check lint test bench bench-all chaos
+.PHONY: check lint test bench bench-compare bench-all chaos

@@ -1,0 +1,193 @@
+// Command benchguard enforces the verification pipeline's performance
+// budget against a BENCH_pipeline.json artifact (produced by benchjson)
+// and prints a benchstat-style old-vs-new comparison when a baseline is
+// supplied. `make bench` runs it after regenerating the artifact, and CI
+// compares the fresh artifact against the committed baseline so perf
+// regressions surface in the PR, not three PRs later.
+//
+// The guarded invariants are the ones PR 6 restored and must not regress:
+//
+//   - BenchmarkVerify/<size>/par must not be slower than .../seq — the
+//     cached-parallel path exists only because it wins; a par-slower-
+//     than-seq run means the per-pass sharing broke again.
+//   - BenchmarkVerify/large-*/{seq,par} allocs/op must stay under the
+//     budget (default 1690, half the 3380 the seed shipped with).
+//   - BenchmarkVerifyDSESweepInc/<size>/inc must be at least -incratio
+//     (default 3.0) times faster than BenchmarkVerifyDSESweep/<size>/par.
+//
+// A guard that finds no benchmarks to check fails: a vacuous pass from a
+// mistyped -bench pattern must not look green.
+//
+// Usage:
+//
+//	benchguard -bench BENCH_pipeline.json [-old baseline.json] \
+//	           [-allocs 1690] [-incratio 3.0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors benchjson's per-benchmark record.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	bench := flag.String("bench", "BENCH_pipeline.json", "benchmark artifact to guard")
+	old := flag.String("old", "", "optional baseline artifact for the comparison table")
+	allocs := flag.Int64("allocs", 1690, "allocs/op ceiling for BenchmarkVerify/large")
+	incRatio := flag.Float64("incratio", 3.0, "minimum DSE sweep speedup of the incremental path over cached-par")
+	flag.Parse()
+	cur, err := load(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	if *old != "" {
+		base, err := load(*old)
+		if err != nil {
+			fatal(err)
+		}
+		compare(os.Stdout, base, cur)
+	}
+	violations := guard(cur, *allocs, *incRatio)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d violation(s) in %s:\n", len(violations), *bench)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: %s within budget\n", *bench)
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// guard checks the budget invariants and returns the violations found.
+func guard(cur map[string]Result, allocCeiling int64, incRatio float64) []string {
+	var out []string
+	pairs := 0
+	for name, seq := range cur {
+		size, ok := verifySize(name, "/seq")
+		if !ok {
+			continue
+		}
+		pairs++
+		par, okPar := cur["BenchmarkVerify/"+size+"/par"]
+		if !okPar {
+			out = append(out, fmt.Sprintf("BenchmarkVerify/%s has seq but no par run", size))
+			continue
+		}
+		if par.NsPerOp > seq.NsPerOp {
+			out = append(out, fmt.Sprintf("BenchmarkVerify/%s: par %.0f ns/op slower than seq %.0f ns/op", size, par.NsPerOp, seq.NsPerOp))
+		}
+		if strings.HasPrefix(size, "large") {
+			for variant, r := range map[string]Result{"seq": seq, "par": par} {
+				if r.AllocsPerOp > allocCeiling {
+					out = append(out, fmt.Sprintf("BenchmarkVerify/%s/%s: %d allocs/op exceeds budget %d", size, variant, r.AllocsPerOp, allocCeiling))
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		out = append(out, "no BenchmarkVerify seq/par pairs found — guard would pass vacuously")
+	}
+	incPairs := 0
+	for name, inc := range cur {
+		const pfx = "BenchmarkVerifyDSESweepInc/"
+		if !strings.HasPrefix(name, pfx) || !strings.HasSuffix(name, "/inc") {
+			continue
+		}
+		size := strings.TrimSuffix(strings.TrimPrefix(name, pfx), "/inc")
+		incPairs++
+		par, ok := cur["BenchmarkVerifyDSESweep/"+size+"/par"]
+		if !ok {
+			out = append(out, fmt.Sprintf("BenchmarkVerifyDSESweepInc/%s has no cached-par sweep to compare against", size))
+			continue
+		}
+		if inc.NsPerOp <= 0 {
+			out = append(out, fmt.Sprintf("BenchmarkVerifyDSESweepInc/%s: non-positive ns/op", size))
+			continue
+		}
+		if ratio := par.NsPerOp / inc.NsPerOp; ratio < incRatio {
+			out = append(out, fmt.Sprintf("DSE sweep %s: incremental only %.2fx faster than cached-par (budget %.1fx)", size, ratio, incRatio))
+		}
+	}
+	if incPairs == 0 {
+		out = append(out, "no DSE sweep inc/par pairs found — guard would pass vacuously")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// verifySize extracts <size> from "BenchmarkVerify/<size><suffix>".
+func verifySize(name, suffix string) (string, bool) {
+	const pfx = "BenchmarkVerify/"
+	if !strings.HasPrefix(name, pfx) || !strings.HasSuffix(name, suffix) {
+		return "", false
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(name, pfx), suffix), true
+}
+
+// compare prints a benchstat-style table of baseline vs current for every
+// benchmark present in either artifact.
+func compare(w io.Writer, old, cur map[string]Result) {
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %12s %12s %8s\n", "name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, n := range sorted {
+		o, hasOld := old[n]
+		c, hasCur := cur[n]
+		switch {
+		case !hasOld:
+			fmt.Fprintf(w, "%-52s %14s %14.0f %8s %12s %12d %8s\n", n, "-", c.NsPerOp, "new", "-", c.AllocsPerOp, "new")
+		case !hasCur:
+			fmt.Fprintf(w, "%-52s %14.0f %14s %8s %12d %12s %8s\n", n, o.NsPerOp, "-", "gone", o.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %12d %12d %8s\n",
+				n, o.NsPerOp, c.NsPerOp, delta(o.NsPerOp, c.NsPerOp),
+				o.AllocsPerOp, c.AllocsPerOp, delta(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+		}
+	}
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

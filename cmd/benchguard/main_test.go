@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// healthy is an artifact satisfying every budget invariant.
+func healthy() map[string]Result {
+	return map[string]Result{
+		"BenchmarkVerify/small-13chains/seq":            {NsPerOp: 240000, AllocsPerOp: 495},
+		"BenchmarkVerify/small-13chains/par":            {NsPerOp: 140000, AllocsPerOp: 471},
+		"BenchmarkVerify/large-52chains/seq":            {NsPerOp: 11600000, AllocsPerOp: 1599},
+		"BenchmarkVerify/large-52chains/par":            {NsPerOp: 1080000, AllocsPerOp: 1388},
+		"BenchmarkVerifyDSESweep/large-52chains/par":    {NsPerOp: 2500000},
+		"BenchmarkVerifyDSESweepInc/large-52chains/inc": {NsPerOp: 430000},
+	}
+}
+
+func TestGuardPassesHealthyArtifact(t *testing.T) {
+	if v := guard(healthy(), 1690, 3.0); len(v) != 0 {
+		t.Fatalf("healthy artifact flagged: %v", v)
+	}
+}
+
+func TestGuardFlagsParSlowerThanSeq(t *testing.T) {
+	m := healthy()
+	r := m["BenchmarkVerify/small-13chains/par"]
+	r.NsPerOp = 250000 // slower than seq's 240000
+	m["BenchmarkVerify/small-13chains/par"] = r
+	v := guard(m, 1690, 3.0)
+	if len(v) != 1 || !strings.Contains(v[0], "par 250000 ns/op slower than seq") {
+		t.Fatalf("want one par-slower violation, got %v", v)
+	}
+}
+
+func TestGuardFlagsAllocBudget(t *testing.T) {
+	m := healthy()
+	r := m["BenchmarkVerify/large-52chains/par"]
+	r.AllocsPerOp = 1700
+	m["BenchmarkVerify/large-52chains/par"] = r
+	v := guard(m, 1690, 3.0)
+	if len(v) != 1 || !strings.Contains(v[0], "1700 allocs/op exceeds budget 1690") {
+		t.Fatalf("want one alloc-budget violation, got %v", v)
+	}
+	// Only the large size is under the alloc budget; small is exempt.
+	m = healthy()
+	r = m["BenchmarkVerify/small-13chains/par"]
+	r.AllocsPerOp = 5000
+	m["BenchmarkVerify/small-13chains/par"] = r
+	if v := guard(m, 1690, 3.0); len(v) != 0 {
+		t.Fatalf("small size should be exempt from alloc budget, got %v", v)
+	}
+}
+
+func TestGuardFlagsIncRatio(t *testing.T) {
+	m := healthy()
+	r := m["BenchmarkVerifyDSESweepInc/large-52chains/inc"]
+	r.NsPerOp = 1000000 // 2.5x, under the 3x budget
+	m["BenchmarkVerifyDSESweepInc/large-52chains/inc"] = r
+	v := guard(m, 1690, 3.0)
+	if len(v) != 1 || !strings.Contains(v[0], "incremental only 2.50x faster") {
+		t.Fatalf("want one inc-ratio violation, got %v", v)
+	}
+}
+
+func TestGuardFailsVacuousArtifact(t *testing.T) {
+	v := guard(map[string]Result{}, 1690, 3.0)
+	if len(v) != 2 {
+		t.Fatalf("empty artifact must flag both vacuous-pass guards, got %v", v)
+	}
+	for _, s := range v {
+		if !strings.Contains(s, "vacuously") {
+			t.Fatalf("unexpected violation %q", s)
+		}
+	}
+}
+
+func TestGuardFlagsMissingCounterpart(t *testing.T) {
+	m := healthy()
+	delete(m, "BenchmarkVerify/large-52chains/par")
+	v := guard(m, 1690, 3.0)
+	if len(v) != 1 || !strings.Contains(v[0], "has seq but no par run") {
+		t.Fatalf("want missing-par violation, got %v", v)
+	}
+	m = healthy()
+	delete(m, "BenchmarkVerifyDSESweep/large-52chains/par")
+	v = guard(m, 1690, 3.0)
+	if len(v) != 1 || !strings.Contains(v[0], "no cached-par sweep") {
+		t.Fatalf("want missing-sweep violation, got %v", v)
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkVerify/large-52chains/par": {NsPerOp: 953649, AllocsPerOp: 3447},
+		"BenchmarkRemoved/only-old":          {NsPerOp: 100},
+	}
+	cur := map[string]Result{
+		"BenchmarkVerify/large-52chains/par": {NsPerOp: 1080000, AllocsPerOp: 1388},
+		"BenchmarkAdded/only-new":            {NsPerOp: 200},
+	}
+	var sb strings.Builder
+	compare(&sb, old, cur)
+	out := sb.String()
+	for _, want := range []string{"-59.7%", "gone", "new", "BenchmarkVerify/large-52chains/par"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + three rows
+		t.Fatalf("want 4 table lines, got %d:\n%s", len(lines), out)
+	}
+}

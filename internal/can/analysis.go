@@ -29,9 +29,22 @@ func Analyze(cfg Config, msgs []*Message) ([]Response, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	byPrio := append([]*Message(nil), msgs...)
-	sort.Slice(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+	byPrio := msgs
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i-1].ID > msgs[i].ID {
+			byPrio = append([]*Message(nil), msgs...)
+			sort.Slice(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+			break
+		}
+	}
 	tau := cfg.BitTime()
+	// Frame times depend only on the DLC; computing them once up front
+	// keeps the recurrence's inner loop (the analysis hot spot) on cached
+	// values instead of re-deriving the stuff-bit model per iteration.
+	ct := make([]sim.Duration, len(byPrio))
+	for i, m := range byPrio {
+		ct[i] = cfg.FrameTime(m.DLC)
+	}
 	out := make([]Response, 0, len(byPrio))
 	for i, m := range byPrio {
 		if err := m.validate(); err != nil {
@@ -40,12 +53,12 @@ func Analyze(cfg Config, msgs []*Message) ([]Response, error) {
 		if m.Period <= 0 {
 			return nil, fmt.Errorf("can: analysis needs a period (or MINT) for %s", m.Name)
 		}
-		c := cfg.FrameTime(m.DLC)
+		c := ct[i]
 		// Blocking: longest lower-priority frame already on the wire.
 		var block sim.Duration
-		for _, lp := range byPrio[i+1:] {
-			if t := cfg.FrameTime(lp.DLC); t > block {
-				block = t
+		for j := i + 1; j < len(byPrio); j++ {
+			if ct[j] > block {
+				block = ct[j]
 			}
 		}
 		w := block
@@ -56,9 +69,9 @@ func Analyze(cfg Config, msgs []*Message) ([]Response, error) {
 		converged := false
 		for iter := 0; iter < maxIter; iter++ {
 			next := block
-			for _, hp := range byPrio[:i] {
+			for j, hp := range byPrio[:i] {
 				n := ceilDiv(int64(w+hp.Jitter+tau), int64(hp.Period))
-				next += sim.Duration(n) * cfg.FrameTime(hp.DLC)
+				next += sim.Duration(n) * ct[j]
 			}
 			if next == w {
 				converged = true
@@ -76,8 +89,8 @@ func Analyze(cfg Config, msgs []*Message) ([]Response, error) {
 		// busy period is bounded, i.e. utilization at and above m's
 		// priority is below 1.
 		uLevel := float64(c) / float64(m.Period)
-		for _, hp := range byPrio[:i] {
-			uLevel += float64(cfg.FrameTime(hp.DLC)) / float64(hp.Period)
+		for j, hp := range byPrio[:i] {
+			uLevel += float64(ct[j]) / float64(hp.Period)
 		}
 		resp.Schedulable = converged && uLevel < 1 && r <= d && r <= m.Period
 		out = append(out, resp)

@@ -6,17 +6,36 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"autorte/internal/flight"
 	"autorte/internal/obs"
 )
 
-// cacheKey serializes the analysis-relevant view of a message set under a
-// configuration: frames sorted by ID — the priority order Analyze uses —
-// with every field the recurrence reads. OnDeliver callbacks and runtime
-// bookkeeping are irrelevant to the analysis and excluded.
-func cacheKey(cfg Config, msgs []*Message) string {
-	byPrio := append([]*Message(nil), msgs...)
-	sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
-	buf := make([]byte, 0, 48*len(byPrio)+16)
+// keyBufPool recycles key scratch buffers across lookups (see sched's
+// twin) so steady-state verification builds keys without allocating.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// sortedByID reports whether msgs already arrive in the priority order
+// Analyze uses; the verifier's message builders emit ID-ordered sets, so
+// the sort copy is skipped for them.
+func sortedByID(msgs []*Message) bool {
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i-1].ID > msgs[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// appendKey serializes the analysis-relevant view of a message set under a
+// configuration into buf: frames sorted by ID — the priority order Analyze
+// uses — with every field the recurrence reads. OnDeliver callbacks and
+// runtime bookkeeping are irrelevant to the analysis and excluded.
+func appendKey(buf []byte, cfg Config, msgs []*Message) []byte {
+	byPrio := msgs
+	if !sortedByID(msgs) {
+		byPrio = append([]*Message(nil), msgs...)
+		sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+	}
 	buf = strconv.AppendInt(buf, cfg.BitRate, 10)
 	if cfg.Extended {
 		buf = append(buf, 'x')
@@ -37,23 +56,104 @@ func cacheKey(cfg Config, msgs []*Message) string {
 		buf = strconv.AppendInt(buf, int64(m.Deadline), 10)
 		buf = append(buf, ';')
 	}
-	return string(buf)
+	return buf
+}
+
+// cacheKey materializes appendKey as a string (kept for tests and
+// debugging; the cache itself looks up via pooled buffers).
+func cacheKey(cfg Config, msgs []*Message) string {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := appendKey((*bp)[:0], cfg, msgs)
+	s := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return s
 }
 
 // Cache memoizes Analyze by message-set key. During verification and DSE
 // the same bus frame set is analyzed once per candidate mapping and once
 // per chain stage; the cache collapses the repeats to a lookup. Safe for
-// concurrent use.
+// concurrent use; concurrent misses on one key coalesce onto one analysis.
 type Cache struct {
 	mu     sync.RWMutex
 	m      map[string][]Response
+	flight flight.Group[[]Response]
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	dedup  atomic.Uint64
 }
 
 // NewCache returns an empty CAN analysis cache.
 func NewCache() *Cache {
 	return &Cache{m: map[string][]Response{}}
+}
+
+// rebind copies cached numeric results and re-binds them to the caller's
+// *Message values, matched by priority order. It fails when duplicate IDs
+// shuffled the order (names mismatch), in which case the caller must
+// recompute directly.
+func rebind(cached []Response, msgs []*Message) ([]Response, bool) {
+	byPrio := msgs
+	if !sortedByID(msgs) {
+		byPrio = append([]*Message(nil), msgs...)
+		sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
+	}
+	out := append([]Response(nil), cached...)
+	for i := range out {
+		if out[i].Message.Name != byPrio[i].Name {
+			return nil, false
+		}
+		out[i].Message = byPrio[i]
+	}
+	return out, true
+}
+
+// lookup returns the cache-owned response slice for the message set,
+// computing and storing it on a miss. Callers must treat the result as
+// read-only; its Message pointers belong to whichever key-equal set first
+// populated the entry.
+func (c *Cache) lookup(cfg Config, msgs []*Message) ([]Response, error) {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := appendKey((*bp)[:0], cfg, msgs)
+	c.mu.RLock()
+	cached, ok := c.m[string(buf)] // map index on converted bytes: no allocation
+	c.mu.RUnlock()
+	if ok {
+		*bp = buf
+		keyBufPool.Put(bp)
+		c.hits.Add(1)
+		return cached, nil
+	}
+	key := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	rs, err, shared := c.flight.Do(key, func() ([]Response, error) {
+		// A racer may have stored the entry between our miss and winning
+		// the flight; re-check before analyzing.
+		c.mu.RLock()
+		cached, ok := c.m[key]
+		c.mu.RUnlock()
+		if ok {
+			c.hits.Add(1)
+			return cached, nil
+		}
+		c.misses.Add(1)
+		rs, err := Analyze(cfg, msgs)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.m[key] = rs
+		c.mu.Unlock()
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		c.dedup.Add(1)
+	}
+	return rs, nil
 }
 
 // Analyze is the memoized equivalent of the package function. On a hit
@@ -64,36 +164,33 @@ func (c *Cache) Analyze(cfg Config, msgs []*Message) ([]Response, error) {
 	if c == nil {
 		return Analyze(cfg, msgs)
 	}
-	key := cacheKey(cfg, msgs)
-	c.mu.RLock()
-	cached, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		byPrio := append([]*Message(nil), msgs...)
-		sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].ID < byPrio[j].ID })
-		out := append([]Response(nil), cached...)
-		rebound := true
-		for i := range out {
-			if out[i].Message.Name != byPrio[i].Name {
-				rebound = false // duplicate IDs shuffled the order; recompute
-				break
-			}
-			out[i].Message = byPrio[i]
-		}
-		if rebound {
-			return out, nil
-		}
-	}
-	c.misses.Add(1)
-	rs, err := Analyze(cfg, msgs)
+	rs, err := c.lookup(cfg, msgs)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.m[key] = rs
-	c.mu.Unlock()
-	return append([]Response(nil), rs...), nil
+	// Re-bind a private copy to the caller's messages. The rebind also
+	// guards the degenerate duplicate-ID case, where the cached priority
+	// order is ambiguous: recompute directly for this caller without
+	// disturbing the stored entry.
+	out, ok := rebind(rs, msgs)
+	if !ok {
+		c.misses.Add(1)
+		return Analyze(cfg, msgs)
+	}
+	return out, nil
+}
+
+// AnalyzeShared is Analyze minus the per-call result copy: the returned
+// slice is cache-owned and must not be mutated or retained across cache
+// lifetimes, and its Message pointers are those of whichever key-equal
+// set first populated the entry — match results by Name, not by pointer.
+// The e2e chain stages read one response per call, so handing them the
+// shared slice keeps chain-heavy verification allocation-free on hits.
+func (c *Cache) AnalyzeShared(cfg Config, msgs []*Message) ([]Response, error) {
+	if c == nil {
+		return Analyze(cfg, msgs)
+	}
+	return c.lookup(cfg, msgs)
 }
 
 // Stats reports lookup hits and misses since creation.
@@ -124,5 +221,6 @@ func (c *Cache) Observe(reg *obs.Registry) {
 	label := obs.Label{Key: "cache", Value: "can"}
 	reg.CounterFunc("analysis_cache_hits_total", "Memoized analysis lookups served from cache.", c.hits.Load, label)
 	reg.CounterFunc("analysis_cache_misses_total", "Memoized analysis lookups that ran the analysis.", c.misses.Load, label)
+	reg.CounterFunc("analysis_cache_dedup_total", "Memoized analysis lookups coalesced onto a concurrent identical computation.", c.dedup.Load, label)
 	reg.GaugeFunc("analysis_cache_entries", "Distinct problems held by the analysis cache.", func() float64 { return float64(c.Len()) }, label)
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+
+	"autorte/internal/can"
+	"autorte/internal/flexray"
+	"autorte/internal/rte"
+	"autorte/internal/sched"
+	"autorte/internal/vfb"
+)
+
+// analysisCtx memoizes resolved analyses for one re-verification pass.
+// The pipeline caches already collapse repeated analyses to a lookup, but
+// each lookup still serializes the full problem into its cache key — for
+// a chain-heavy system that serialization alone dominates an incremental
+// re-verify, where dozens of chain stages read the same handful of bus
+// and ECU analyses. The context pins each resolved result under its ECU
+// or bus NAME, which is stable for the duration of one pass (task sets
+// and message sets are rebuilt, and a fresh context created, before the
+// chains are re-evaluated).
+//
+// All results are cache-owned and read-only. Safe for concurrent use.
+type analysisCtx struct {
+	p    *Pipeline
+	opts rte.Options
+
+	mu      sync.Mutex
+	rta     map[string][]sched.Result
+	canResp map[string][]can.Response
+	frSched map[string]map[string]flexray.Assignment
+}
+
+func (p *Pipeline) newAnalysisCtx(opts rte.Options) *analysisCtx {
+	return &analysisCtx{
+		p: p, opts: opts,
+		rta:     map[string][]sched.Result{},
+		canResp: map[string][]can.Response{},
+		frSched: map[string]map[string]flexray.Assignment{},
+	}
+}
+
+// ecuResults resolves the response-time analysis of one ECU's task set,
+// at most once per context.
+func (c *analysisCtx) ecuResults(ecu string, tasks []sched.Task) ([]sched.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs, ok := c.rta[ecu]; ok {
+		return rs, nil
+	}
+	rs, err := c.p.RTA.ResponseTimesShared(tasks)
+	if err != nil {
+		return nil, err
+	}
+	c.rta[ecu] = rs
+	return rs, nil
+}
+
+// canResponses resolves the bus analysis of one CAN bus's message set, at
+// most once per context.
+func (c *analysisCtx) canResponses(bus string, cfg can.Config, msgs []*can.Message) ([]can.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs, ok := c.canResp[bus]; ok {
+		return rs, nil
+	}
+	rs, err := c.p.CAN.AnalyzeShared(cfg, msgs)
+	if err != nil {
+		return nil, err
+	}
+	c.canResp[bus] = rs
+	return rs, nil
+}
+
+// flexSchedule resolves the synthesized static schedule of one FlexRay
+// bus, at most once per context.
+func (c *analysisCtx) flexSchedule(bus string, cfg flexray.Config, routes []vfb.Route) (map[string]flexray.Assignment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if as, ok := c.frSched[bus]; ok {
+		return as, nil
+	}
+	as, err := c.p.flexraySchedule(cfg, routes)
+	if err != nil {
+		return nil, err
+	}
+	c.frSched[bus] = as
+	return as, nil
+}

@@ -183,7 +183,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 		endSetup()
 		return nil, err
 	}
-	routes, err := vfb.Resolve(sys)
+	routes, err := vfb.ResolveValidated(sys)
 	endSetup()
 	if err != nil {
 		return nil, err
@@ -199,6 +199,9 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	}
 	sort.Strings(ecus)
 	byBus := vfb.ByBus(routes)
+	// Each CAN bus's analyzable message set is shared by its bus verdict
+	// and by every chain stage crossing it; build it once per Verify.
+	busMsgs := buildBusMessages(sys, byBus)
 	endTasksets()
 
 	// One job per ECU, per routed bus, per constraint chain, plus one for
@@ -217,7 +220,8 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 		jobs = append(jobs, func() error {
 			defer p.stage(root, "verify/ecu", ecu)()
 			tasks := taskSets[ecu]
-			ok, results, err := p.RTA.Schedulable(tasks)
+			// Shared (read-only) results: the report only reads them.
+			ok, results, err := p.RTA.SchedulableShared(tasks)
 			if err != nil {
 				return err
 			}
@@ -237,7 +241,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 		busUsed[i] = true
 		jobs = append(jobs, func() error {
 			defer p.stage(root, "verify/bus", b.Name)()
-			br, err := p.verifyBus(sys, b, busRoutes, opts)
+			br, err := p.verifyBus(sys, b, busRoutes, busMsgs[b.Name], opts)
 			if err != nil {
 				return err
 			}
@@ -261,7 +265,7 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 		jobs = append(jobs, func() error {
 			defer p.stage(root, "verify/chain", lc.Name)()
 			cr := ChainReport{Name: lc.Name, Budget: lc.Budget}
-			bound, err := p.chainBound(sys, lc, taskSets, byBus, opts)
+			bound, _, err := p.chainBound(sys, lc, taskSets, byBus, busMsgs, nil, opts)
 			if err != nil {
 				cr.Err = err.Error()
 			} else {
@@ -287,14 +291,34 @@ func (p *Pipeline) Verify(sys *model.System, contracts map[string]*contract.Cont
 	return rep, nil
 }
 
+// buildBusMessages derives each routed CAN bus's analyzable message set
+// once — the bus verdict and every chain stage crossing the bus share it
+// read-only.
+func buildBusMessages(sys *model.System, byBus map[string][]vfb.Route) map[string][]*can.Message {
+	var out map[string][]*can.Message
+	for name, rs := range byBus {
+		b := sys.BusByName(name)
+		if b == nil || b.Kind != model.BusCAN {
+			continue
+		}
+		if out == nil {
+			out = make(map[string][]*can.Message, len(byBus))
+		}
+		out[name] = canMessages(rs, b.BitRate)
+	}
+	return out
+}
+
 // verifyBus runs the per-channel schedulability analysis for one bus.
-func (p *Pipeline) verifyBus(sys *model.System, b *model.Bus, busRoutes []vfb.Route, opts rte.Options) (BusReport, error) {
+// msgs is the bus's prebuilt CAN message set (nil for non-CAN buses).
+func (p *Pipeline) verifyBus(sys *model.System, b *model.Bus, busRoutes []vfb.Route, msgs []*can.Message, opts rte.Options) (BusReport, error) {
 	br := BusReport{Name: b.Name, Kind: b.Kind, Schedulable: true}
 	switch b.Kind {
 	case model.BusCAN:
-		msgs := canMessages(busRoutes, b.BitRate)
 		cfg := can.Config{BitRate: b.BitRate}
-		rs, err := p.CAN.Analyze(cfg, msgs)
+		// The verdict only reads the responses; the shared variant skips
+		// the per-call result copy.
+		rs, err := p.CAN.AnalyzeShared(cfg, msgs)
 		if err != nil {
 			return br, err
 		}
@@ -354,27 +378,157 @@ func EffectivePeriod(sys *model.System, comp *model.SWC, run *model.Runnable) si
 // canMessages reconstructs the analyzable message set the RTE would put on
 // a CAN bus for the given routes (same deterministic ID assignment).
 func canMessages(routes []vfb.Route, bitRate int64) []*can.Message {
-	sorted := append([]vfb.Route(nil), routes...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SignalName < sorted[j].SignalName })
+	// Resolve emits routes sorted by signal name and ByBus preserves that
+	// order, so the per-call copy+sort only runs for unsorted callers.
+	sorted := routes
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].SignalName > routes[i].SignalName {
+			sorted = append([]vfb.Route(nil), routes...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].SignalName < sorted[j].SignalName })
+			break
+		}
+	}
+	// One backing array for the frames instead of a heap object each.
+	backing := make([]can.Message, 0, len(sorted))
 	out := make([]*can.Message, 0, len(sorted))
 	for i, r := range sorted {
 		if r.Period <= 0 {
 			continue // sporadic routes need explicit MINTs; skipped here
 		}
-		out = append(out, &can.Message{
+		backing = append(backing, can.Message{
 			Name: r.SignalName, ID: uint32(0x100 + i),
 			DLC: (r.Bits + 7) / 8, Period: sim.Duration(r.Period),
 		})
+		out = append(out, &backing[len(backing)-1])
 	}
 	return out
 }
 
 // chainBound composes the analytic end-to-end bound of a constraint chain
 // from task RTA, bus analysis and sampling stages, with jitter propagation
-// (package e2e). Stage analyses run through the pipeline caches.
+// (package e2e semantics: each stage's bound feeds the next stage's
+// release jitter; sampling stages absorb it). Stages are evaluated in
+// place as stack values — no per-chain []Stage composition — since a
+// large system bounds hundreds of stages per verification pass. Stage
+// analyses run through the pipeline caches; a non-nil ctx additionally
+// pins each resolved analysis for the pass, so repeated stages skip even
+// the cache-key serialization. The returned bus list names every bus
+// segment the bound crossed — the dependency set incremental
+// re-verification invalidates on.
 func (p *Pipeline) chainBound(sys *model.System, lc model.LatencyConstraint,
-	taskSets map[string][]sched.Task, byBus map[string][]vfb.Route, opts rte.Options) (sim.Duration, error) {
-	var stages []e2e.Stage
+	taskSets map[string][]sched.Task, byBus map[string][]vfb.Route,
+	busMsgs map[string][]*can.Message, ctx *analysisCtx, opts rte.Options) (sim.Duration, []string, error) {
+	var total, jitter sim.Duration
+	var depBuses []string
+	// One method-value binding per chain instead of one per stage.
+	rta := p.RTA.ResponseTimesShared
+	analyze := p.CAN.AnalyzeShared
+	taskStage := func(name, ecu string) error {
+		ts := e2e.TaskStage{Name: name, Tasks: taskSets[ecu], Target: name, RTA: rta}
+		if ctx != nil {
+			rs, err := ctx.ecuResults(ecu, ts.Tasks)
+			if err != nil {
+				return err
+			}
+			ts.Results = rs
+		}
+		b, err := ts.Bound(jitter)
+		if err != nil {
+			return err
+		}
+		total += b
+		jitter = b
+		return nil
+	}
+	sample := func(name string, period, transfer sim.Duration) error {
+		ss := e2e.SamplingStage{Name: name, Period: period, Transfer: transfer}
+		b, err := ss.Bound(jitter)
+		if err != nil {
+			return err
+		}
+		total += b
+		jitter = 0
+		return nil
+	}
+	// busStage evaluates the analytic stage for one bus segment of a
+	// route.
+	busStage := func(busName string, signal *vfb.Route) error {
+		bus := sys.BusByName(busName)
+		if bus == nil {
+			return fmt.Errorf("unknown bus %q", busName)
+		}
+		switch bus.Kind {
+		case model.BusCAN:
+			cs := e2e.CANStage{
+				Name: busName, Cfg: can.Config{BitRate: bus.BitRate},
+				Messages: busMsgs[busName], Target: signal.SignalName,
+				Analyze: analyze,
+			}
+			if ctx != nil {
+				rs, err := ctx.canResponses(busName, cs.Cfg, cs.Messages)
+				if err != nil {
+					return err
+				}
+				cs.Responses = rs
+			}
+			b, err := cs.Bound(jitter)
+			if err != nil {
+				return err
+			}
+			total += b
+			jitter = b
+		case model.BusFlexRay:
+			cfg := defaultFlexRay(opts)
+			// The bound must reflect the actual synthesized slot position:
+			// worst case is one full repetition of waiting plus the slot.
+			var as map[string]flexray.Assignment
+			var err error
+			if ctx != nil {
+				as, err = ctx.flexSchedule(busName, cfg, byBus[busName])
+			} else {
+				as, err = p.flexraySchedule(cfg, byBus[busName])
+			}
+			if err != nil {
+				return err
+			}
+			a, ok := as[signal.SignalName]
+			if !ok {
+				return fmt.Errorf("signal %s not in static schedule of %s", signal.SignalName, busName)
+			}
+			// Delivery completes at the slot end within the cycle.
+			return sample(busName, sim.Duration(a.Repetition)*cfg.CycleLength(), sim.Duration(a.SlotID)*cfg.SlotLength)
+		case model.BusTTP:
+			slot := opts.TTPSlotLength
+			if slot == 0 {
+				slot = sim.US(250)
+			}
+			nodes := 0
+			for _, e := range sys.ECUs {
+				for _, eb := range e.Buses {
+					if eb == busName {
+						nodes++
+					}
+				}
+			}
+			return sample(busName, sim.Duration(nodes)*slot, slot)
+		}
+		return nil
+	}
+
+	// The source stage first: the runnable(s) writing chain[0], iterated
+	// in reverse declaration order — the order the prepend-style
+	// composition evaluated them in.
+	src := sys.Component(lc.Chain[0].SWC)
+	for i := len(src.Runnables) - 1; i >= 0; i-- {
+		run := &src.Runnables[i]
+		for j := len(run.Writes) - 1; j >= 0; j-- {
+			if run.Writes[j].Port == lc.Chain[0].Port {
+				if err := taskStage(src.Name+"."+run.Name, sys.Mapping[src.Name]); err != nil {
+					return 0, nil, err
+				}
+			}
+		}
+	}
 	for i := 0; i+1 < len(lc.Chain); i++ {
 		a, b := lc.Chain[i], lc.Chain[i+1]
 		if a.SWC == b.SWC {
@@ -383,26 +537,24 @@ func (p *Pipeline) chainBound(sys *model.System, lc model.LatencyConstraint,
 			comp := sys.Component(a.SWC)
 			run := findInternalRunnable(comp, a.Port, b.Port)
 			if run == nil {
-				return 0, fmt.Errorf("chain %s: no runnable in %s from %s to %s", lc.Name, a.SWC, a.Port, b.Port)
+				return 0, nil, fmt.Errorf("chain %s: no runnable in %s from %s to %s", lc.Name, a.SWC, a.Port, b.Port)
 			}
-			ecu := sys.Mapping[a.SWC]
+			name := a.SWC + "." + run.Name
 			if run.Trigger.Kind == model.TimingEvent {
 				// Periodic sampler: waits up to one period, then executes.
-				stages = append(stages, &e2e.SamplingStage{
-					Name: a.SWC + "." + run.Name, Period: run.Trigger.Period,
-				})
+				if err := sample(name, run.Trigger.Period, 0); err != nil {
+					return 0, nil, err
+				}
 			}
-			stages = append(stages, &e2e.TaskStage{
-				Name: a.SWC + "." + run.Name, Tasks: taskSets[ecu],
-				Target: a.SWC + "." + run.Name,
-				RTA:    p.RTA.ResponseTimes,
-			})
+			if err := taskStage(name, sys.Mapping[a.SWC]); err != nil {
+				return 0, nil, err
+			}
 			continue
 		}
 		// Communication hop a -> b.
 		conn, err := findConnector(sys, a, b)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if sys.Mapping[a.SWC] == sys.Mapping[b.SWC] {
 			continue // local: delivered at job completion, already counted
@@ -417,33 +569,20 @@ func (p *Pipeline) chainBound(sys *model.System, lc model.LatencyConstraint,
 			}
 		}
 		if signal == nil {
-			return 0, fmt.Errorf("chain %s: no route for connector %s.%s -> %s.%s", lc.Name, a.SWC, a.Port, b.SWC, b.Port)
+			return 0, nil, fmt.Errorf("chain %s: no route for connector %s.%s -> %s.%s", lc.Name, a.SWC, a.Port, b.SWC, b.Port)
 		}
-		segBuses := []string{signal.Bus}
+		depBuses = append(depBuses, signal.Bus)
+		if err := busStage(signal.Bus, signal); err != nil {
+			return 0, nil, fmt.Errorf("chain %s: %w", lc.Name, err)
+		}
 		if signal.Via != "" {
-			segBuses = append(segBuses, signal.Bus2)
-		}
-		for _, busName := range segBuses {
-			if err := p.appendBusStage(&stages, sys, busName, signal, byBus[busName], opts); err != nil {
-				return 0, fmt.Errorf("chain %s: %w", lc.Name, err)
+			depBuses = append(depBuses, signal.Bus2)
+			if err := busStage(signal.Bus2, signal); err != nil {
+				return 0, nil, fmt.Errorf("chain %s: %w", lc.Name, err)
 			}
 		}
 	}
-	// Prepend the source stage: the runnable writing chain[0].
-	src := sys.Component(lc.Chain[0].SWC)
-	for i := range src.Runnables {
-		run := &src.Runnables[i]
-		for _, w := range run.Writes {
-			if w.Port == lc.Chain[0].Port {
-				stages = append([]e2e.Stage{&e2e.TaskStage{
-					Name: src.Name + "." + run.Name, Tasks: taskSets[sys.Mapping[src.Name]],
-					Target: src.Name + "." + run.Name,
-					RTA:    p.RTA.ResponseTimes,
-				}}, stages...)
-			}
-		}
-	}
-	return e2e.ChainBound(stages)
+	return total, depBuses, nil
 }
 
 // defaultFlexRay resolves the effective FlexRay configuration.
@@ -467,7 +606,7 @@ func (p *Pipeline) flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[
 			sigs = append(sigs, flexray.Signal{Name: r.SignalName, Period: sim.Duration(r.Period)})
 		}
 	}
-	as, err := p.FlexRay.Synthesize(cfg, sigs)
+	as, err := p.FlexRay.SynthesizeShared(cfg, sigs)
 	if err != nil {
 		return nil, err
 	}
@@ -476,58 +615,6 @@ func (p *Pipeline) flexraySchedule(cfg flexray.Config, routes []vfb.Route) (map[
 		out[a.Signal.Name] = a
 	}
 	return out, nil
-}
-
-// appendBusStage adds the analytic stage for one bus segment of a route.
-func (p *Pipeline) appendBusStage(stages *[]e2e.Stage, sys *model.System, busName string,
-	signal *vfb.Route, routes []vfb.Route, opts rte.Options) error {
-	bus := sys.BusByName(busName)
-	if bus == nil {
-		return fmt.Errorf("unknown bus %q", busName)
-	}
-	switch bus.Kind {
-	case model.BusCAN:
-		*stages = append(*stages, &e2e.CANStage{
-			Name: busName, Cfg: can.Config{BitRate: bus.BitRate},
-			Messages: canMessages(routes, bus.BitRate), Target: signal.SignalName,
-			Analyze: p.CAN.Analyze,
-		})
-	case model.BusFlexRay:
-		cfg := defaultFlexRay(opts)
-		// The bound must reflect the actual synthesized slot position:
-		// worst case is one full repetition of waiting plus the slot.
-		as, err := p.flexraySchedule(cfg, routes)
-		if err != nil {
-			return err
-		}
-		a, ok := as[signal.SignalName]
-		if !ok {
-			return fmt.Errorf("signal %s not in static schedule of %s", signal.SignalName, busName)
-		}
-		*stages = append(*stages, &e2e.SamplingStage{
-			Name:   busName,
-			Period: sim.Duration(a.Repetition) * cfg.CycleLength(),
-			// Delivery completes at the slot end within the cycle.
-			Transfer: sim.Duration(a.SlotID) * cfg.SlotLength,
-		})
-	case model.BusTTP:
-		slot := opts.TTPSlotLength
-		if slot == 0 {
-			slot = sim.US(250)
-		}
-		nodes := 0
-		for _, e := range sys.ECUs {
-			for _, eb := range e.Buses {
-				if eb == busName {
-					nodes++
-				}
-			}
-		}
-		*stages = append(*stages, &e2e.SamplingStage{
-			Name: busName, Period: sim.Duration(nodes) * slot, Transfer: slot,
-		})
-	}
-	return nil
 }
 
 func findInternalRunnable(comp *model.SWC, inPort, outPort string) *model.Runnable {

@@ -1,0 +1,141 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+
+	"autorte/internal/sim"
+)
+
+// The delta evaluator must reproduce the bound evaluation exactly — same
+// feasibility, same violation strings in the same order, bit-identical
+// cost terms — for every scored move, across constraint shapes and as the
+// incumbent advances through applied moves.
+func TestPreparedEvaluateMoveMatchesBoundEvaluate(t *testing.T) {
+	base := demoSystem(t)
+	consSet := map[string]Constraints{
+		"default":     {},
+		"tight":       {MaxUtilization: 0.35},
+		"strict":      {RespectASIL: true, RespectMemory: true},
+		"schedulable": {RequireSchedulable: true},
+		"everything":  {MaxUtilization: 0.5, RespectASIL: true, RespectMemory: true, RequireSchedulable: true},
+	}
+	for name, cons := range consSet {
+		t.Run(name, func(t *testing.T) {
+			ev := NewEvaluator(cons)
+			bound, err := ev.Bind(base)
+			if err != nil {
+				t.Fatalf("bind: %v", err)
+			}
+			prep, err := bound.Prepare(base.Mapping)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			r := sim.NewRand(11)
+			for step := 0; step < 60; step++ {
+				comp := base.Components[r.Intn(len(base.Components))].Name
+				ecu := base.ECUs[r.Intn(len(base.ECUs))].Name
+				cm := prep.Mapping()
+				cm[comp] = ecu
+				want := bound.Evaluate(cm)
+				got := prep.EvaluateMove(comp, ecu)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("step %d (%s -> %s): delta metrics diverge\nbound: %+v\ndelta: %+v", step, comp, ecu, want, got)
+				}
+				// Advance the incumbent on every third step so both paths
+				// walk the same trajectory.
+				if step%3 == 0 {
+					if err := prep.Apply(comp, ecu); err != nil {
+						t.Fatalf("apply: %v", err)
+					}
+					if in := prep.Evaluate(); !reflect.DeepEqual(want, in) {
+						t.Fatalf("step %d: incumbent evaluation diverges after apply", step)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Score-only calls must be safe to fan out concurrently over one shared
+// incumbent — the parallel steepest-descent shape.
+func TestPreparedEvaluateMoveConcurrent(t *testing.T) {
+	base := demoSystem(t)
+	ev := NewEvaluator(Constraints{RequireSchedulable: true})
+	bound, err := ev.Bind(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := bound.Prepare(base.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type move struct{ comp, ecu string }
+	var moves []move
+	var want []Metrics
+	for _, c := range base.Components {
+		for _, e := range base.ECUs[:4] {
+			cm := cloneMapping(base.Mapping)
+			cm[c.Name] = e.Name
+			moves = append(moves, move{c.Name, e.Name})
+			want = append(want, bound.Evaluate(cm))
+		}
+	}
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			bad := -1
+			for i := g; i < len(moves); i += 8 {
+				if got := prep.EvaluateMove(moves[i].comp, moves[i].ecu); !reflect.DeepEqual(got, want[i]) {
+					bad = i
+					break
+				}
+			}
+			done <- bad
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if bad := <-done; bad != -1 {
+			t.Fatalf("concurrent EvaluateMove diverged on move %d (%s -> %s)", bad, moves[bad].comp, moves[bad].ecu)
+		}
+	}
+}
+
+func TestPreparedRejectsIncompleteMapping(t *testing.T) {
+	base := demoSystem(t)
+	ev := NewEvaluator(Constraints{})
+	bound, err := ev.Bind(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := cloneMapping(base.Mapping)
+	delete(partial, base.Components[0].Name)
+	if _, err := bound.Prepare(partial); err == nil {
+		t.Fatal("prepare should reject a mapping missing a component")
+	}
+	stray := cloneMapping(base.Mapping)
+	stray["ghost"] = base.ECUs[0].Name
+	if _, err := bound.Prepare(stray); err == nil {
+		t.Fatal("prepare should reject a mapping with stray entries")
+	}
+	unknown := cloneMapping(base.Mapping)
+	unknown[base.Components[0].Name] = "no-such-ecu"
+	if _, err := bound.Prepare(unknown); err == nil {
+		t.Fatal("prepare should reject a mapping onto an unknown ECU")
+	}
+	// Unknown move targets fall back to the bound evaluation instead of
+	// corrupting state.
+	prep, err := bound.Prepare(base.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prep.EvaluateMove(base.Components[0].Name, "no-such-ecu")
+	cm := cloneMapping(base.Mapping)
+	cm[base.Components[0].Name] = "no-such-ecu"
+	if want := bound.Evaluate(cm); !reflect.DeepEqual(got, want) {
+		t.Fatal("unknown-ECU move should score through the bound fallback")
+	}
+	if err := prep.Apply(base.Components[0].Name, "no-such-ecu"); err == nil {
+		t.Fatal("apply onto an unknown ECU should error")
+	}
+}

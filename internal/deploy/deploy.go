@@ -386,6 +386,13 @@ func anneal(ev *Evaluator, sys *model.System, obj Objective, seed uint64, iters 
 	best := cur.Clone()
 	bestCost := curM.Cost(obj)
 	curCost := bestCost
+	// The delta evaluator scores each candidate move in O(dirty ECUs); it
+	// degrades to the bound evaluation (O(system), still clone-free) and
+	// from there to the full clone path on invalid topologies.
+	var prep *Prepared
+	if bindErr == nil {
+		prep, _ = bound.Prepare(cur.Mapping)
+	}
 	r := sim.NewRand(seed)
 	temp := bestCost * 0.05
 	if temp <= 0 {
@@ -399,11 +406,14 @@ func anneal(ev *Evaluator, sys *model.System, obj Objective, seed uint64, iters 
 		}
 		var cand *model.System
 		var cost float64
-		if bindErr == nil {
+		switch {
+		case prep != nil:
+			cost = prep.EvaluateMove(c.Name, e.Name).Cost(obj)
+		case bindErr == nil:
 			cm := cloneMapping(cur.Mapping)
 			cm[c.Name] = e.Name
 			cost = bound.Evaluate(cm).Cost(obj)
-		} else {
+		default:
 			cand = cur.Clone()
 			cand.Mapping[c.Name] = e.Name
 			cost = ev.Evaluate(cand).Cost(obj)
@@ -419,6 +429,11 @@ func anneal(ev *Evaluator, sys *model.System, obj Objective, seed uint64, iters 
 				// Materialize the accepted candidate only now.
 				cand = cur.Clone()
 				cand.Mapping[c.Name] = e.Name
+			}
+			if prep != nil {
+				if err := prep.Apply(c.Name, e.Name); err != nil {
+					prep = nil // unknown names: degrade to bound evaluation
+				}
 			}
 			cur, curCost = cand, cost
 			if cost < bestCost {
@@ -515,6 +530,12 @@ func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIt
 		cur = g
 	}
 	curCost := ev.Evaluate(cur).Cost(obj)
+	// Delta evaluator for the incumbent: EvaluateMove is read-only, so the
+	// per-round candidate fan-out below can share it concurrently.
+	var prep *Prepared
+	if bindErr == nil {
+		prep, _ = bound.Prepare(cur.Mapping)
+	}
 	var compNames, ecuNames []string
 	for _, c := range cur.Components {
 		compNames = append(compNames, c.Name)
@@ -536,19 +557,22 @@ func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIt
 		}
 		costs := make([]float64, len(moves))
 		_ = par.ForEach(workers, len(moves), func(i int) error {
-			// Bound evaluation scores the move from a mapping copy alone;
-			// the full clone per candidate is only the invalid-topology
-			// fallback.
+			// Delta evaluation scores the move against the incumbent's
+			// retained per-ECU state; bound evaluation (mapping copy, no
+			// clone) and the full clone path are the fallbacks.
 			defer ev.movesEvaluated.Add(1)
-			if bindErr == nil {
+			switch {
+			case prep != nil:
+				costs[i] = prep.EvaluateMove(moves[i].comp, moves[i].ecu).Cost(obj)
+			case bindErr == nil:
 				cm := cloneMapping(cur.Mapping)
 				cm[moves[i].comp] = moves[i].ecu
 				costs[i] = bound.Evaluate(cm).Cost(obj)
-				return nil
+			default:
+				cand := cur.Clone()
+				cand.Mapping[moves[i].comp] = moves[i].ecu
+				costs[i] = ev.Evaluate(cand).Cost(obj)
 			}
-			cand := cur.Clone()
-			cand.Mapping[moves[i].comp] = moves[i].ecu
-			costs[i] = ev.Evaluate(cand).Cost(obj)
 			return nil
 		})
 		best := -1
@@ -563,6 +587,11 @@ func DescendWith(ev *Evaluator, sys *model.System, obj Objective, workers, maxIt
 		ev.movesAccepted.Add(1)
 		next := cur.Clone()
 		next.Mapping[moves[best].comp] = moves[best].ecu
+		if prep != nil {
+			if err := prep.Apply(moves[best].comp, moves[best].ecu); err != nil {
+				prep = nil
+			}
+		}
 		cur, curCost = next, costs[best]
 	}
 	if m := ev.Evaluate(cur); !m.Feasible {

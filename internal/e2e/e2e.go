@@ -32,18 +32,30 @@ type TaskStage struct {
 	// pipeline injects a memoized analysis here (sched.Cache) so repeated
 	// chain bounds over unchanged task sets are free.
 	RTA func([]sched.Task) ([]sched.Result, error)
+	// Results optionally carries the pre-resolved analysis of Tasks; when
+	// non-nil, Bound reads it instead of calling RTA. Callers that bound
+	// many stages over the same task set resolve the analysis once and
+	// share it here (read-only).
+	Results []sched.Result
 }
 
 // StageName implements Stage.
 func (s *TaskStage) StageName() string { return s.Name }
 
 // Bound implements Stage.
+//
+// Fixed-priority RTA treats a task's own release jitter purely
+// additively: the busy-period recurrence interferes via the OTHER tasks'
+// jitters only, and R = w + J. Bumping the target's jitter therefore
+// shifts its response by exactly the bump and changes nothing else — so
+// instead of cloning the task set per chain stage (which would defeat
+// the memoized analysis with a one-off key), Bound analyzes the shared,
+// unmodified set — the same analysis the ECU schedulability verdict
+// memoizes — and adds the upstream jitter to the target's response.
 func (s *TaskStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
-	tasks := append([]sched.Task(nil), s.Tasks...)
 	found := 0
-	for i := range tasks {
-		if tasks[i].Name == s.Target {
-			tasks[i].J += inputJitter
+	for i := range s.Tasks {
+		if s.Tasks[i].Name == s.Target {
 			found++
 		}
 	}
@@ -55,20 +67,24 @@ func (s *TaskStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
 		// and make the result pick whichever duplicate analyzes first.
 		return 0, fmt.Errorf("e2e: stage %s: target task %s appears %d times in set", s.Name, s.Target, found)
 	}
-	rta := s.RTA
-	if rta == nil {
-		rta = sched.ResponseTimes
-	}
-	rs, err := rta(tasks)
-	if err != nil {
-		return 0, err
+	rs := s.Results
+	if rs == nil {
+		rta := s.RTA
+		if rta == nil {
+			rta = sched.ResponseTimes
+		}
+		var err error
+		rs, err = rta(s.Tasks)
+		if err != nil {
+			return 0, err
+		}
 	}
 	for _, r := range rs {
 		if r.Task.Name == s.Target {
 			if !r.Converged {
 				return 0, fmt.Errorf("e2e: stage %s: response time diverges", s.Name)
 			}
-			return r.WCRT, nil
+			return r.WCRT + inputJitter, nil
 		}
 	}
 	return 0, fmt.Errorf("e2e: stage %s: target vanished", s.Name)
@@ -84,22 +100,33 @@ type CANStage struct {
 	// Analyze optionally replaces can.Analyze — the verification pipeline
 	// injects a memoized analysis here (can.Cache).
 	Analyze func(can.Config, []*can.Message) ([]can.Response, error)
+	// Responses optionally carries the pre-resolved analysis of Messages;
+	// when non-nil, Bound reads it instead of calling Analyze (read-only).
+	Responses []can.Response
 }
 
 // StageName implements Stage.
 func (s *CANStage) StageName() string { return s.Name }
 
 // Bound implements Stage.
+//
+// The CAN busy-period recurrence depends only on the interferers'
+// jitters, never the target's own: the target's jitter enters the
+// analysis purely additively (R = J + w + C) and in the deadline
+// comparison. So instead of cloning the message set to bump the target's
+// jitter — which would make every chain stage a distinct analysis — Bound
+// analyzes the shared, unmodified set (one memoized analysis per bus,
+// the same one the bus schedulability verdict uses) and folds the
+// upstream jitter in afterwards, re-checking the deadline under the
+// shifted response.
 func (s *CANStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
-	msgs := make([]*can.Message, len(s.Messages))
+	var target *can.Message
 	found := 0
-	for i, m := range s.Messages {
-		cp := *m
-		if cp.Name == s.Target {
-			cp.Jitter += inputJitter
+	for _, m := range s.Messages {
+		if m.Name == s.Target {
+			target = m
 			found++
 		}
-		msgs[i] = &cp
 	}
 	if found == 0 {
 		return 0, fmt.Errorf("e2e: stage %s: target message %s not in set", s.Name, s.Target)
@@ -107,20 +134,33 @@ func (s *CANStage) Bound(inputJitter sim.Duration) (sim.Duration, error) {
 	if found > 1 {
 		return 0, fmt.Errorf("e2e: stage %s: target message %s appears %d times in set", s.Name, s.Target, found)
 	}
-	analyze := s.Analyze
-	if analyze == nil {
-		analyze = can.Analyze
-	}
-	rs, err := analyze(s.Cfg, msgs)
-	if err != nil {
-		return 0, err
+	rs := s.Responses
+	if rs == nil {
+		analyze := s.Analyze
+		if analyze == nil {
+			analyze = can.Analyze
+		}
+		var err error
+		rs, err = analyze(s.Cfg, s.Messages)
+		if err != nil {
+			return 0, err
+		}
 	}
 	for _, r := range rs {
 		if r.Message.Name == s.Target {
-			if !r.Schedulable {
+			// Shift by the upstream jitter and re-apply the verdict's
+			// deadline conditions. Schedulable already covers convergence,
+			// level utilization, and the unshifted deadlines, all of which
+			// only get harder under added jitter.
+			bumped := r.WCRT + inputJitter
+			d := target.Deadline
+			if d <= 0 {
+				d = target.Period
+			}
+			if !r.Schedulable || bumped > d || bumped > target.Period {
 				return 0, fmt.Errorf("e2e: stage %s: message %s unschedulable", s.Name, s.Target)
 			}
-			return r.WCRT, nil
+			return bumped, nil
 		}
 	}
 	return 0, fmt.Errorf("e2e: stage %s: target vanished", s.Name)

@@ -6,16 +6,27 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"autorte/internal/flight"
 	"autorte/internal/obs"
 )
 
-// cacheKey serializes a synthesis problem: the configuration fields the
-// placement reads plus the signals in the stable period order Synthesize
-// places them in (ties keep input order, which affects slot assignment).
-func cacheKey(cfg Config, signals []Signal) string {
-	ordered := append([]Signal(nil), signals...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Period < ordered[j].Period })
-	buf := make([]byte, 0, 32*len(ordered)+32)
+// keyBufPool recycles key scratch buffers across lookups (see sched's
+// twin) so steady-state verification builds keys without allocating.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendKey serializes a synthesis problem into buf: the configuration
+// fields the placement reads plus the signals in the stable period order
+// Synthesize places them in (ties keep input order, which affects slot
+// assignment).
+func appendKey(buf []byte, cfg Config, signals []Signal) []byte {
+	ordered := signals
+	for i := 1; i < len(signals); i++ {
+		if signals[i-1].Period > signals[i].Period {
+			ordered = append([]Signal(nil), signals...)
+			sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Period < ordered[j].Period })
+			break
+		}
+	}
 	buf = strconv.AppendInt(buf, int64(cfg.StaticSlots), 10)
 	buf = append(buf, ',')
 	buf = strconv.AppendInt(buf, int64(cfg.SlotLength), 10)
@@ -35,18 +46,32 @@ func cacheKey(cfg Config, signals []Signal) string {
 		buf = strconv.AppendInt(buf, int64(s.Deadline), 10)
 		buf = append(buf, ';')
 	}
-	return string(buf)
+	return buf
+}
+
+// cacheKey materializes appendKey as a string (kept for tests and
+// debugging; the cache itself looks up via pooled buffers).
+func cacheKey(cfg Config, signals []Signal) string {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := appendKey((*bp)[:0], cfg, signals)
+	s := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return s
 }
 
 // SynthCache memoizes static-segment schedule synthesis. The verifier
 // synthesizes the same bus schedule once for the schedulability verdict
 // and once per chain stage crossing the bus — and the DSE loop repeats
-// both per candidate mapping. Safe for concurrent use.
+// both per candidate mapping. Safe for concurrent use; concurrent misses
+// on one key coalesce onto one synthesis.
 type SynthCache struct {
 	mu     sync.RWMutex
 	m      map[string][]Assignment
+	flight flight.Group[[]Assignment]
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	dedup  atomic.Uint64
 }
 
 // NewSynthCache returns an empty synthesis cache.
@@ -61,23 +86,63 @@ func (c *SynthCache) Synthesize(cfg Config, signals []Signal) ([]Assignment, err
 	if c == nil {
 		return Synthesize(cfg, signals)
 	}
-	key := cacheKey(cfg, signals)
-	c.mu.RLock()
-	cached, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return append([]Assignment(nil), cached...), nil
-	}
-	c.misses.Add(1)
-	as, err := Synthesize(cfg, signals)
+	as, err := c.lookup(cfg, signals)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.m[key] = as
-	c.mu.Unlock()
 	return append([]Assignment(nil), as...), nil
+}
+
+// SynthesizeShared is Synthesize without the defensive copy: the returned
+// slice is the cache's own and MUST be treated as read-only.
+func (c *SynthCache) SynthesizeShared(cfg Config, signals []Signal) ([]Assignment, error) {
+	if c == nil {
+		return Synthesize(cfg, signals)
+	}
+	return c.lookup(cfg, signals)
+}
+
+// lookup returns the cache-owned assignment slice for the problem,
+// synthesizing and storing it on a miss.
+func (c *SynthCache) lookup(cfg Config, signals []Signal) ([]Assignment, error) {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := appendKey((*bp)[:0], cfg, signals)
+	c.mu.RLock()
+	cached, ok := c.m[string(buf)] // map index on converted bytes: no allocation
+	c.mu.RUnlock()
+	if ok {
+		*bp = buf
+		keyBufPool.Put(bp)
+		c.hits.Add(1)
+		return cached, nil
+	}
+	key := string(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	as, err, shared := c.flight.Do(key, func() ([]Assignment, error) {
+		// A racer may have stored the entry between our miss and winning
+		// the flight; re-check before synthesizing.
+		c.mu.RLock()
+		cached, ok := c.m[key]
+		c.mu.RUnlock()
+		if ok {
+			c.hits.Add(1)
+			return cached, nil
+		}
+		c.misses.Add(1)
+		as, err := Synthesize(cfg, signals)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.m[key] = as
+		c.mu.Unlock()
+		return as, nil
+	})
+	if shared {
+		c.dedup.Add(1)
+	}
+	return as, err
 }
 
 // Stats reports lookup hits and misses since creation.
@@ -108,5 +173,6 @@ func (c *SynthCache) Observe(reg *obs.Registry) {
 	label := obs.Label{Key: "cache", Value: "flexray"}
 	reg.CounterFunc("analysis_cache_hits_total", "Memoized analysis lookups served from cache.", c.hits.Load, label)
 	reg.CounterFunc("analysis_cache_misses_total", "Memoized analysis lookups that ran the analysis.", c.misses.Load, label)
+	reg.CounterFunc("analysis_cache_dedup_total", "Memoized analysis lookups coalesced onto a concurrent identical computation.", c.dedup.Load, label)
 	reg.GaugeFunc("analysis_cache_entries", "Distinct problems held by the analysis cache.", func() float64 { return float64(c.Len()) }, label)
 }

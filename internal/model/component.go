@@ -208,7 +208,12 @@ func (c *SWC) Validate() error {
 				return fmt.Errorf("component %s runnable %s: mode-switch trigger with empty mode", c.Name, r.Name)
 			}
 		}
-		for _, ref := range append(append([]PortRef{}, r.Reads...), r.Writes...) {
+		for _, ref := range r.Reads {
+			if !portSeen[ref.Port] {
+				return fmt.Errorf("component %s runnable %s: access to unknown port %q", c.Name, r.Name, ref.Port)
+			}
+		}
+		for _, ref := range r.Writes {
 			if !portSeen[ref.Port] {
 				return fmt.Errorf("component %s runnable %s: access to unknown port %q", c.Name, r.Name, ref.Port)
 			}

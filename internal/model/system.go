@@ -283,18 +283,34 @@ func (s *System) ECULoad(ecu string) float64 {
 // schedulability analysis and the deployment capacity model all share
 // this derivation so their views of the system agree.
 func (s *System) EffectivePeriod(comp *SWC, run *Runnable) sim.Duration {
-	return s.effectivePeriod(comp, run, map[string]bool{})
+	return s.effectivePeriod(comp, run, nil)
 }
 
 func (s *System) effectivePeriod(comp *SWC, run *Runnable, seen map[string]bool) sim.Duration {
+	// Timing and mode-switch triggers answer directly — the common case,
+	// and the base of every derivation chain — before any cycle-tracking
+	// state is touched, so the O(n log n) calls the task-set sort makes
+	// stay allocation-free.
+	switch run.Trigger.Kind {
+	case TimingEvent:
+		return run.Trigger.Period
+	case ModeSwitchEvent:
+		// Mode switches are sporadic by nature: no derivable period.
+		return 0
+	default:
+		// DataReceivedEvent / OperationInvokedEvent: derived below, with
+		// cycle tracking.
+	}
 	key := comp.Name + "." + run.Name
 	if seen[key] {
 		return 0 // dependency cycle
 	}
+	if seen == nil {
+		// Allocated only when a derivation actually recurses.
+		seen = make(map[string]bool, 4)
+	}
 	seen[key] = true
 	switch run.Trigger.Kind {
-	case TimingEvent:
-		return run.Trigger.Period
 	case DataReceivedEvent:
 		for _, conn := range s.Connectors {
 			if conn.ToSWC != comp.Name || conn.ToPort != run.Trigger.Port {
@@ -333,9 +349,8 @@ func (s *System) effectivePeriod(comp *SWC, run *Runnable, seen map[string]bool)
 			}
 			return best
 		}
-	case ModeSwitchEvent:
-		// Mode switches are sporadic by nature: no derivable period.
-		return 0
+	default:
+		// TimingEvent / ModeSwitchEvent already answered above.
 	}
 	return 0
 }

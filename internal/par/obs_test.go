@@ -1,6 +1,7 @@
 package par
 
 import (
+	"errors"
 	"testing"
 
 	"autorte/internal/obs"
@@ -38,5 +39,49 @@ func TestObserveCountsJobs(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("par_jobs_total missing or zero in snapshot")
+	}
+}
+
+// TestSequentialPathRecordsNoQueueWait guards the wait-metric fix: on the
+// inline (one-worker) path every job starts at dispatch, so the queue-wait
+// counter must not move — it used to accumulate each job's predecessors'
+// runtimes.
+func TestSequentialPathRecordsNoQueueWait(t *testing.T) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	waitBefore := poolStats.waitNS.Load()
+	if err := ForEach(1, 64, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d := poolStats.waitNS.Load() - waitBefore; d != 0 {
+		t.Fatalf("sequential path accrued %dns queue wait, want 0", d)
+	}
+}
+
+// TestSkippedPlusExecutedCoversBatch checks cancellation accounting: after
+// an error, every job in the batch is either executed or counted skipped,
+// never both and never dropped.
+func TestSkippedPlusExecutedCoversBatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	jobsBefore := poolStats.jobs.Load()
+	skippedBefore := poolStats.skipped.Load()
+	const n = 200
+	err := ForEach(8, n, func(i int) error {
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	executed := poolStats.jobs.Load() - jobsBefore
+	skipped := poolStats.skipped.Load() - skippedBefore
+	if executed+skipped != n {
+		t.Fatalf("executed %d + skipped %d = %d, want %d", executed, skipped, executed+skipped, n)
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation skipped no jobs")
 	}
 }

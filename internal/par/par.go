@@ -23,7 +23,7 @@ var poolStats struct {
 	enabled atomic.Bool
 	batches atomic.Uint64 // ForEach calls that dispatched at least one job
 	jobs    atomic.Uint64 // jobs executed
-	waitNS  atomic.Uint64 // total ns jobs spent eligible before starting
+	waitNS  atomic.Uint64 // total ns dispatched chunks waited before pickup
 	busyNS  atomic.Uint64 // total ns workers spent inside job functions
 	busy    atomic.Int64  // workers currently inside a job function
 	busyMax atomic.Int64  // high-water mark of busy
@@ -37,7 +37,10 @@ var poolStats struct {
 //	par_batches_total       ForEach invocations
 //	par_jobs_total          jobs executed
 //	par_jobs_skipped_total  jobs skipped by error cancellation
-//	par_queue_wait_ns_total ns jobs waited between eligibility and start
+//	par_queue_wait_ns_total ns dispatched chunks spent queued before a
+//	                        worker picked them up (the fan-out path only:
+//	                        on the sequential path every job starts the
+//	                        moment it is dispatched, so no wait accrues)
 //	par_busy_ns_total       ns workers spent executing jobs
 //	par_busy_workers        workers inside a job right now
 //	par_busy_workers_max    high-water mark of par_busy_workers
@@ -46,21 +49,22 @@ func Observe(reg *obs.Registry) {
 	reg.CounterFunc("par_batches_total", "ForEach invocations that dispatched jobs.", poolStats.batches.Load)
 	reg.CounterFunc("par_jobs_total", "Jobs executed by the worker pool.", poolStats.jobs.Load)
 	reg.CounterFunc("par_jobs_skipped_total", "Jobs skipped after a sibling job error.", poolStats.skipped.Load)
-	reg.CounterFunc("par_queue_wait_ns_total", "Nanoseconds jobs spent eligible before a worker picked them up.", poolStats.waitNS.Load)
+	reg.CounterFunc("par_queue_wait_ns_total", "Nanoseconds dispatched work chunks spent queued before a worker picked them up.", poolStats.waitNS.Load)
 	reg.CounterFunc("par_busy_ns_total", "Nanoseconds workers spent inside job functions.", poolStats.busyNS.Load)
 	reg.GaugeFunc("par_busy_workers", "Workers currently executing a job.", func() float64 { return float64(poolStats.busy.Load()) })
 	reg.GaugeFunc("par_busy_workers_max", "High-water mark of concurrently busy workers.", func() float64 { return float64(poolStats.busyMax.Load()) })
 }
 
-// runJob executes one job with occupancy accounting. batchStart is when
-// the job became eligible (the ForEach call); zero batchStart means
-// instrumentation is off.
-func runJob(batchStart time.Time, job func(i int) error, i int) error {
-	if batchStart.IsZero() {
+// runJob executes one job with occupancy accounting. Queue wait is NOT
+// measured here — a job's predecessors on the same worker are execution,
+// not queuing, so per-job wait measured from batch start would wrongly
+// charge each job with every sibling's runtime (it used to). Pickup
+// delay is accounted per dispatched chunk in ForEach instead.
+func runJob(instrumented bool, job func(i int) error, i int) error {
+	if !instrumented {
 		return job(i)
 	}
-	started := time.Now() //autovet:allow walltime pool queue-wait metric measures the host
-	poolStats.waitNS.Add(uint64(started.Sub(batchStart).Nanoseconds()))
+	started := time.Now() //autovet:allow walltime pool busy metric measures the host
 	busy := poolStats.busy.Add(1)
 	for {
 		max := poolStats.busyMax.Load()
@@ -84,20 +88,40 @@ func Workers(requested int) int {
 	return requested
 }
 
+const (
+	// minFanOut is the smallest batch worth fanning out: below it the
+	// goroutine and channel setup costs more than the overlap buys, so
+	// smaller batches run on the caller's goroutine.
+	minFanOut = 4
+	// chunksPerWorker trades dispatch overhead against load balance:
+	// each worker's share is split into this many chunks so uneven job
+	// costs still spread, while the per-index channel handoff of the old
+	// dispatcher (one blocking send per job) is gone.
+	chunksPerWorker = 4
+)
+
+// chunkSpan is one contiguous dispatched index range [lo, hi).
+type chunkSpan struct{ lo, hi int }
+
 // ForEach runs job(0) … job(n-1) on at most workers goroutines
 // (normalized via Workers) and blocks until all dispatched jobs return.
-// Indices are dispatched in order. After the first job error, jobs that
-// have not yet started are skipped (cancellation); jobs already running
-// finish. The returned error is the lowest-index error among jobs that
-// ran — because dispatch is ordered, this is the same error a sequential
-// loop would have returned whenever at most one job can fail, and results
-// written by successful jobs are always deterministic.
+// Work is dispatched in index order as contiguous chunks through a
+// buffered queue, so dispatch never blocks on a worker and batches below
+// minFanOut (or with one worker) run inline on the caller's goroutine.
+// After the first job error, jobs that have not yet started are skipped —
+// queued chunks are dropped wholesale, so cancellation costs O(chunks),
+// not one handoff per remaining job — and jobs already running finish.
+// The returned error is the lowest-index error among jobs that ran;
+// because chunks are claimed in order, this is the same error a
+// sequential loop would have returned whenever at most one job can fail,
+// and results written by successful jobs are always deterministic.
 func ForEach(workers, n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	instrumented := poolStats.enabled.Load()
 	var batchStart time.Time
-	if poolStats.enabled.Load() {
+	if instrumented {
 		batchStart = time.Now() //autovet:allow walltime pool batch metric measures the host
 		poolStats.batches.Add(1)
 	}
@@ -105,45 +129,83 @@ func ForEach(workers, n int, job func(i int) error) error {
 	if w > n {
 		w = n
 	}
-	if w == 1 {
+	if w == 1 || n < minFanOut {
+		// Inline path: each job starts the moment it is dispatched, so no
+		// queue wait accrues (and none is recorded).
 		for i := 0; i < n; i++ {
-			if err := runJob(batchStart, job, i); err != nil {
+			if err := runJob(instrumented, job, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var stop atomic.Bool
-	idx := make(chan int)
+	chunk := n / (w * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	// The whole batch is enqueued up front into a buffered channel and the
+	// channel closed: dispatch is a non-blocking O(chunks) loop, there is
+	// no producer goroutine left to short-circuit on error, and workers
+	// drain cancelled chunks with one counter update each.
+	spans := make(chan chunkSpan, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans <- chunkSpan{lo, hi}
+	}
+	close(spans)
+	var (
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for sp := range spans {
 				if stop.Load() {
-					if !batchStart.IsZero() {
-						poolStats.skipped.Add(1)
+					// Cancelled: drop the chunk wholesale.
+					if instrumented {
+						poolStats.skipped.Add(uint64(sp.hi - sp.lo))
 					}
 					continue
 				}
-				if err := runJob(batchStart, job, i); err != nil {
-					errs[i] = err
-					stop.Store(true)
+				if instrumented {
+					// Queue wait: how long the chunk sat dispatched before
+					// any worker was free to start it.
+					poolStats.waitNS.Add(uint64(time.Since(batchStart).Nanoseconds())) //autovet:allow walltime pool queue-wait metric measures the host
+				}
+				for i := sp.lo; i < sp.hi; i++ {
+					if stop.Load() {
+						if instrumented {
+							poolStats.skipped.Add(uint64(sp.hi - i))
+						}
+						break
+					}
+					if err := runJob(instrumented, job, i); err != nil {
+						fail(i, err)
+						if instrumented && i+1 < sp.hi {
+							poolStats.skipped.Add(uint64(sp.hi - i - 1))
+						}
+						break
+					}
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstErr
 }

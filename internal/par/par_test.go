@@ -90,3 +90,46 @@ func TestForEachZeroJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestForEachChunkedDeterministicAcrossWorkerCounts(t *testing.T) {
+	// 257 is coprime with every chunk size in play, so chunk boundaries
+	// land differently per worker count; the merged output must not.
+	n := 257
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		out := make([]int, n)
+		if err := ForEach(workers, n, func(i int) error {
+			out[i] = 3*i + 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != 3*i+1 {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, 3*i+1)
+			}
+		}
+	}
+}
+
+func TestForEachSingleFailureMatchesSequential(t *testing.T) {
+	// With exactly one failing job, the reported error must be that job's,
+	// at any worker count and wherever the failure lands within a chunk.
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3, 8} {
+		for _, failAt := range []int{0, 17, 99} {
+			err := ForEach(workers, 100, func(i int) error {
+				if i == failAt {
+					return fmt.Errorf("job %d failed: %w", i, boom)
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("workers=%d failAt=%d: err = %v", workers, failAt, err)
+			}
+			want := fmt.Sprintf("job %d failed: boom", failAt)
+			if err.Error() != want {
+				t.Fatalf("workers=%d failAt=%d: err = %q, want %q", workers, failAt, err, want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -94,6 +95,109 @@ func TestCacheNilReceiverDegrades(t *testing.T) {
 	ok, _, err := c.Schedulable(tasks)
 	if err != nil || !ok {
 		t.Fatalf("nil cache Schedulable = %v, %v", ok, err)
+	}
+}
+
+func TestKeyStableUnderConcurrentPooledUse(t *testing.T) {
+	// Key builds through a shared buffer pool; concurrent use across
+	// distinct task sets must never bleed one set's bytes into another's
+	// key. Serial keys are the ground truth.
+	sets := make([][]Task, 16)
+	want := make([]string, len(sets))
+	for i := range sets {
+		sets[i] = cacheDemoSet()
+		sets[i][0].C = sim.MS(1) + sim.Duration(i)
+		sets[i][2].Name = string(rune('a' + i))
+		want[i] = Key(sets[i])
+	}
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			if want[i] == want[j] {
+				t.Fatalf("distinct sets %d and %d collide", i, j)
+			}
+		}
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for round := 0; round < 200; round++ {
+				for i := range sets {
+					if got := Key(sets[i]); got != want[i] {
+						done <- fmt.Errorf("set %d: key changed under concurrency", i)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheConcurrentMissesCountOnce(t *testing.T) {
+	// However many goroutines race the first lookup of a key, exactly one
+	// analysis runs: every other caller is a hit or a coalesced waiter.
+	c := NewCache()
+	tasks := cacheDemoSet()
+	const callers = 16
+	start := make(chan struct{})
+	done := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			<-start
+			_, err := c.ResponseTimes(tasks)
+			done <- err
+		}()
+	}
+	close(start)
+	for g := 0; g < callers; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1", misses)
+	}
+	if hits+c.dedup.Load() != callers-1 {
+		t.Fatalf("hits %d + dedup %d should cover the %d non-miss callers", hits, c.dedup.Load(), callers-1)
+	}
+}
+
+func TestCacheSharedResultsAliasTheEntry(t *testing.T) {
+	c := NewCache()
+	tasks := cacheDemoSet()
+	a, err := c.ResponseTimesShared(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.ResponseTimesShared(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("shared lookups should return the cache-owned slice, not copies")
+	}
+	ok, rs, err := c.SchedulableShared(tasks)
+	if err != nil || !ok {
+		t.Fatalf("SchedulableShared = %v, %v", ok, err)
+	}
+	if &rs[0] != &a[0] {
+		t.Fatal("SchedulableShared should share the same entry slice")
+	}
+	cp, err := c.ResponseTimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, a) {
+		t.Fatal("shared and copied results diverge")
+	}
+	if &cp[0] == &a[0] {
+		t.Fatal("copying variant must not alias the cache entry")
 	}
 }
 

@@ -90,8 +90,17 @@ func LiuLaylandBound(n int) float64 {
 // deadline (D ≤ T) fixed-priority sets on one core; sets where a task's
 // level-i utilization reaches 1 are reported unschedulable.
 func ResponseTimes(tasks []Task) ([]Result, error) {
-	byPrio := append([]Task(nil), tasks...)
-	sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].Priority > byPrio[j].Priority })
+	// Already-sorted inputs (the cache and the deployment layers feed
+	// priority-ordered sets) analyze in place; the analysis never mutates
+	// the tasks, so sharing the caller's slice is safe.
+	byPrio := tasks
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i-1].Priority < tasks[i].Priority {
+			byPrio = append([]Task(nil), tasks...)
+			sort.SliceStable(byPrio, func(i, j int) bool { return byPrio[i].Priority > byPrio[j].Priority })
+			break
+		}
+	}
 	out := make([]Result, 0, len(byPrio))
 	for i := range byPrio {
 		t := &byPrio[i]

@@ -17,23 +17,39 @@ import (
 
 // Build derives the analyzable task set per ECU. Event-driven runnables
 // inherit the period of their triggering producer; runnables whose rate
-// cannot be derived are skipped with a warning. The output is
-// deterministic for a given system.
+// cannot be derived are skipped with a warning. The output — including
+// the warning order — is deterministic for a given system.
 func Build(sys *model.System) (map[string][]sched.Task, []string) {
 	type tinfo struct {
 		comp *model.SWC
 		run  *model.Runnable
+		// period is precomputed so the sort below doesn't re-derive it
+		// O(n log n) times; sortKey matches the RTE generator's tie-break
+		// (name concatenation) exactly.
+		period  sim.Duration
+		sortKey string
 	}
 	var warnings []string
 	perECU := map[string][]tinfo{}
+	var ecus []string
 	for _, comp := range sys.Components {
 		ecu := sys.Mapping[comp.Name]
 		for i := range comp.Runnables {
-			perECU[ecu] = append(perECU[ecu], tinfo{comp, &comp.Runnables[i]})
+			run := &comp.Runnables[i]
+			if _, seen := perECU[ecu]; !seen {
+				ecus = append(ecus, ecu)
+			}
+			perECU[ecu] = append(perECU[ecu], tinfo{
+				comp: comp, run: run,
+				period:  sys.EffectivePeriod(comp, run),
+				sortKey: comp.Name + run.Name,
+			})
 		}
 	}
+	sort.Strings(ecus)
 	out := map[string][]sched.Task{}
-	for ecu, infos := range perECU {
+	for _, ecu := range ecus {
+		infos := perECU[ecu]
 		speed := 1.0
 		if e := sys.ECUByName(ecu); e != nil {
 			speed = e.Speed
@@ -42,23 +58,20 @@ func Build(sys *model.System) (map[string][]sched.Task, []string) {
 		// exactly; rate-less runnables sort first (treated as urgent
 		// sporadic handlers) but are excluded from the analysis below.
 		sort.SliceStable(infos, func(i, j int) bool {
-			pi := sys.EffectivePeriod(infos[i].comp, infos[i].run)
-			pj := sys.EffectivePeriod(infos[j].comp, infos[j].run)
-			if pi != pj {
-				return pi < pj
+			if infos[i].period != infos[j].period {
+				return infos[i].period < infos[j].period
 			}
-			return infos[i].comp.Name+infos[i].run.Name < infos[j].comp.Name+infos[j].run.Name
+			return infos[i].sortKey < infos[j].sortKey
 		})
 		for rank, ti := range infos {
-			period := sys.EffectivePeriod(ti.comp, ti.run)
-			if period <= 0 {
+			if ti.period <= 0 {
 				warnings = append(warnings, fmt.Sprintf("%s.%s: no derivable rate; excluded from analysis", ti.comp.Name, ti.run.Name))
 				continue
 			}
 			out[ecu] = append(out[ecu], sched.Task{
 				Name:     ti.comp.Name + "." + ti.run.Name,
 				C:        sim.Duration(float64(ti.run.WCETNominal) / speed),
-				T:        period,
+				T:        ti.period,
 				D:        ti.run.Deadline,
 				Priority: 1000 - rank,
 			})

@@ -72,7 +72,35 @@ func Resolve(s *model.System) ([]Route, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	return ResolveValidated(s)
+}
+
+// pathResult memoizes one ECU pair's resolved communication path for the
+// duration of a Resolve call — vehicle topologies route many connectors
+// over few ECU pairs, so the shared-bus scan runs once per pair.
+type pathResult struct {
+	bus, via, bus2 string
+	err            error
+}
+
+// ResolveValidated is Resolve for callers that have already validated the
+// system — the verification pipeline validates once up front and must not
+// pay for (or double-report) a second full validation per verify.
+func ResolveValidated(s *model.System) ([]Route, error) {
 	var routes []Route
+	var paths map[[2]string]pathResult
+	pathFor := func(srcECU, dstECU string) (string, string, string, error) {
+		k := [2]string{srcECU, dstECU}
+		if p, ok := paths[k]; ok {
+			return p.bus, p.via, p.bus2, p.err
+		}
+		bus, via, bus2, err := resolvePath(s, srcECU, dstECU)
+		if paths == nil {
+			paths = map[[2]string]pathResult{}
+		}
+		paths[k] = pathResult{bus, via, bus2, err}
+		return bus, via, bus2, err
+	}
 	for _, c := range s.Connectors {
 		srcECU, ok := s.Mapping[c.FromSWC]
 		if !ok {
@@ -94,7 +122,7 @@ func Resolve(s *model.System) ([]Route, error) {
 				Bits:       32,
 			})
 			if srcECU != dstECU {
-				bus, via, bus2, err := resolvePath(s, srcECU, dstECU)
+				bus, via, bus2, err := pathFor(srcECU, dstECU)
 				if err != nil {
 					return nil, err
 				}
@@ -114,7 +142,7 @@ func Resolve(s *model.System) ([]Route, error) {
 				Period:     producerPeriod(s, s.Component(c.FromSWC), c.FromPort, el.Name),
 			}
 			if !r.Local {
-				bus, via, bus2, err := resolvePath(s, srcECU, dstECU)
+				bus, via, bus2, err := pathFor(srcECU, dstECU)
 				if err != nil {
 					return nil, err
 				}
@@ -125,6 +153,77 @@ func Resolve(s *model.System) ([]Route, error) {
 	}
 	sort.Slice(routes, func(i, j int) bool { return routes[i].SignalName < routes[j].SignalName })
 	return routes, nil
+}
+
+// Template is the mapping-independent part of a Route: everything Resolve
+// derives from the VFB wiring alone (signal identity, width, producer
+// rate). Incremental re-verification precomputes templates once and only
+// re-evaluates the mapping-dependent fields (Local, Bus, Via, Bus2) when
+// the deployment changes.
+type Template struct {
+	Conn       model.Connector
+	Elem       string
+	SignalName string
+	Bits       int
+	Period     int64
+}
+
+// Templates precomputes one Template per connector element of a validated
+// system, sorted by SignalName — the same order and content Resolve gives
+// its routes, minus the mapping-dependent fields.
+func Templates(s *model.System) []Template {
+	var tmpls []Template
+	for _, c := range s.Connectors {
+		prov := s.Component(c.FromSWC).Port(c.FromPort)
+		req := s.Component(c.ToSWC).Port(c.ToPort)
+		if prov.Interface.Kind != model.SenderReceiver {
+			tmpls = append(tmpls, Template{
+				Conn: c, Elem: "__call__",
+				SignalName: signalName(c, "__call__"),
+				Bits:       32,
+			})
+			continue
+		}
+		for _, el := range req.Interface.Elements {
+			tmpls = append(tmpls, Template{
+				Conn: c, Elem: el.Name,
+				SignalName: signalName(c, el.Name),
+				Bits:       el.Type.Bits,
+				Period:     producerPeriod(s, s.Component(c.FromSWC), c.FromPort, el.Name),
+			})
+		}
+	}
+	sort.Slice(tmpls, func(i, j int) bool { return tmpls[i].SignalName < tmpls[j].SignalName })
+	return tmpls
+}
+
+// Materialize turns a Template into a Route under the given mapping,
+// using pathFor to resolve remote ECU pairs (callers memoize it).
+func (t Template) Materialize(mapping map[string]string,
+	pathFor func(srcECU, dstECU string) (bus, via, bus2 string, err error)) (Route, error) {
+	src, ok := mapping[t.Conn.FromSWC]
+	if !ok {
+		return Route{}, fmt.Errorf("vfb: component %s is not mapped", t.Conn.FromSWC)
+	}
+	dst, ok := mapping[t.Conn.ToSWC]
+	if !ok {
+		return Route{}, fmt.Errorf("vfb: component %s is not mapped", t.Conn.ToSWC)
+	}
+	r := Route{
+		Conn: t.Conn, Elem: t.Elem,
+		Local:      src == dst,
+		SignalName: t.SignalName,
+		Bits:       t.Bits,
+		Period:     t.Period,
+	}
+	if !r.Local {
+		bus, via, bus2, err := pathFor(src, dst)
+		if err != nil {
+			return Route{}, err
+		}
+		r.Bus, r.Via, r.Bus2 = bus, via, bus2
+	}
+	return r, nil
 }
 
 func signalName(c model.Connector, elem string) string {

@@ -150,6 +150,16 @@ type VehicleSpec struct {
 	// DAS[i]'s first sensor to DAS[i+1]'s first controller. Cross-domain
 	// traffic is what makes consolidation and bus planning interesting.
 	CrossDASLinks int
+	// ChainConstraints attaches one end-to-end latency constraint per
+	// generated sensor→controller→actuator chain (budget: four chain
+	// periods — three hops plus the controller's sampling delay — which
+	// holistic analysis meets on a healthy deployment). Off by default so
+	// existing callers see no chains.
+	ChainConstraints bool
+	// BusBitRate overrides the backbone bit rate (default 500 kbit/s).
+	// Large vehicles with chain verification enabled need headroom, since
+	// every remote connector element becomes a periodic frame.
+	BusBitRate int64
 }
 
 // DefaultDASes returns the canonical four-subsystem vehicle load.
@@ -183,10 +193,14 @@ func GenerateVehicle(spec VehicleSpec, r *sim.Rand) (*model.System, error) {
 	if speed == 0 {
 		speed = 1
 	}
+	bitRate := spec.BusBitRate
+	if bitRate == 0 {
+		bitRate = 500_000
+	}
 	busName := "backbone"
 	sys := &model.System{
 		Name:    "vehicle",
-		Buses:   []*model.Bus{{Name: busName, Kind: spec.BusKind, BitRate: 500_000}},
+		Buses:   []*model.Bus{{Name: busName, Kind: spec.BusKind, BitRate: bitRate}},
 		Mapping: map[string]string{},
 	}
 	ecuIdx := 0
@@ -216,6 +230,22 @@ func GenerateVehicle(spec VehicleSpec, r *sim.Rand) (*model.System, error) {
 		}
 		for i, c := range comps {
 			sys.Mapping[c.Name] = names[i%len(names)]
+		}
+		if spec.ChainConstraints {
+			for c := 0; c < das.Chains; c++ {
+				base := fmt.Sprintf("%s_c%d", das.Name, c)
+				period := comps[c*3].Runnables[0].Trigger.Period
+				sys.Constraints = append(sys.Constraints, model.LatencyConstraint{
+					Name:   base + "_e2e",
+					Budget: 4 * period,
+					Chain: []model.PortRef2{
+						{SWC: base + "_sensor", Port: "out"},
+						{SWC: base + "_ctrl", Port: "in"},
+						{SWC: base + "_ctrl", Port: "cmd"},
+						{SWC: base + "_act", Port: "in"},
+					},
+				})
+			}
 		}
 	}
 	if spec.CrossDASLinks > len(dases)-1 {
