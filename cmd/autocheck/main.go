@@ -47,6 +47,7 @@ func main() {
 		metricsPath   = flag.String("metrics", "", "write pipeline metrics (Prometheus text format) to file")
 		traceOutPath  = flag.String("trace-out", "", "write pipeline stage spans as Chrome trace JSON to file")
 		traceTxtPath  = flag.String("trace-txt", "", "write pipeline stage spans as a text tree to file")
+		bundlePath    = flag.String("bundle", "", "write a diagnostic bundle of the verification run (inspect with autodiag)")
 	)
 	flag.Parse()
 
@@ -85,11 +86,11 @@ func main() {
 
 	pipe := core.NewPipeline(*jobs)
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *bundlePath != "" {
 		reg = obs.NewRegistry()
 		pipe.Observe(reg)
 	}
-	if *traceOutPath != "" || *traceTxtPath != "" {
+	if *traceOutPath != "" || *traceTxtPath != "" || *bundlePath != "" {
 		pipe.Tracer = obs.NewTracer()
 	}
 	rep, err := pipe.Verify(sys, contracts, rte.Options{})
@@ -100,6 +101,20 @@ func main() {
 	})
 	writeArtifact(*traceOutPath, pipe.Tracer.WriteChrome)
 	writeArtifact(*traceTxtPath, pipe.Tracer.WriteTree)
+	writeArtifact(*bundlePath, func(w io.Writer) error {
+		b := &obs.Bundle{
+			Version: obs.BundleVersion, Reason: "autocheck:verify",
+			ConfigHash: sys.Hash(),
+			Meta: map[string]string{
+				"system": sys.Name,
+				"ok":     fmt.Sprint(err == nil && rep != nil && rep.OK()),
+			},
+			Metrics: reg.Snapshot(),
+		}
+		b.Flight.Spans = pipe.Tracer.SpanEvents()
+		b.Flight.SpanTotal = uint64(len(b.Flight.Spans))
+		return b.Write(w)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autocheck:", err)
 		os.Exit(1)

@@ -16,7 +16,9 @@
 // markers for misses/aborts/drops) loadable in Perfetto; -metrics dumps
 // the platform registry (kernel events, cache and pool counters) in
 // Prometheus text format; -dlt enables the DLT-style structured event
-// log for the run and writes it as text.
+// log for the run and writes it as text; -bundle serializes the whole
+// run as a diagnostic bundle for autodiag, and -sample additionally
+// records every metric on a virtual-time grid into the bundle's series.
 //
 // Reliability: -health supervises every component with the default health
 // policy (error qualification, recovery escalation) and prints partition
@@ -59,6 +61,8 @@ func main() {
 		dltOut     = flag.String("dlt", "", "enable the DLT event log and write it as text to file")
 		healthOn   = flag.Bool("health", false, "supervise every component with the default health policy and report partition health")
 		faults     = flag.Bool("faults", false, "run the E11 fault-injection campaign and graceful-degradation tables, then exit")
+		bundleOut  = flag.String("bundle", "", "write a diagnostic bundle of the run (inspect with autodiag)")
+		sample     = flag.Duration("sample", 0, "sample all metrics on this virtual-time grid into the bundle's series")
 	)
 	flag.Parse()
 
@@ -111,6 +115,9 @@ func main() {
 	}
 	if *dltOut != "" {
 		p.EnableDLT(obs.LevelInfo)
+	}
+	if *sample > 0 {
+		p.EnableSampling(sim.Duration(*sample), nil)
 	}
 	var mon *health.Monitor
 	if *healthOn {
@@ -186,6 +193,7 @@ func main() {
 		return obs.WritePrometheus(w, p.Metrics.Snapshot())
 	})
 	writeArtifact(*dltOut, p.DLT.WriteText)
+	writeArtifact(*bundleOut, p.Bundle("autosim:end-of-run").Write)
 	// Exit non-zero when deadlines were missed, for scripting.
 	if p.Trace.Count(trace.Miss, "") > 0 {
 		fmt.Printf("\nDEADLINE MISSES: %d\n", p.Trace.Count(trace.Miss, ""))

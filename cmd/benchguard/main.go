@@ -14,6 +14,10 @@
 //     budget (default 1690, half the 3380 the seed shipped with).
 //   - BenchmarkVerifyDSESweepInc/<size>/inc must be at least -incratio
 //     (default 3.0) times faster than BenchmarkVerifyDSESweep/<size>/par.
+//   - Every benchmark reporting an "on/off-ratio" metric (the paired
+//     Benchmark*Flight comparisons): the always-on flight recorder must
+//     cost at most -flightratio (default 1.03, i.e. 3%) over the
+//     recorder-off baseline — the observability budget.
 //
 // A guard that finds no benchmarks to check fails: a vacuous pass from a
 // mistyped -bench pattern must not look green.
@@ -21,7 +25,7 @@
 // Usage:
 //
 //	benchguard -bench BENCH_pipeline.json [-old baseline.json] \
-//	           [-allocs 1690] [-incratio 3.0]
+//	           [-allocs 1690] [-incratio 3.0] [-flightratio 1.03]
 package main
 
 import (
@@ -36,10 +40,11 @@ import (
 
 // Result mirrors benchjson's per-benchmark record.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 func main() {
@@ -47,6 +52,7 @@ func main() {
 	old := flag.String("old", "", "optional baseline artifact for the comparison table")
 	allocs := flag.Int64("allocs", 1690, "allocs/op ceiling for BenchmarkVerify/large")
 	incRatio := flag.Float64("incratio", 3.0, "minimum DSE sweep speedup of the incremental path over cached-par")
+	flightRatio := flag.Float64("flightratio", 1.03, "maximum flight-recorder on/off ns/op ratio (observability budget)")
 	flag.Parse()
 	cur, err := load(*bench)
 	if err != nil {
@@ -59,7 +65,7 @@ func main() {
 		}
 		compare(os.Stdout, base, cur)
 	}
-	violations := guard(cur, *allocs, *incRatio)
+	violations := guard(cur, *allocs, *incRatio, *flightRatio)
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d violation(s) in %s:\n", len(violations), *bench)
 		for _, v := range violations {
@@ -83,7 +89,7 @@ func load(path string) (map[string]Result, error) {
 }
 
 // guard checks the budget invariants and returns the violations found.
-func guard(cur map[string]Result, allocCeiling int64, incRatio float64) []string {
+func guard(cur map[string]Result, allocCeiling int64, incRatio, flightRatio float64) []string {
 	var out []string
 	pairs := 0
 	for name, seq := range cur {
@@ -134,6 +140,25 @@ func guard(cur map[string]Result, allocCeiling int64, incRatio float64) []string
 	}
 	if incPairs == 0 {
 		out = append(out, "no DSE sweep inc/par pairs found — guard would pass vacuously")
+	}
+	flightRatios := 0
+	for name, r := range cur {
+		ratio, ok := r.Metrics["on/off-ratio"]
+		if !ok {
+			continue
+		}
+		flightRatios++
+		if ratio <= 0 {
+			out = append(out, fmt.Sprintf("%s: non-positive on/off-ratio", name))
+			continue
+		}
+		if ratio > flightRatio {
+			out = append(out, fmt.Sprintf("%s: flight recorder costs %.1f%% over off (budget %.1f%%)",
+				name, (ratio-1)*100, (flightRatio-1)*100))
+		}
+	}
+	if flightRatios == 0 {
+		out = append(out, "no flight-recorder on/off-ratio metrics found — guard would pass vacuously")
 	}
 	sort.Strings(out)
 	return out

@@ -20,6 +20,19 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkPlatformFlight-8 120 2170000 ns/op 1.015 on/off-ratio 212 B/op 3 allocs/op")
+	if !ok || name != "BenchmarkPlatformFlight" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if r.Metrics["on/off-ratio"] != 1.015 {
+		t.Fatalf("metrics = %v, want on/off-ratio 1.015", r.Metrics)
+	}
+	if r.NsPerOp != 2170000 || r.BytesPerOp != 212 || r.AllocsPerOp != 3 {
+		t.Fatalf("standard columns lost around custom metric: %+v", r)
+	}
+}
+
 func TestParseBenchLineWithoutMem(t *testing.T) {
 	name, r, ok := parseBenchLine("BenchmarkDSEDescend-16 52 22801933 ns/op")
 	if !ok || name != "BenchmarkDSEDescend" || r.NsPerOp != 22801933 {
@@ -59,6 +72,43 @@ func TestRunWritesArtifact(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "\"BenchmarkVerify\"") {
 		t.Fatalf("artifact missing benchmark: %s", data)
+	}
+}
+
+func TestRunKeepsFastestRepeat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	in := strings.NewReader(
+		"BenchmarkVerify-8 120 9536271 ns/op\n" +
+			"BenchmarkVerify-8 130 8100000 ns/op\n" +
+			"BenchmarkVerify-8 110 9900000 ns/op\n")
+	n, err := run(in, &strings.Builder{}, out)
+	if err != nil || n != 1 {
+		t.Fatalf("run = %d, %v; want 1 deduplicated benchmark", n, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "8100000") || strings.Contains(string(data), "9900000") {
+		t.Fatalf("artifact did not keep the fastest -count repeat: %s", data)
+	}
+}
+
+func TestMergeRepeatTakesMetricMin(t *testing.T) {
+	a := Result{NsPerOp: 9000000, Metrics: map[string]float64{"on/off-ratio": 1.012}}
+	b := Result{NsPerOp: 8000000, Metrics: map[string]float64{"on/off-ratio": 1.041, "events/op": 42}}
+	got := mergeRepeat(a, b)
+	if got.NsPerOp != 8000000 {
+		t.Fatalf("ns/op = %v, want the faster repeat kept whole", got.NsPerOp)
+	}
+	if got.Metrics["on/off-ratio"] != 1.012 {
+		t.Fatalf("ratio = %v, want per-metric minimum across repeats", got.Metrics["on/off-ratio"])
+	}
+	if got.Metrics["events/op"] != 42 {
+		t.Fatalf("metric present in only one repeat lost: %v", got.Metrics)
+	}
+	if a.Metrics["on/off-ratio"] != 1.012 || b.Metrics["on/off-ratio"] != 1.041 {
+		t.Fatal("merge mutated its inputs")
 	}
 }
 

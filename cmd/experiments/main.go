@@ -5,6 +5,12 @@
 // Usage:
 //
 //	experiments [-only E4]
+//	experiments -bundle chaos.bundle
+//
+// -bundle runs the E11 forced safe-stop scenario and writes its terminal
+// diagnostic bundle to the given path (inspect with autodiag) — the
+// artifact CI attaches when the chaos suite fails. With -bundle and no
+// -only, only the bundle is produced.
 package main
 
 import (
@@ -16,8 +22,19 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E12series)")
+	bundle := flag.String("bundle", "", "write the E11 forced safe-stop diagnostic bundle to this path")
 	flag.Parse()
+	if *bundle != "" {
+		if _, err := experiments.E11SafeStopBundle(experiments.DefaultE11(), *bundle); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *bundle)
+		if *only == "" {
+			return
+		}
+	}
 	if *only == "" {
 		if err := experiments.All(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -36,10 +53,32 @@ func main() {
 		"E8":  func() (*experiments.Table, error) { return experiments.E8NoC(experiments.DefaultE8()) },
 		"E9":  func() (*experiments.Table, error) { return experiments.E9Extensibility(experiments.DefaultE9()) },
 		"E10": func() (*experiments.Table, error) { return experiments.E10ErrorHandling(experiments.DefaultE10()) },
+		"E11": func() (*experiments.Table, error) { return experiments.E11FaultCampaign(experiments.DefaultE11()) },
+		"E11limp": func() (*experiments.Table, error) {
+			return experiments.E11LimpHome(experiments.DefaultE11())
+		},
+		"E11series": func() (*experiments.Table, error) {
+			return experiments.E11RecoverySeries(experiments.DefaultE11())
+		},
+		"E11timeline": func() (*experiments.Table, error) {
+			return experiments.E11EscalationTimeline(experiments.DefaultE11())
+		},
+		"E12": func() (*experiments.Table, error) {
+			return experiments.E12DetectionCoverage(experiments.DefaultE12())
+		},
+		"E12overhead": func() (*experiments.Table, error) {
+			return experiments.E12Overhead(experiments.DefaultE12())
+		},
+		"E12recovery": func() (*experiments.Table, error) {
+			return experiments.E12Recovery(experiments.DefaultE12())
+		},
+		"E12series": func() (*experiments.Table, error) {
+			return experiments.E12RecoverySeries(experiments.DefaultE12())
+		},
 	}
 	run, ok := runs[*only]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E10)\n", *only)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E12series)\n", *only)
 		os.Exit(2)
 	}
 	tab, err := run()

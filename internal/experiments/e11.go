@@ -6,6 +6,7 @@ import (
 	"autorte/internal/fault"
 	"autorte/internal/health"
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/rte"
 	"autorte/internal/sim"
 	"autorte/internal/trace"
@@ -23,13 +24,16 @@ type E11Config struct {
 	// Workers bounds campaign parallelism (<= 0: GOMAXPROCS).
 	Workers int
 	Seed    uint64
+	// DisableFlight turns the platforms' always-on flight recorder off;
+	// only the overhead benchmarks use it (the recorder-off baseline).
+	DisableFlight bool
 }
 
 // DefaultE11 is the published configuration.
 func DefaultE11() E11Config {
 	return E11Config{
-		Horizon:     600 * sim.Millisecond,
-		InjectTimes: []sim.Time{100 * sim.Millisecond, 130 * sim.Millisecond},
+		Horizon:         600 * sim.Millisecond,
+		InjectTimes:     []sim.Time{100 * sim.Millisecond, 130 * sim.Millisecond},
 		TransientWindow: sim.MS(60), Workers: 0, Seed: 7,
 	}
 }
@@ -79,16 +83,43 @@ func E11FaultCampaign(cfg E11Config) (*Table, error) {
 	return tab, nil
 }
 
+// e11Instrumentation optionally arms observability on a scenario run:
+// virtual-time sampling on a grid (with a metric-name filter) and a sink
+// for the diagnostic bundles the health monitor cuts on severe
+// escalations and safe-stop.
+type e11Instrumentation struct {
+	sampleStep sim.Duration
+	match      func(name string) bool
+	bundleSink func(*obs.Bundle)
+}
+
 // runE11Scenario builds one private platform, injects the scenario's
 // fault, supervises the Sensor partition and measures the outcome.
 func runE11Scenario(cfg E11Config, s fault.Scenario) fault.Result {
-	opts := rte.Options{}
+	res, _ := runE11Instrumented(cfg, s, nil)
+	return res
+}
+
+// runE11Instrumented is runE11Scenario with observability hooks: when
+// inst asks for sampling, the platform's sampler walks the metric
+// registry on the virtual-time grid and the run returns its series
+// alongside the scalar result.
+func runE11Instrumented(cfg E11Config, s fault.Scenario, inst *e11Instrumentation) (fault.Result, []obs.Series) {
+	opts := rte.Options{DisableFlight: cfg.DisableFlight}
 	if s.Class == fault.FaultOverrun {
 		opts.EnforceBudgets = true
 	}
 	p, err := rte.Build(e11System(), opts)
 	if err != nil {
-		return fault.Result{Scenario: s, FinalState: "build error: " + err.Error()}
+		return fault.Result{Scenario: s, FinalState: "build error: " + err.Error()}, nil
+	}
+	if inst != nil && inst.sampleStep > 0 {
+		// Service-delivery curve: cumulative completions of the chain's
+		// actuation task, read straight off the trace recorder's O(1) counts.
+		p.Metrics.GaugeFunc("chain_finishes",
+			"Cumulative completions of the critical actuation task.",
+			func() float64 { return float64(p.Trace.Count(trace.Finish, "Act.apply")) })
+		p.EnableSampling(inst.sampleStep, inst.match)
 	}
 	healthy := func(c *rte.Context) { c.Write("out", "v", 100) }
 	switch s.Class {
@@ -132,7 +163,11 @@ func runE11Scenario(cfg E11Config, s fault.Scenario) fault.Result {
 		health.Degraded: {"Sensor.sample", "Ctrl.step", "Act.apply", "Watch.check", "Comfort.hvac"},
 		health.LimpHome: {"Sensor.sample", "Ctrl.step", "Act.apply", "Watch.check"},
 	})
-	m := health.NewMonitor(p, health.MonitorOptions{Degradation: deg})
+	mopts := health.MonitorOptions{Degradation: deg}
+	if inst != nil {
+		mopts.BundleSink = inst.bundleSink
+	}
+	m := health.NewMonitor(p, mopts)
 	m.MustProtect("Sensor", health.Policy{
 		Debounce:    health.DebounceConfig{Inc: 2, Dec: 1, Threshold: 4},
 		MaxAttempts: 2, Cooldown: sim.MS(15),
@@ -152,7 +187,11 @@ func runE11Scenario(cfg E11Config, s fault.Scenario) fault.Result {
 	st := m.Status()[0]
 	res.Escalations = st.Attempts
 	res.FinalState = deg.Level().String() + "/" + st.State.String()
-	return res
+	var series []obs.Series
+	if sp := p.Sampler(); sp != nil {
+		series = sp.Series()
+	}
+	return res, series
 }
 
 // E11LimpHome demonstrates graceful degradation without any fault: the

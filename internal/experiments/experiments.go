@@ -84,9 +84,12 @@ func All(w io.Writer) error {
 		func() (*Table, error) { return E10ErrorHandling(DefaultE10()) },
 		func() (*Table, error) { return E11FaultCampaign(DefaultE11()) },
 		func() (*Table, error) { return E11LimpHome(DefaultE11()) },
+		func() (*Table, error) { return E11RecoverySeries(DefaultE11()) },
+		func() (*Table, error) { return E11EscalationTimeline(DefaultE11()) },
 		func() (*Table, error) { return E12DetectionCoverage(DefaultE12()) },
 		func() (*Table, error) { return E12Overhead(DefaultE12()) },
 		func() (*Table, error) { return E12Recovery(DefaultE12()) },
+		func() (*Table, error) { return E12RecoverySeries(DefaultE12()) },
 	}
 	for _, run := range runs {
 		tab, err := run()

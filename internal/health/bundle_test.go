@@ -1,0 +1,87 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"autorte/internal/obs"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+// TestBundleSinkCutsOnSevereEscalation: the monitor's automatic
+// black-box dumps fire exactly for rung >= restart-partition and for
+// the terminal safe-stop, in escalation order, and each bundle carries
+// the flight-recorder history up to its cut point.
+func TestBundleSinkCutsOnSevereEscalation(t *testing.T) {
+	p := rte.MustBuild(testSystem(), rte.Options{})
+	if err := p.SetBehavior("Sensor", "sample", faultySensor); err != nil {
+		t.Fatal(err)
+	}
+	var bundles []*obs.Bundle
+	m := NewMonitor(p, MonitorOptions{BundleSink: func(b *obs.Bundle) { bundles = append(bundles, b) }})
+	m.MustProtect("Sensor", Policy{
+		MaxAttempts: 1, Cooldown: sim.MS(5),
+		ResetDowntime: sim.MS(20), HealAfter: sim.MS(100),
+	})
+	p.Run(sim.MS(500))
+
+	if m.Status()[0].State != SafeStopped {
+		t.Fatalf("scenario did not reach safe-stop: %+v", m.Status()[0])
+	}
+	if len(bundles) < 3 {
+		t.Fatalf("got %d bundles, want >= 3 (restart-partition, ecu-reset, safe-stop)", len(bundles))
+	}
+	// Mild rungs must not dump; severe ones and safe-stop must.
+	var reasons []string
+	for i, b := range bundles {
+		reasons = append(reasons, b.Reason)
+		if strings.Contains(b.Reason, RungNotify.String()) ||
+			strings.Contains(b.Reason, RungRestartRunnable.String()) {
+			t.Fatalf("bundle cut on mild rung: %q", b.Reason)
+		}
+		if i > 0 && b.At < bundles[i-1].At {
+			t.Fatalf("bundles out of order: %v", reasons)
+		}
+		if len(b.Flight.History) == 0 {
+			t.Fatalf("bundle %q has no flight history", b.Reason)
+		}
+	}
+	first, last := bundles[0], bundles[len(bundles)-1]
+	if !strings.HasPrefix(first.Reason, "escalation:"+RungRestartPartition.String()) {
+		t.Fatalf("first severe dump %q, want restart-partition (all: %v)", first.Reason, reasons)
+	}
+	if last.Reason != "safe-stop:Sensor" {
+		t.Fatalf("last dump %q, want safe-stop:Sensor (all: %v)", last.Reason, reasons)
+	}
+	// The terminal bundle's history records the whole ladder walk.
+	gotSafeStop := false
+	for _, ev := range last.Flight.History {
+		if ev.Kind == "safe-stop" {
+			gotSafeStop = true
+		}
+	}
+	if !gotSafeStop {
+		t.Fatalf("terminal bundle history misses the safe-stop note: %+v", last.Flight.History)
+	}
+	// Later bundles strictly extend the flight history of earlier ones.
+	if len(last.Flight.History) <= len(first.Flight.History) {
+		t.Fatalf("history did not grow: first %d, last %d",
+			len(first.Flight.History), len(last.Flight.History))
+	}
+}
+
+// TestBundleSinkNilIsFree: without a sink the monitor cuts nothing and
+// the ladder still walks to its end.
+func TestBundleSinkNilIsFree(t *testing.T) {
+	p := rte.MustBuild(testSystem(), rte.Options{})
+	if err := p.SetBehavior("Sensor", "sample", faultySensor); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(p, MonitorOptions{})
+	m.MustProtect("Sensor", Policy{MaxAttempts: 1, Cooldown: sim.MS(5)})
+	p.Run(sim.MS(500))
+	if m.Status()[0].State != SafeStopped {
+		t.Fatalf("ladder without sink stalled: %+v", m.Status()[0])
+	}
+}

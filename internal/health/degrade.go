@@ -145,6 +145,7 @@ func (d *Degradation) To(level Level) {
 		"degradation "+from.String()+" -> "+level.String())
 	d.p.DLT.Emitf(int64(now), obs.LevelWarn, "HLTH", "DEGR",
 		"degradation %s -> %s (%d runnables shed)", from, level, shed)
+	d.p.Note("degradation", from.String()+" -> "+level.String())
 	d.p.SwitchMode(level.String())
 	if d.OnChange != nil {
 		d.OnChange(from, level)

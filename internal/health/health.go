@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"autorte/internal/obs"
 	"autorte/internal/rte"
 	"autorte/internal/sim"
 )
@@ -34,6 +35,12 @@ type MonitorOptions struct {
 	// least Degraded, ECU resets at least LimpHome, safe-stop SafeStop,
 	// and the level returns to Normal when every partition heals.
 	Degradation *Degradation
+	// BundleSink, when set, receives a diagnostic bundle cut by the
+	// monitor on every severe escalation (rung restart-partition and
+	// above) and on safe-stop — the automatic black-box dump. Typically
+	// it writes the bundle to a file; it runs on the kernel goroutine
+	// and must not block.
+	BundleSink func(*obs.Bundle)
 }
 
 // Monitor watches protected partitions through the platform error path
@@ -42,6 +49,7 @@ type MonitorOptions struct {
 type Monitor struct {
 	p       *rte.Platform
 	deg     *Degradation
+	sink    func(*obs.Bundle)
 	window  sim.Duration
 	guards  map[string]*guard
 	order   []string // Protect order: deterministic window processing
@@ -54,6 +62,7 @@ func NewMonitor(p *rte.Platform, opts MonitorOptions) *Monitor {
 	m := &Monitor{
 		p:      p,
 		deg:    opts.Degradation,
+		sink:   opts.BundleSink,
 		window: opts.CheckWindow,
 		guards: map[string]*guard{},
 	}
@@ -74,6 +83,17 @@ func NewMonitor(p *rte.Platform, opts MonitorOptions) *Monitor {
 
 // Degradation returns the coupled degradation controller (nil if none).
 func (m *Monitor) Degradation() *Degradation { return m.deg }
+
+// emitBundle cuts a diagnostic bundle and hands it to the configured
+// sink. No-op without one.
+func (m *Monitor) emitBundle(reason string) {
+	if m.sink == nil {
+		return
+	}
+	if b := m.p.Bundle(reason); b != nil {
+		m.sink(b)
+	}
+}
 
 // Protect puts one SWC partition under health supervision with the given
 // policy. Errors whose Source is the component name (behaviour reports,

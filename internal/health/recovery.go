@@ -219,6 +219,7 @@ func (g *guard) attempt() {
 	p.Trace.Emit(now, trace.Recover, g.swc, g.attempts, "recovery: "+rung.String())
 	p.DLT.Emitf(int64(now), obs.LevelWarn, "HLTH", "ESCL",
 		"%s: recovery attempt %d at rung %s", g.swc, g.attemptsAtRung, rung)
+	p.Note("escalation", fmt.Sprintf("%s: rung %s attempt %d", g.swc, rung, g.attemptsAtRung))
 	switch rung {
 	case RungNotify:
 		p.SwitchMode("recovery")
@@ -247,6 +248,11 @@ func (g *guard) attempt() {
 		g.safeStop(now)
 		return
 	}
+	// Severe escalations cut a black-box bundle after the action ran, so
+	// the dump includes the action's own DLT/degradation effects.
+	if rung >= RungRestartPartition {
+		g.m.emitBundle("escalation:" + rung.String() + ":" + g.swc)
+	}
 	g.notBefore = now + g.cooldown
 	g.cooldown = sim.Duration(float64(g.cooldown) * g.pol.Backoff)
 	if g.attemptsAtRung >= g.pol.MaxAttempts {
@@ -263,16 +269,18 @@ func (g *guard) safeStop(now sim.Time) {
 	p := g.m.p
 	if g.m.deg != nil {
 		g.m.deg.To(SafeStop)
-		return
-	}
-	for _, name := range g.taskNames {
-		i := indexDot(name)
-		if err := p.SetRunnableEnabled(name[:i], name[i+1:], false); err != nil {
-			panic(err)
+	} else {
+		for _, name := range g.taskNames {
+			i := indexDot(name)
+			if err := p.SetRunnableEnabled(name[:i], name[i+1:], false); err != nil {
+				panic(err)
+			}
 		}
+		p.SwitchMode("safe-stop")
+		p.DLT.Emitf(int64(now), obs.LevelError, "HLTH", "STOP", "%s: safe-stopped", g.swc)
 	}
-	p.SwitchMode("safe-stop")
-	p.DLT.Emitf(int64(now), obs.LevelError, "HLTH", "STOP", "%s: safe-stopped", g.swc)
+	p.Note("safe-stop", g.swc)
+	g.m.emitBundle("safe-stop:" + g.swc)
 }
 
 // heal closes the episode: the partition has been error-free for

@@ -1,6 +1,9 @@
 package model
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -86,6 +89,22 @@ type System struct {
 	Constraints []LatencyConstraint
 	// Mapping assigns each SWC to an ECU (by name). Empty until deployment.
 	Mapping map[string]string
+}
+
+// Hash returns a short deterministic fingerprint of the system
+// configuration ("sha256:<16 hex>"). Diagnostic bundles carry it so an
+// offline analysis can tell whether two bundles came from the same
+// platform configuration before diffing them. Empty on a nil system.
+func (s *System) Hash() string {
+	if s == nil {
+		return ""
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:8])
 }
 
 // Component returns the named SWC, or nil.

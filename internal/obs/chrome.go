@@ -37,17 +37,91 @@ func ProcessName(pid int64, name string) TraceEvent {
 	}
 }
 
+// ChromeStream writes a Chrome trace incrementally: the container object
+// is opened on creation, each Add encodes one event straight to the
+// writer, and Close terminates the document. Memory use is one event,
+// not the whole trace — flight recorders and long campaigns export
+// arbitrarily many events at constant cost. Not safe for concurrent use.
+//
+//autovet:nilsafe
+type ChromeStream struct {
+	w       io.Writer
+	n       int
+	err     error
+	done    bool
+	scratch []byte
+}
+
+// NewChromeStream opens a trace document on w.
+func NewChromeStream(w io.Writer) *ChromeStream {
+	cs := &ChromeStream{w: w}
+	_, cs.err = io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`)
+	return cs
+}
+
+// Add appends one event to the stream. The first error sticks; Close
+// reports it. Safe on a nil receiver (no-op).
+func (cs *ChromeStream) Add(ev TraceEvent) error {
+	if cs == nil {
+		return nil
+	}
+	if cs.err != nil || cs.done {
+		return cs.err
+	}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		cs.err = err
+		return err
+	}
+	if cs.n > 0 {
+		cs.scratch = append(cs.scratch[:0], ',', '\n')
+	} else {
+		cs.scratch = append(cs.scratch[:0], '\n')
+	}
+	cs.scratch = append(cs.scratch, buf...)
+	if _, err := cs.w.Write(cs.scratch); err != nil {
+		cs.err = err
+		return err
+	}
+	cs.n++
+	return nil
+}
+
+// Close terminates the document and returns the first error seen. Safe
+// on a nil receiver (no-op). Idempotent.
+func (cs *ChromeStream) Close() error {
+	if cs == nil {
+		return nil
+	}
+	if cs.done {
+		return cs.err
+	}
+	cs.done = true
+	if cs.err != nil {
+		return cs.err
+	}
+	_, cs.err = io.WriteString(cs.w, "\n]}\n")
+	return cs.err
+}
+
+// Events returns how many events were written. Zero on a nil receiver.
+func (cs *ChromeStream) Events() int {
+	if cs == nil {
+		return 0
+	}
+	return cs.n
+}
+
 // WriteChromeTrace writes events as a complete JSON object trace
 // ({"traceEvents": [...]}), the container format both chrome://tracing
-// and Perfetto accept.
+// and Perfetto accept. Events stream one at a time — the whole trace is
+// never materialized as a single JSON buffer.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
-	doc := struct {
-		TraceEvents []TraceEvent `json:"traceEvents"`
-		DisplayUnit string       `json:"displayTimeUnit"`
-	}{TraceEvents: events, DisplayUnit: "ms"}
-	if doc.TraceEvents == nil {
-		doc.TraceEvents = []TraceEvent{}
+	cs := NewChromeStream(w)
+	for _, ev := range events {
+		if err := cs.Add(ev); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return cs.Close()
 }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestNilChromeStream(t *testing.T) {
+	var cs *ChromeStream
+	if err := cs.Add(TraceEvent{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Events() != 0 {
+		t.Fatal("nil stream counted events")
+	}
+}
+
+// countingWriter tracks the largest single Write to prove the stream
+// never buffers the whole trace.
+type countingWriter struct {
+	n        int
+	maxWrite int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	if len(p) > c.maxWrite {
+		c.maxWrite = len(p)
+	}
+	return len(p), nil
+}
+
+func TestChromeStreamLargeTrace(t *testing.T) {
+	const n = 10_500
+	var buf bytes.Buffer
+	cw := &countingWriter{}
+	cs := NewChromeStream(io.MultiWriter(&buf, cw))
+	for i := 0; i < n; i++ {
+		ev := TraceEvent{Name: "task", Phase: "X", TS: float64(i), Dur: 1, PID: 1, TID: int64(i % 7)}
+		if i%5 == 0 {
+			ev = TraceEvent{Name: "mark", Phase: "i", TS: float64(i), PID: 1, TID: 1, Scope: "t"}
+		}
+		if err := cs.Add(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Events() != n {
+		t.Fatalf("events = %d, want %d", cs.Events(), n)
+	}
+	// Streaming: no single write should approach the full document size.
+	if cw.maxWrite > 4096 {
+		t.Fatalf("largest single write = %d bytes — trace was buffered, not streamed", cw.maxWrite)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("streamed trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != n || doc.DisplayUnit != "ms" {
+		t.Fatalf("decoded %d events, unit %q", len(doc.TraceEvents), doc.DisplayUnit)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace invalid: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatal("empty trace has events")
+	}
+}
+
+type failAfterWriter struct {
+	left int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.left--
+	return len(p), nil
+}
+
+func TestChromeStreamErrorSticks(t *testing.T) {
+	cs := NewChromeStream(&failAfterWriter{left: 2})
+	var firstErr error
+	for i := 0; i < 5; i++ {
+		if err := cs.Add(TraceEvent{Name: "x", Phase: "X"}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if err := cs.Close(); err == nil {
+		t.Fatal("Close lost the sticky error")
+	}
+}

@@ -101,6 +101,13 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline only (quotes stay literal in HELP lines).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // mergeLabels appends extra to labels without mutating either.
 func mergeLabels(labels []Label, extra Label) []Label {
 	out := make([]Label, 0, len(labels)+1)
@@ -118,7 +125,7 @@ func WritePrometheus(w io.Writer, samples []Sample) error {
 		if s.Name != lastName {
 			lastName = s.Name
 			if s.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition output byte-for-byte for a
+// registry exercising every metric kind, label escaping (backslash,
+// quote, newline) and HELP escaping. Determinism across runs is the
+// point: family and label-set order must not depend on registration or
+// map order.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Registered deliberately out of name order.
+	reg.Gauge("zz_level", "current level").Set(2)
+	reg.Counter("aa_total", "count with \\ and \"quotes\" and\nnewline",
+		Label{Key: "path", Value: `C:\tmp`},
+		Label{Key: "msg", Value: "say \"hi\"\nbye"},
+	).Add(7)
+	reg.Counter("aa_total", "count with \\ and \"quotes\" and\nnewline",
+		Label{Key: "path", Value: "/a"},
+		Label{Key: "msg", Value: "plain"},
+	).Add(1)
+	h := reg.Histogram("hh_ns", "latency")
+	h.Observe(1)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP aa_total count with \\ and "quotes" and\nnewline
+# TYPE aa_total counter
+aa_total{msg="plain",path="/a"} 1
+aa_total{msg="say \"hi\"\nbye",path="C:\\tmp"} 7
+# HELP hh_ns latency
+# TYPE hh_ns histogram
+hh_ns_bucket{le="1"} 1
+hh_ns_bucket{le="3"} 2
+hh_ns_bucket{le="+Inf"} 2
+hh_ns_sum 4
+hh_ns_count 2
+# HELP zz_level current level
+# TYPE zz_level gauge
+zz_level 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONExportDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "b").Inc()
+	reg.Counter("a_total", "a").Inc()
+	var first bytes.Buffer
+	if err := WriteJSON(&first, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSON(&second, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("JSON export not stable across snapshots")
+	}
+	var samples []Sample
+	if err := json.Unmarshal(first.Bytes(), &samples); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0].Name != "a_total" {
+		t.Fatalf("JSON export unsorted: %+v", samples)
+	}
+}
+
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp("a\\b\nc\"d"); got != `a\\b\nc"d` {
+		t.Fatalf("escapeHelp = %q", got)
+	}
+	if !strings.Contains(labelString([]Label{{Key: "k", Value: "\n"}}), `\n`) {
+		t.Fatal("label newline not escaped")
+	}
+}

@@ -29,16 +29,31 @@ func (l Level) String() string {
 	return fmt.Sprintf("level(%d)", uint8(l))
 }
 
+// ParseLevel maps a level name back to its Level (the inverse of
+// String); ok is false for unknown names.
+func ParseLevel(name string) (Level, bool) {
+	for i, n := range levelNames {
+		if n == name {
+			return Level(i), true
+		}
+	}
+	return 0, false
+}
+
 // LogRecord is one structured event: a virtual-time-stamped, leveled,
 // source-tagged message. App and Ctx mirror DLT's application and
 // context IDs — the coarse and fine origin of the event (e.g. app "RTE",
 // ctx "ERR").
 type LogRecord struct {
 	At    int64  `json:"at_ns"` // virtual-time ns (or wall ns in offline tools)
-	Level Level  `json:"-"`
+	Level Level  `json:"level"` // numeric; WriteJSON shadows it with the level name
 	App   string `json:"app"`
 	Ctx   string `json:"ctx"`
 	Msg   string `json:"msg"`
+	// Repeat is the number of occurrences folded into this record by
+	// ring-mode burst suppression (zero means one). At keeps the first
+	// occurrence; live subscribers still see every emission.
+	Repeat int `json:"repeat,omitempty"`
 }
 
 // logRecordJSON is LogRecord with the level rendered as its name.
@@ -61,10 +76,29 @@ type Log struct {
 	mu      sync.Mutex
 	records []LogRecord
 	dropped uint64 // filtered below Min
+	// Ring mode (flight recorder): cap > 0 bounds the kept records to the
+	// most recent cap, start is the ring read index once wrapped, total
+	// counts every kept record ever emitted.
+	cap     int
+	start   int
+	total   uint64
+	subs    map[int]chan LogRecord
+	nextSub int
 }
 
 // NewLog returns a log keeping records at or above min.
 func NewLog(min Level) *Log { return &Log{Min: min} }
+
+// NewBoundedLog returns a ring-mode log keeping at most cap of the most
+// recent records at or above min — the flight-recorder flavour: always
+// on, allocation-free once the ring is full, bounded memory no matter
+// how long the run. cap <= 0 falls back to DefaultRingCap.
+func NewBoundedLog(min Level, cap int) *Log {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Log{Min: min, cap: cap}
+}
 
 // Emit appends one record. Safe on a nil receiver (no-op).
 func (l *Log) Emit(at int64, level Level, app, ctx, msg string) {
@@ -77,7 +111,69 @@ func (l *Log) Emit(at int64, level Level, app, ctx, msg string) {
 		l.dropped++
 		return
 	}
-	l.records = append(l.records, LogRecord{At: at, Level: level, App: app, Ctx: ctx, Msg: msg})
+	rec := LogRecord{At: at, Level: level, App: app, Ctx: ctx, Msg: msg}
+	l.total++
+	switch {
+	case l.cap > 0 && l.absorbRepeat(rec):
+		// Burst suppressed into a recent record; subscribers below still
+		// see the raw emission.
+	case l.cap > 0 && len(l.records) >= l.cap:
+		l.records[l.start] = rec
+		l.start = (l.start + 1) % l.cap
+	default:
+		if l.cap > 0 && len(l.records) == cap(l.records) {
+			// Ring mode grows explicitly — small first, doubling, never past
+			// cap — so a quiet log stays tiny and a filling ring doesn't
+			// churn append-overshoot garbage.
+			n := 2 * cap(l.records)
+			if n < 32 {
+				n = 32
+			}
+			if n > l.cap {
+				n = l.cap
+			}
+			grown := make([]LogRecord, len(l.records), n)
+			copy(grown, l.records)
+			l.records = grown
+		}
+		l.records = append(l.records, rec)
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- rec:
+		default: // a stalled tail must not block the platform
+		}
+	}
+}
+
+// logRepeatLookback bounds ring-mode burst suppression: a fault storm
+// that alternates two messages (stale/implausible input, say) still
+// folds, while the scan stays O(1) per emission.
+const logRepeatLookback = 2
+
+// absorbRepeat folds an emission identical to one of the newest kept
+// records into that record's Repeat count — AUTOSAR DLT-style message
+// burst suppression, so a storm neither churns the black-box ring nor
+// evicts the context around it. Callers hold l.mu.
+func (l *Log) absorbRepeat(rec LogRecord) bool {
+	n := len(l.records)
+	lookback := logRepeatLookback
+	if lookback > n {
+		lookback = n
+	}
+	for i := 0; i < lookback; i++ {
+		// Newest-first: just before the wrap point once full, at the
+		// slice end while still filling (start is 0 until then).
+		prev := &l.records[(l.start-1-i+2*n)%n]
+		if prev.Level == rec.Level && prev.App == rec.App && prev.Ctx == rec.Ctx && prev.Msg == rec.Msg {
+			if prev.Repeat == 0 {
+				prev.Repeat = 1
+			}
+			prev.Repeat++
+			return true
+		}
+	}
+	return false
 }
 
 // Emitf is Emit with fmt formatting.
@@ -108,15 +204,76 @@ func (l *Log) Dropped() uint64 {
 	return l.dropped
 }
 
-// Records returns a copy of the kept records, in emission order. Nil on
-// a nil receiver.
+// Total returns how many records were ever kept, including those the
+// ring cap has since overwritten. Zero on a nil receiver.
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Cap returns the ring capacity (0 means unbounded). Zero on a nil
+// receiver.
+func (l *Log) Cap() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cap
+}
+
+// Records returns a copy of the kept records, in emission order (the
+// most recent cap records in ring mode). Nil on a nil receiver.
 func (l *Log) Records() []LogRecord {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]LogRecord(nil), l.records...)
+	out := make([]LogRecord, 0, len(l.records))
+	out = append(out, l.records[l.start:]...)
+	out = append(out, l.records[:l.start]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Subscribe registers a live tail: every record kept after this call is
+// also sent to the returned channel (non-blocking — a full buffer drops
+// the delivery rather than stall the emitter). The cancel function
+// unsubscribes and closes the channel. On a nil receiver the channel is
+// already closed and cancel is a no-op.
+func (l *Log) Subscribe(buf int) (<-chan LogRecord, func()) {
+	if l == nil {
+		ch := make(chan LogRecord)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan LogRecord, buf)
+	l.mu.Lock()
+	if l.subs == nil {
+		l.subs = map[int]chan LogRecord{}
+	}
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	return ch, func() {
+		l.mu.Lock()
+		if _, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(ch)
+		}
+		l.mu.Unlock()
+	}
 }
 
 // Count returns how many kept records are at or above level.

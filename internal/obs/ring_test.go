@@ -1,0 +1,103 @@
+package obs
+
+import "testing"
+
+func TestNilRingDiscards(t *testing.T) {
+	var r *Ring[int]
+	r.Push(1)
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 {
+		t.Fatal("nil ring reported non-zero state")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil ring snapshot not nil")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("empty ring snapshot = %v, want nil", got)
+	}
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("unwrapped snapshot = %v", got)
+	}
+	for i := 4; i <= 10; i++ {
+		r.Push(i)
+	}
+	got := r.Snapshot()
+	want := []int{7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("wrapped snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrapped snapshot = %v, want %v (oldest-first)", got, want)
+		}
+	}
+	if r.Len() != 4 || r.Cap() != 4 || r.Total() != 10 {
+		t.Fatalf("len=%d cap=%d total=%d, want 4/4/10", r.Len(), r.Cap(), r.Total())
+	}
+}
+
+func TestRingSnapshotIsCopy(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	snap := r.Snapshot()
+	r.Push(2)
+	r.Push(3)
+	if snap[0] != 1 {
+		t.Fatal("snapshot mutated by later pushes")
+	}
+}
+
+func TestRingPushMerge(t *testing.T) {
+	sameParity := func(prev *int, v int) bool {
+		if (*prev)%2 != v%2 {
+			return false
+		}
+		*prev += v
+		return true
+	}
+	r := NewRing[int](4)
+	r.PushMerge(1, 2, sameParity) // empty ring: plain push
+	r.PushMerge(3, 2, sameParity) // merges into 1 -> 4
+	r.PushMerge(5, 2, sameParity) // 4 is even: pushed
+	r.PushMerge(7, 2, sameParity) // merges into 5 -> 12
+	got := r.Snapshot()
+	if len(got) != 2 || got[0] != 4 || got[1] != 12 {
+		t.Fatalf("snapshot = %v, want [4 12]", got)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("total = %d, want every merged event counted", r.Total())
+	}
+	// Lookback reaches past the newest entry, and indexing stays correct
+	// after the ring wraps.
+	for _, v := range []int{2, 9, 11} {
+		r.Push(v) // ring now holds [12 2 9 11] wrapped past [4]
+	}
+	r.PushMerge(6, 3, sameParity) // skips 11 and 9, merges into 2 -> 8
+	got = r.Snapshot()
+	if len(got) != 4 || got[1] != 8 {
+		t.Fatalf("wrapped merge snapshot = %v, want 2 absorbed to 8", got)
+	}
+	var nilRing *Ring[int]
+	nilRing.PushMerge(1, 2, sameParity)
+	if nilRing.Total() != 0 {
+		t.Fatal("nil ring recorded a merged push")
+	}
+}
+
+func TestRingDefaultCap(t *testing.T) {
+	r := NewRing[int](0)
+	if r.Cap() != DefaultRingCap {
+		t.Fatalf("cap = %d, want DefaultRingCap", r.Cap())
+	}
+	var zero Ring[int]
+	zero.Push(1) // zero-value ring adopts the default cap rather than dropping
+	if zero.Cap() != DefaultRingCap || zero.Len() != 1 {
+		t.Fatalf("zero-value ring cap=%d len=%d", zero.Cap(), zero.Len())
+	}
+}

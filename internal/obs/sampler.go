@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SeriesPoint is one sample of one series on the virtual-time grid.
+type SeriesPoint struct {
+	At    int64   `json:"at_ns"`
+	Value float64 `json:"value"`
+}
+
+// Series is a virtual-time series of one registered metric: the curve a
+// campaign reports instead of an end-state scalar. Histograms expand
+// into two series, <name>_count and <name>_sum, so rate and mean curves
+// can be derived pointwise.
+type Series struct {
+	Name   string        `json:"name"`
+	Labels []Label       `json:"labels,omitempty"`
+	Kind   string        `json:"kind"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// Key identifies the series: name plus rendered label set.
+func (s Series) Key() string { return s.Name + labelString(s.Labels) }
+
+// SamplerOptions tunes a Sampler.
+type SamplerOptions struct {
+	// Match selects the metric families to sample by name (nil: all).
+	// Histogram families are matched on the base name, before the
+	// _count/_sum expansion.
+	Match func(name string) bool
+	// OnDelta, when set, observes every counter increment between
+	// consecutive samples — the feed of the flight recorder's
+	// metric-delta ring.
+	OnDelta func(at int64, name string, labels []Label, delta float64)
+	// MaxPoints bounds the points kept per series; the oldest point is
+	// dropped beyond it (0: unbounded — the grid bounds growth anyway).
+	MaxPoints int
+}
+
+// Sampler samples a registry on a virtual-time grid, producing one
+// Series per matched metric. It does not own a clock: the simulation
+// kernel (or any other grid source) calls Sample with the current
+// virtual time — see sim.Kernel.Every and rte.Platform.EnableSampling.
+// Safe for concurrent use; a nil *Sampler is valid and records nothing.
+//
+//autovet:nilsafe
+type Sampler struct {
+	mu      sync.Mutex
+	reg     *Registry
+	opt     SamplerOptions
+	series  map[string]*seriesState
+	order   []string
+	samples uint64
+}
+
+type seriesState struct {
+	s       Series
+	prev    float64
+	hasPrev bool
+}
+
+// NewSampler returns a sampler over reg. A nil registry yields a sampler
+// that records nothing.
+func NewSampler(reg *Registry, opt SamplerOptions) *Sampler {
+	return &Sampler{reg: reg, opt: opt, series: map[string]*seriesState{}}
+}
+
+// Samples returns how many grid points were taken. Zero on a nil
+// receiver.
+func (s *Sampler) Samples() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Sample takes one grid point at virtual time at: every matched metric
+// appends its current value to its series. Counters additionally report
+// their increment since the previous sample through OnDelta. Safe on a
+// nil receiver (no-op).
+func (s *Sampler) Sample(at int64) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	metrics := append([]*metric(nil), s.reg.all...)
+	s.reg.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	for _, m := range metrics {
+		if s.opt.Match != nil && !s.opt.Match(m.name) {
+			continue
+		}
+		switch {
+		case m.counterFn != nil:
+			s.point(at, m, m.name, float64(m.counterFn()), true)
+		case m.gaugeFn != nil:
+			s.point(at, m, m.name, m.gaugeFn(), false)
+		case m.counter != nil:
+			s.point(at, m, m.name, float64(m.counter.Value()), true)
+		case m.gauge != nil:
+			s.point(at, m, m.name, float64(m.gauge.Value()), false)
+		case m.hist != nil:
+			s.point(at, m, m.name+"_count", float64(m.hist.Count()), false)
+			s.point(at, m, m.name+"_sum", float64(m.hist.Sum()), false)
+		}
+	}
+}
+
+// point appends one sample to the series of (name, m.labels), creating
+// the series on first use. Caller holds s.mu.
+func (s *Sampler) point(at int64, m *metric, name string, v float64, counter bool) {
+	key := seriesKey(name, m.labels)
+	st := s.series[key]
+	if st == nil {
+		st = &seriesState{s: Series{Name: name, Labels: m.labels, Kind: m.kind.String()}}
+		s.series[key] = st
+		s.order = append(s.order, key)
+	}
+	if counter && s.opt.OnDelta != nil && st.hasPrev && v > st.prev {
+		s.opt.OnDelta(at, name, m.labels, v-st.prev)
+	}
+	st.prev, st.hasPrev = v, true
+	if s.opt.MaxPoints > 0 && len(st.s.Points) >= s.opt.MaxPoints {
+		copy(st.s.Points, st.s.Points[1:])
+		st.s.Points = st.s.Points[:len(st.s.Points)-1]
+	}
+	st.s.Points = append(st.s.Points, SeriesPoint{At: at, Value: v})
+}
+
+// Series returns a deterministic copy of every recorded series, sorted
+// by name then label set. Nil on a nil receiver.
+func (s *Sampler) Series() []Series {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Series, 0, len(s.order))
+	for _, key := range s.order {
+		st := s.series[key]
+		cp := st.s
+		cp.Points = append([]SeriesPoint(nil), st.s.Points...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package obs
+
+import "testing"
+
+func TestNilSamplerNoops(t *testing.T) {
+	var s *Sampler
+	s.Sample(100)
+	if s.Samples() != 0 || s.Series() != nil {
+		t.Fatal("nil sampler recorded something")
+	}
+	// A sampler over a nil registry is equally inert.
+	s2 := NewSampler(nil, SamplerOptions{})
+	s2.Sample(100)
+	if s2.Samples() != 0 {
+		t.Fatal("sampler over nil registry took a sample")
+	}
+}
+
+func TestSamplerGridAndKinds(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("errs_total", "errors", Label{Key: "task", Value: "t1"})
+	g := reg.Gauge("level", "degradation level")
+	h := reg.Histogram("lat_ns", "latency")
+
+	s := NewSampler(reg, SamplerOptions{})
+	c.Inc()
+	g.Set(1)
+	h.Observe(100)
+	s.Sample(1000)
+	c.Add(2)
+	g.Set(3)
+	h.Observe(200)
+	s.Sample(2000)
+
+	if s.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", s.Samples())
+	}
+	series := s.Series()
+	byName := map[string]Series{}
+	for _, sr := range series {
+		byName[sr.Name] = sr
+	}
+	// Histogram expands into _count and _sum series.
+	for _, name := range []string{"errs_total", "level", "lat_ns_count", "lat_ns_sum"} {
+		sr, ok := byName[name]
+		if !ok {
+			t.Fatalf("series %q missing (have %d series)", name, len(series))
+		}
+		if len(sr.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", name, len(sr.Points))
+		}
+		if sr.Points[0].At != 1000 || sr.Points[1].At != 2000 {
+			t.Fatalf("series %q grid = %+v", name, sr.Points)
+		}
+	}
+	if got := byName["errs_total"].Points[1].Value; got != 3 {
+		t.Fatalf("counter point = %v, want 3", got)
+	}
+	if got := byName["level"].Points[1].Value; got != 3 {
+		t.Fatalf("gauge point = %v, want 3", got)
+	}
+	if got := byName["lat_ns_sum"].Points[1].Value; got != 300 {
+		t.Fatalf("hist sum point = %v, want 300", got)
+	}
+	if got := byName["errs_total"].Labels; len(got) != 1 || got[0].Value != "t1" {
+		t.Fatalf("labels not carried: %+v", got)
+	}
+}
+
+func TestSamplerMatchAndDelta(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("want_total", "kept")
+	reg.Counter("skip_total", "filtered")
+
+	type delta struct {
+		at    int64
+		name  string
+		delta float64
+	}
+	var deltas []delta
+	s := NewSampler(reg, SamplerOptions{
+		Match: func(name string) bool { return name == "want_total" },
+		OnDelta: func(at int64, name string, _ []Label, d float64) {
+			deltas = append(deltas, delta{at, name, d})
+		},
+	})
+	s.Sample(10)
+	c.Add(5)
+	s.Sample(20)
+	s.Sample(30) // no increment: no delta fired
+
+	if got := len(s.Series()); got != 1 {
+		t.Fatalf("series count = %d, want 1 (match filter)", got)
+	}
+	if len(deltas) != 1 || deltas[0] != (delta{20, "want_total", 5}) {
+		t.Fatalf("deltas = %+v, want one of 5 at t=20", deltas)
+	}
+}
+
+func TestSamplerMaxPoints(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "")
+	s := NewSampler(reg, SamplerOptions{MaxPoints: 3})
+	for i := 1; i <= 5; i++ {
+		g.Set(int64(i))
+		s.Sample(int64(i * 100))
+	}
+	sr := s.Series()[0]
+	if len(sr.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(sr.Points))
+	}
+	if sr.Points[0].At != 300 || sr.Points[2].At != 500 {
+		t.Fatalf("kept wrong window: %+v", sr.Points)
+	}
+}
+
+func TestSeriesKeyDistinguishesLabels(t *testing.T) {
+	a := Series{Name: "m", Labels: []Label{{Key: "k", Value: "1"}}}
+	b := Series{Name: "m", Labels: []Label{{Key: "k", Value: "2"}}}
+	if a.Key() == b.Key() {
+		t.Fatal("series keys collide across label values")
+	}
+}

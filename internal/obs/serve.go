@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// ServeOptions wires a live observability endpoint to a running
+// platform's instruments. Any field may be nil; the corresponding
+// endpoint degrades gracefully (empty scrape, empty tail, 404 bundle).
+type ServeOptions struct {
+	// Registry backs /metrics (Prometheus text) and /metrics.json.
+	Registry *Registry
+	// DLT backs /dlt (dump) and /dlt?follow=1 (live tail).
+	DLT *Log
+	// Bundle, when set, backs /bundle: it cuts an on-demand diagnostic
+	// bundle which is served as a gzipped download.
+	Bundle func(reason string) *Bundle
+}
+
+// NewServeHandler returns the HTTP handler behind `autodiag -serve`: a
+// Prometheus scrape endpoint, DLT dump + live tail, and on-demand
+// bundle download. The handler holds no clock and spawns no goroutines;
+// all timing comes from the HTTP client and the platform feeding the
+// instruments.
+func NewServeHandler(opt ServeOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "autodiag live endpoint\n\n"+
+			"  /metrics       Prometheus text scrape\n"+
+			"  /metrics.json  JSON metric snapshot\n"+
+			"  /dlt           retained DLT records (text; ?format=json for JSON lines)\n"+
+			"  /dlt?follow=1  live DLT tail (JSON lines, streamed)\n"+
+			"  /bundle        cut and download a diagnostic bundle\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, opt.Registry.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteJSON(w, opt.Registry.Snapshot())
+	})
+	mux.HandleFunc("/dlt", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("follow") != "" {
+			followDLT(w, r, opt.DLT)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			opt.DLT.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		opt.DLT.WriteText(w)
+	})
+	mux.HandleFunc("/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if opt.Bundle == nil {
+			http.Error(w, "no bundle source attached", http.StatusNotFound)
+			return
+		}
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "on-demand"
+		}
+		b := opt.Bundle(reason)
+		if b == nil {
+			http.Error(w, "bundle source returned nothing", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="autodiag.bundle"`)
+		b.Write(w)
+	})
+	return mux
+}
+
+// followDLT streams records kept after connect as JSON lines, one per
+// record, flushed per record, until the client disconnects or the
+// subscription closes. Records present before connect are not replayed —
+// use the plain dump for those.
+func followDLT(w http.ResponseWriter, r *http.Request, l *Log) {
+	ch, cancel := l.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var sb strings.Builder
+	for {
+		select {
+		case rec, ok := <-ch:
+			if !ok {
+				return
+			}
+			sb.Reset()
+			fmt.Fprintf(&sb, `{"at_ns":%d,"level":%q,"app":%q,"ctx":%q,"msg":%q}`+"\n",
+				rec.At, rec.Level.String(), rec.App, rec.Ctx, rec.Msg)
+			if _, err := fmt.Fprint(w, sb.String()); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

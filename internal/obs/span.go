@@ -108,6 +108,32 @@ func (t *Tracer) snapshot() []spanData {
 	return out
 }
 
+// SpanEvents converts the recorded spans to flight-recorder span
+// events — host-time nanosecond offsets from the tracer epoch — ready
+// to embed in a diagnostic bundle. Open spans are closed at the
+// snapshot instant. Safe on a nil receiver (returns nil).
+func (t *Tracer) SpanEvents() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	data := t.snapshot()
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]SpanEvent, len(data))
+	for i, s := range data {
+		detail := ""
+		if s.parent >= 0 {
+			detail = "parent: " + data[s.parent].name
+		}
+		out[i] = SpanEvent{
+			Name: s.name, Start: int64(s.start), End: int64(s.end),
+			Kind: "pipeline", Detail: detail,
+		}
+	}
+	return out
+}
+
 // WriteTree renders the spans as an indented text tree in start order:
 //
 //	verify                         12.4ms

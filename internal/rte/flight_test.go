@@ -1,0 +1,174 @@
+package rte
+
+import (
+	"bytes"
+	"testing"
+
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+func TestFlightRecorderOnByDefault(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	if p.Flight == nil || p.DLT == nil {
+		t.Fatal("flight recorder not attached by default")
+	}
+	if p.DLT != p.Flight.DLT {
+		t.Fatal("platform DLT is not the flight ring")
+	}
+	p.SetBehavior("Sensor", "sample", func(c *Context) { c.Write("out", "v", 1) })
+	p.SetBehavior("Ctrl", "law", func(c *Context) { c.Write("cmd", "u", 2) })
+	p.SetBehavior("Act", "apply", func(c *Context) {})
+	// Hang job 2 and kill it, so the run carries one exceptional outcome.
+	p.Task("Sensor", "sample").Demand = func(job int64) sim.Duration {
+		if job == 2 {
+			return sim.Second
+		}
+		return sim.US(50)
+	}
+	p.K.At(sim.MS(35), func() {
+		if err := p.RestartRunnable("Sensor", "sample"); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run(sim.MS(50))
+
+	v := p.Flight.Snapshot()
+	if len(v.DLT) == 0 {
+		t.Fatal("no DLT records in the ring (platform-started at least expected)")
+	}
+	// The trace sink mirrors exceptional outcomes — here the abort of the
+	// hung job — into the span ring as instants; routine completions stay
+	// out of the black box.
+	if v.SpanTotal == 0 {
+		t.Fatal("no span events mirrored from the trace")
+	}
+	for _, sp := range v.Spans {
+		if sp.Kind == trace.Finish.String() {
+			t.Fatalf("routine finish leaked into the span ring: %+v", sp)
+		}
+	}
+	found := false
+	for _, sp := range v.Spans {
+		if sp.Kind == trace.Abort.String() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no abort instant in span ring: %+v", v.Spans[:min(4, len(v.Spans))])
+	}
+}
+
+func TestDisableFlight(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{DisableFlight: true})
+	if p.Flight != nil || p.DLT != nil || p.Trace.Sink != nil {
+		t.Fatal("flight recorder attached despite DisableFlight")
+	}
+	// A bundle still works: metrics only.
+	b := p.Bundle("manual")
+	if b == nil || len(b.Metrics) == 0 {
+		t.Fatal("bundle without flight recorder lost metrics")
+	}
+	// And with a classic unbounded DLT attached, its records are carried.
+	p.EnableDLT(obs.LevelInfo)
+	p.Run(sim.MS(5))
+	b = p.Bundle("manual")
+	if len(b.Flight.DLT) == 0 {
+		t.Fatal("bundle did not carry the attached DLT log")
+	}
+}
+
+func TestEnableSamplingProducesSeries(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	p.SetBehavior("Sensor", "sample", func(c *Context) { c.Write("out", "v", 1) })
+	p.SetBehavior("Ctrl", "law", func(c *Context) { c.Write("cmd", "u", 2) })
+	p.SetBehavior("Act", "apply", func(c *Context) {})
+	s := p.EnableSampling(sim.MS(10), nil)
+	if s == nil || p.Sampler() != s {
+		t.Fatal("sampler not armed")
+	}
+	if again := p.EnableSampling(sim.MS(1), nil); again != s {
+		t.Fatal("EnableSampling not idempotent")
+	}
+	p.Run(sim.MS(95))
+	if s.Samples() != 10 {
+		t.Fatalf("samples = %d, want 10 on a 10ms grid over 95ms", s.Samples())
+	}
+	series := s.Series()
+	if len(series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	for _, sr := range series {
+		if sr.Name == "sim_events_executed_total" {
+			if len(sr.Points) != 10 {
+				t.Fatalf("series %s has %d points", sr.Name, len(sr.Points))
+			}
+			last := sr.Points[len(sr.Points)-1]
+			if last.Value <= sr.Points[0].Value {
+				t.Fatalf("kernel event series not increasing: %+v", sr.Points)
+			}
+			return
+		}
+	}
+	t.Fatalf("sim_events_executed_total series missing; have %d series", len(series))
+}
+
+func TestPlatformBundle(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	p.SetBehavior("Sensor", "sample", func(c *Context) { c.Write("out", "v", 1) })
+	p.SetBehavior("Ctrl", "law", func(c *Context) { c.Write("cmd", "u", 2) })
+	p.SetBehavior("Act", "apply", func(c *Context) {})
+	p.EnableSampling(sim.MS(10), nil)
+	p.Run(sim.MS(50))
+	p.Note("test", "checkpoint reached")
+
+	b := p.Bundle("on-demand")
+	if b.Reason != "on-demand" || b.At != int64(sim.MS(50)) {
+		t.Fatalf("bundle header = %+v", b)
+	}
+	if b.ConfigHash == "" || b.Meta["system"] != "chain" {
+		t.Fatalf("bundle identity missing: hash=%q meta=%v", b.ConfigHash, b.Meta)
+	}
+	if len(b.Metrics) == 0 || len(b.Series) == 0 {
+		t.Fatalf("bundle carries %d metrics, %d series", len(b.Metrics), len(b.Series))
+	}
+	if len(b.Flight.History) != 1 || b.Flight.History[0].Detail != "checkpoint reached" {
+		t.Fatalf("history = %+v", b.Flight.History)
+	}
+	// Same config: hash stable. Different config: hash moves.
+	if p2 := MustBuild(chainSystem(model.BusCAN), Options{}); p2.Bundle("x").ConfigHash != b.ConfigHash {
+		t.Fatal("config hash not deterministic")
+	}
+	sys2 := chainSystem(model.BusCAN)
+	sys2.Name = "other"
+	if MustBuild(sys2, Options{}).Bundle("x").ConfigHash == b.ConfigHash {
+		t.Fatal("config hash ignores configuration changes")
+	}
+
+	// Round-trip through the serialized form.
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigHash != b.ConfigHash || len(got.Series) != len(b.Series) {
+		t.Fatal("bundle round-trip mismatch")
+	}
+}
+
+func TestServeOptionsWiring(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	so := p.ServeOptions()
+	if so.Registry != p.Metrics || so.DLT != p.DLT || so.Bundle == nil {
+		t.Fatal("serve options not wired to the platform")
+	}
+	if b := so.Bundle("probe"); b == nil || b.Reason != "probe" {
+		t.Fatal("serve bundle source broken")
+	}
+}

@@ -102,6 +102,12 @@ type Options struct {
 	// + DataID): P01 on CAN segments, P05 on FlexRay segments, each
 	// gateway hop protected separately. See E2EOptions.
 	E2E *E2EOptions
+	// DisableFlight builds the platform without the flight recorder.
+	// The recorder is on by default — bounded rings make it cheap — but
+	// overhead benchmarks and minimal platforms can opt out.
+	DisableFlight bool
+	// FlightConfig sizes the flight recorder's rings (zero: defaults).
+	FlightConfig obs.FlightConfig
 }
 
 func (o *Options) fill() {
@@ -134,10 +140,18 @@ type Platform struct {
 	// event counts, error-manager counters and trace volume register here
 	// at Build time, and applications may add their own series.
 	Metrics *obs.Registry
-	// DLT is the structured event log (AUTOSAR DLT style). Nil by default
-	// — every emission is nil-safe and free — until EnableDLT attaches a
-	// sink.
+	// DLT is the structured event log (AUTOSAR DLT style). With the
+	// flight recorder on (the default) this is the recorder's bounded
+	// ring log, keeping the most recent records at info and above;
+	// EnableDLT adjusts the level floor. With DisableFlight it stays nil
+	// — every emission is nil-safe and free — until EnableDLT attaches
+	// an unbounded log.
 	DLT *obs.Log
+	// Flight is the always-on flight recorder (nil with DisableFlight):
+	// bounded rings of recent DLT records, task/fault span events,
+	// metric deltas and platform history, cut into diagnostic bundles by
+	// Bundle.
+	Flight *obs.Flight
 
 	opts     Options
 	cpus     map[string]*osek.CPU
@@ -159,6 +173,9 @@ type Platform struct {
 	e2eByDst map[string]*e2eChannel
 	rxTamper map[string]RxTamper
 	started  bool
+	// Virtual-time sampling state (EnableSampling).
+	sampler       *obs.Sampler
+	samplerCancel func()
 }
 
 // cell is one consumer-side buffer with freshness metadata.
@@ -216,6 +233,7 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 		rxTamper: map[string]RxTamper{},
 	}
 	p.Errors = newErrorManager(p)
+	p.attachFlight()
 	p.K.Observe(p.Metrics)
 	p.Metrics.GaugeFunc("rte_trace_records",
 		"Records accumulated by the platform trace recorder.",

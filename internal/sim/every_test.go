@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+func TestEveryGrid(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	k.Every(MS(1), MS(2), 0, func(now Time) { ticks = append(ticks, now) })
+	k.Run(MS(8))
+	want := []Time{MS(1), MS(3), MS(5), MS(7)}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var cancel func()
+	cancel = k.Every(0, MS(1), 0, func(now Time) {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	k.Run(MS(10))
+	if n != 3 {
+		t.Fatalf("ticks after cancel = %d, want 3", n)
+	}
+	cancel() // idempotent
+}
+
+func TestEveryPrioOrdersAgainstSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.AtPrio(MS(1), 50, func() { order = append(order, "model") })
+	k.Every(MS(1), MS(5), 99, func(now Time) { order = append(order, "sample") })
+	k.Run(MS(1))
+	if len(order) != 2 || order[0] != "model" || order[1] != "sample" {
+		t.Fatalf("order = %v, want model before sample", order)
+	}
+}
+
+func TestEveryRejectsBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero step accepted")
+		}
+	}()
+	NewKernel().Every(0, 0, 0, func(Time) {})
+}

@@ -117,6 +117,32 @@ func (k *Kernel) at(t Time, prio int, fn func(), label string) *Event {
 	return e
 }
 
+// Every schedules fn on a fixed virtual-time grid: at start, then every
+// step, re-arming itself until cancelled. prio orders the grid tick
+// against same-instant model events (observability samplers use a high
+// prio so they read state after the substrate has settled the instant).
+// The returned cancel stops the grid; it is safe to call more than once.
+func (k *Kernel) Every(start Time, step Duration, prio int, fn func(now Time)) (cancel func()) {
+	if step <= 0 {
+		panic("sim: Every step must be positive")
+	}
+	stopped := false
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(k.now)
+		ev = k.AtPrio(k.now+step, prio, tick)
+	}
+	ev = k.AtPrio(start, prio, tick)
+	return func() {
+		stopped = true
+		ev.Cancel()
+	}
+}
+
 // Halt stops the run loop after the current event returns.
 func (k *Kernel) Halt() { k.halted = true }
 

@@ -39,6 +39,21 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// KindMask is a bit set of record kinds, for selective sinks.
+type KindMask uint16
+
+// MaskOf builds a mask containing the given kinds.
+func MaskOf(kinds ...Kind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Has reports whether k is in the mask.
+func (m KindMask) Has(k Kind) bool { return m&(1<<k) != 0 }
+
 // Record is one trace entry.
 type Record struct {
 	At     sim.Time
@@ -55,6 +70,17 @@ type Record struct {
 //autovet:nilsafe
 type Recorder struct {
 	Records []Record
+
+	// Sink, when set, observes records as they are added — the feed of
+	// the flight recorder's span ring. It runs on the kernel goroutine;
+	// it must not call back into the recorder.
+	Sink func(Record)
+
+	// SinkKinds restricts Sink to the masked kinds (MaskOf). Zero means
+	// every kind. The mask is checked before the indirect call, which is
+	// what keeps a selective sink off the per-record hot path: Add runs
+	// for every activation and completion the platform makes.
+	SinkKinds KindMask
 
 	// counts indexes records by kind (all sources) and by (kind, source)
 	// so Count is O(1): supervision and health monitors poll counts every
@@ -83,6 +109,9 @@ func (r *Recorder) Add(rec Record) {
 		r.counts[countKey{rec.Kind, rec.Source}]++
 	}
 	r.counts[countKey{rec.Kind, ""}]++
+	if r.Sink != nil && (r.SinkKinds == 0 || r.SinkKinds.Has(rec.Kind)) {
+		r.Sink(rec)
+	}
 }
 
 // Emit is shorthand for Add. Safe on a nil receiver (no-op).
