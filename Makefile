@@ -6,12 +6,21 @@ check: lint
 	go test -race -shuffle=on ./...
 
 # Build and run autovet, the repo's own go/analysis suite (see
-# internal/analysis): walltime, nilsafe, baregoroutine, kindswitch and
-# the //autovet: directive validator. Driven through `go vet -vettool`
-# so results are cached by the go command like any other vet pass.
+# internal/analysis): walltime, nilsafe, baregoroutine, kindswitch,
+# detrange, errreport, bounded, e2eflow, lockorder and the //autovet:
+# directive validator. Driven through `go vet -vettool` so results are
+# cached by the go command like any other vet pass. The first (gating)
+# run prints human-readable findings; the second run re-reads the cached
+# results as JSON into autovet.json (the CI artifact) and the summary
+# table counts findings, allows and bounded/nilsafe markers per
+# analyzer.
 lint:
 	go build -o bin/autovet ./cmd/autovet
-	go vet -vettool=$(abspath bin/autovet) ./...
+	@start=$$(date +%s); \
+	go vet -vettool=$(abspath bin/autovet) ./... || exit 1; \
+	go vet -vettool=$(abspath bin/autovet) -json ./... > autovet.json 2>&1; \
+	bin/autovet summary autovet.json; \
+	echo "lint wall time: $$(( $$(date +%s) - start ))s"
 
 test:
 	go test ./...

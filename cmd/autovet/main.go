@@ -16,21 +16,44 @@
 package main
 
 import (
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"autorte/internal/analysis/baregoroutine"
+	"autorte/internal/analysis/bounded"
+	"autorte/internal/analysis/detrange"
 	"autorte/internal/analysis/directive"
+	"autorte/internal/analysis/e2eflow"
+	"autorte/internal/analysis/errreport"
 	"autorte/internal/analysis/kindswitch"
+	"autorte/internal/analysis/lockorder"
 	"autorte/internal/analysis/nilsafe"
 	"autorte/internal/analysis/walltime"
 )
 
 func main() {
+	// "autovet summary <autovet.json> [dir]" is a reporting subcommand
+	// layered next to the unitchecker protocol: it digests a run's JSON
+	// diagnostics into per-analyzer finding and allow counts for make
+	// lint and the CI artifact.
+	if len(os.Args) > 1 && os.Args[1] == "summary" {
+		if err := runSummary(os.Args[2:]); err != nil {
+			os.Stderr.WriteString("autovet summary: " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		return
+	}
 	unitchecker.Main(
 		walltime.Analyzer,
 		nilsafe.Analyzer,
 		baregoroutine.Analyzer,
 		kindswitch.Analyzer,
+		detrange.Analyzer,
+		errreport.Analyzer,
+		bounded.Analyzer,
+		e2eflow.Analyzer,
+		lockorder.Analyzer,
 		directive.Analyzer,
 	)
 }

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"autorte/internal/analysis/directive"
+)
+
+// runSummary digests a `go vet -json -vettool=autovet` transcript into
+// a per-analyzer table of findings and suppressions, so make lint and
+// the CI artifact show at a glance which invariants fired and how many
+// sites carry a justified exemption.
+//
+// Usage: autovet summary <autovet.json> [source-dir]
+func runSummary(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: autovet summary <autovet.json> [source-dir]")
+	}
+	findings, err := countFindings(args[0])
+	if err != nil {
+		return err
+	}
+	dir := "."
+	if len(args) > 1 {
+		dir = args[1]
+	}
+	allows, markers, err := countDirectives(dir)
+	if err != nil {
+		return err
+	}
+
+	names := append([]string(nil), directive.KnownAnalyzers...)
+	for n := range findings {
+		if !contains(names, n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-14s %8s %7s %8s\n", "analyzer", "findings", "allows", "markers")
+	var tf, ta, tm int
+	for _, n := range names {
+		fmt.Fprintf(w, "%-14s %8d %7d %8d\n", n, findings[n], allows[n], markers[n])
+		tf += findings[n]
+		ta += allows[n]
+		tm += markers[n]
+	}
+	fmt.Fprintf(w, "%-14s %8d %7d %8d\n", "total", tf, ta, tm)
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// countFindings parses the go vet -json stream: "# package" comment
+// lines interleaved with JSON objects mapping package ID -> analyzer ->
+// diagnostics.
+func countFindings(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var clean []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		clean = append(clean, line)
+	}
+	counts := map[string]int{}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(clean, "\n")))
+	for dec.More() {
+		var tree map[string]map[string][]json.RawMessage
+		if err := dec.Decode(&tree); err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		for _, byAnalyzer := range tree {
+			for analyzer, diags := range byAnalyzer {
+				counts[analyzer] += len(diags)
+			}
+		}
+	}
+	return counts, nil
+}
+
+var (
+	allowRE  = regexp.MustCompile(`^//autovet:allow\s+([a-z0-9]+)`)
+	markerRE = regexp.MustCompile(`^//autovet:(bounded|nilsafe)\b`)
+)
+
+// countDirectives counts //autovet:allow suppressions per analyzer and
+// //autovet:bounded|nilsafe markers (credited to their analyzer) in the
+// non-vendored, non-testdata source tree. Files are parsed so only real
+// comment tokens count — mentions of the directive syntax inside string
+// literals (diagnostic templates) or prose comments do not.
+func countDirectives(dir string) (allows, markers map[string]int, err error) {
+	allows, markers = map[string]int{}, map[string]int{}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git", "bin":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				if m := allowRE.FindStringSubmatch(c.Text); m != nil {
+					allows[m[1]]++
+				}
+				if m := markerRE.FindStringSubmatch(c.Text); m != nil {
+					markers[m[1]]++
+				}
+			}
+		}
+		return nil
+	})
+	return allows, markers, err
+}

@@ -63,12 +63,12 @@ func main() {
 		log.Fatal(err)
 	}
 	speed := 0.0
-	p.SetBehavior("WheelSensor", "sample", func(c *rte.Context) {
+	p.MustBehavior("WheelSensor", "sample", func(c *rte.Context) {
 		speed += 1.5 // the car accelerates
 		c.Write("out", "kmh", speed)
 	})
 	var lastShown float64
-	p.SetBehavior("Dashboard", "refresh", func(c *rte.Context) {
+	p.MustBehavior("Dashboard", "refresh", func(c *rte.Context) {
 		lastShown = c.Read("in", "kmh")
 	})
 

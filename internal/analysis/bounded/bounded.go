@@ -1,0 +1,253 @@
+// Package bounded defines an analyzer that forbids unbounded growth of
+// long-lived platform state.
+//
+// The observability and health layers stay attached to a platform for
+// its whole life — a fault campaign can run millions of virtual-time
+// ticks — so any struct field that grows per event (an append that
+// feeds itself, a subscriber list, a record log) is a slow memory leak
+// unless its growth is bounded by design. The flight-recorder work made
+// that bound a first-class idiom (obs.Ring, ring-mode logs, capped
+// error records); this analyzer makes it a checked contract: appends
+// into fields of long-lived structs in the obs, health and rte packages
+// must feed a type or field marked //autovet:bounded <reason> (the
+// marker is exported as an analysis fact, so the exemption crosses
+// package boundaries), and channels must be created with a capacity —
+// an unbuffered channel stalls the emitter the moment a consumer lags.
+package bounded
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	platform "autorte/internal/analysis"
+	"autorte/internal/analysis/directive"
+)
+
+// defaultPackages hold long-lived per-platform state.
+const defaultPackages = "obs,health,rte"
+
+// boundedFact marks a struct type or field whose growth is bounded by
+// design, exported so consumers in other packages inherit the
+// exemption.
+type boundedFact struct{}
+
+func (*boundedFact) AFact()         {}
+func (*boundedFact) String() string { return "bounded" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bounded",
+	Doc: "forbid unbounded growth of long-lived platform state\n\n" +
+		"Structs in obs, health and rte survive for the life of a platform,\n" +
+		"so fields that grow per event must be bounded by design: appends\n" +
+		"into such fields are reported unless the field or its type carries\n" +
+		"//autovet:bounded <reason> (exported as a fact for cross-package\n" +
+		"use), and channels must be made with an explicit capacity. Test\n" +
+		"files are exempt; one-off exceptions use //autovet:allow bounded.",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*boundedFact)(nil)},
+	Run:       run,
+}
+
+var packagesFlag = defaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "comma-separated package names whose long-lived structs must stay bounded")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Marker collection and fact export run for every package, so a
+	// bounded type declared outside the checked set (obs consumed from a
+	// cmd, say) still carries its exemption; growth checks run only in
+	// the long-lived packages.
+	marked := collectMarks(pass)
+	for obj := range marked {
+		if obj.Exported() {
+			pass.ExportObjectFact(obj, &boundedFact{})
+		}
+	}
+	if !platform.PkgIn(pass.Pkg, packagesFlag) {
+		return nil, nil
+	}
+
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	allow := directive.CollectAllow(pass, "bounded", files)
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+	}
+
+	isBounded := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		if marked[obj] {
+			return true
+		}
+		return pass.ImportObjectFact(obj, new(boundedFact))
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.AssignStmt)(nil), (*ast.CallExpr)(nil)}
+	var inSkipped bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inSkipped = skip[n]
+		case *ast.AssignStmt:
+			if !inSkipped {
+				checkAppend(pass, allow, isBounded, n)
+			}
+		case *ast.CallExpr:
+			if !inSkipped {
+				checkMakeChan(pass, allow, n)
+			}
+		}
+	})
+	allow.ReportUnused()
+	return nil, nil
+}
+
+// collectMarks resolves every //autovet:bounded marker in the package to
+// the struct type or field object it annotates.
+func collectMarks(pass *analysis.Pass) map[types.Object]bool {
+	marked := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		// Positions of bounded directives in this file.
+		pos := map[token.Pos]bool{}
+		for _, d := range directive.ParseFile(pass.Fset, f, pass.ReadFile) {
+			if d.Verb == directive.VerbBounded {
+				pos[d.Pos] = true
+			}
+		}
+		if len(pos) == 0 {
+			continue
+		}
+		groupMarked := func(g *ast.CommentGroup) bool {
+			if g == nil {
+				return false
+			}
+			for _, c := range g.List {
+				if pos[c.Pos()] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				if n.Tok != token.TYPE {
+					return true
+				}
+				declMarked := groupMarked(n.Doc)
+				for _, spec := range n.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declMarked || groupMarked(ts.Doc) || groupMarked(ts.Comment) {
+						if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+							marked[obj] = true
+						}
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if groupMarked(fld.Doc) || groupMarked(fld.Comment) {
+						for _, name := range fld.Names {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								marked[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// checkAppend flags x.f = append(x.f, ...) where x is a pointer to a
+// long-lived struct and neither the field nor its type is marked
+// bounded.
+func checkAppend(pass *analysis.Pass, allow *directive.Allow, isBounded func(types.Object) bool, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		call, ok := as.Rhs[i].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if bi, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Builtin); !ok || bi.Name() != "append" {
+			continue
+		}
+		field, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !field.IsField() {
+			continue
+		}
+		// Self-feeding growth only: x.f = append(x.f, ...). Replacing a
+		// field with some other slice is not accumulation.
+		src, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok || pass.TypesInfo.Uses[src.Sel] != field {
+			continue
+		}
+		// Long-lived state reaches the append through a pointer; a value
+		// base is a local copy being built up.
+		base := pass.TypesInfo.TypeOf(sel.X)
+		ptr, ok := base.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		// Origin maps a field of an instantiated generic struct back to
+		// the declared field the marker annotates.
+		if isBounded(field.Origin()) {
+			continue
+		}
+		if named, ok := ptr.Elem().(*types.Named); ok && isBounded(named.Obj()) {
+			continue
+		}
+		typeName := "struct"
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			typeName = named.Obj().Name()
+		}
+		allow.Reportf(as.Pos(),
+			"unbounded growth: %s.%s accumulates per call on long-lived %s — bound it, mark the field //autovet:bounded <reason>, or justify with //autovet:allow bounded",
+			typeName, field.Name(), typeName)
+	}
+}
+
+// checkMakeChan flags make(chan T) with no capacity.
+func checkMakeChan(pass *analysis.Pass, allow *directive.Allow, call *ast.CallExpr) {
+	bi, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Builtin)
+	if !ok || bi.Name() != "make" || len(call.Args) != 1 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return
+	}
+	allow.Reportf(call.Pos(),
+		"make(chan) without capacity: an unbuffered channel stalls the emitter when the consumer lags — give it a bound or justify with //autovet:allow bounded")
+}

@@ -1,0 +1,16 @@
+package bounded_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/bounded"
+	"autorte/internal/analysis/checktest"
+)
+
+func TestBounded(t *testing.T) {
+	checktest.Run(t, "testdata", bounded.Analyzer, "health")
+}
+
+func TestBoundedObsOnly(t *testing.T) {
+	checktest.Run(t, "testdata", bounded.Analyzer, "obs")
+}

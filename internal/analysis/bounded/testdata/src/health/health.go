@@ -1,0 +1,18 @@
+// Package health exercises bounded's cross-package facts: obs.Sized is
+// marked bounded in its home package, and the exemption travels here as
+// an analysis fact.
+package health
+
+import "obs"
+
+func grow(s *obs.Sized) {
+	s.Items = append(s.Items, 1) // ok: bounded fact imported from obs
+}
+
+type Monitor struct {
+	events []int
+}
+
+func (m *Monitor) on(v int) {
+	m.events = append(m.events, v) // want `unbounded growth: Monitor.events accumulates per call`
+}

@@ -1,0 +1,90 @@
+// Package obs exercises the bounded analyzer: appends into long-lived
+// struct fields must feed bounded-marked state.
+package obs
+
+// Ring's field is individually marked.
+type Ring struct {
+	//autovet:bounded overwrites oldest past cap, backing array never exceeds cap
+	buf []int
+	cap int
+}
+
+func (r *Ring) Push(v int) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v) // ok: field marked bounded
+	}
+}
+
+// Sized is marked at the type level; every field inherits the bound.
+//
+//autovet:bounded sized once at construction from the static model
+type Sized struct {
+	Items []int
+	names []string
+}
+
+func (s *Sized) add(v int, n string) {
+	s.Items = append(s.Items, v) // ok: type marked bounded
+	s.names = append(s.names, n) // ok: type marked bounded
+}
+
+// GenRing is generic: the marker on the declared field must cover the
+// instantiated field seen inside methods.
+type GenRing[T any] struct {
+	//autovet:bounded grows to cap, then overwrites in place
+	buf []T
+	cap int
+}
+
+func (r *GenRing[T]) Push(v T) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v) // ok: origin field marked bounded
+	}
+}
+
+// GenList is generic and unmarked: still flagged.
+type GenList[T any] struct {
+	items []T
+}
+
+func (l *GenList[T]) Add(v T) {
+	l.items = append(l.items, v) // want `unbounded growth: GenList.items accumulates per call`
+}
+
+type Log struct {
+	records []int
+	subs    []chan int
+}
+
+func (l *Log) Emit(v int) {
+	l.records = append(l.records, v) // want `unbounded growth: Log.records accumulates per call`
+}
+
+func (l *Log) Subscribe() chan int {
+	ch := make(chan int)        // want `make\(chan\) without capacity`
+	l.subs = append(l.subs, ch) //autovet:allow bounded subscriber count is fixture-sized
+	return ch
+}
+
+func (l *Log) Buffered() chan int {
+	return make(chan int, 64) // ok: explicit capacity
+}
+
+func locals() []int {
+	var s []int
+	s = append(s, 1) // ok: local slice, not long-lived struct state
+	return s
+}
+
+type view struct{ xs []int }
+
+// byValue builds up a copy: the base is not a pointer, so this is not
+// long-lived accumulation.
+func byValue(v view) view {
+	v.xs = append(v.xs, 1)
+	return v
+}
+
+func (l *Log) replace(other []int) {
+	l.records = other // ok: plain assignment, not self-feeding append
+}

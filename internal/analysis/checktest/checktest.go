@@ -13,6 +13,16 @@
 // the test. (golang.org/x/tools/go/analysis/analysistest itself needs
 // go/packages and friends, which this repo deliberately does not
 // vendor; this harness covers the subset the autovet suite needs.)
+//
+// Fact-based multi-package analyzers are supported: when the named
+// package imports sibling testdata packages, the analyzer runs over
+// every testdata-local package in dependency order with an in-memory
+// fact store shared between the passes, so facts exported while
+// analyzing a dependency are importable while analyzing its consumers
+// — the same vertical dataflow the unitchecker driver provides via
+// serialized fact files. Diagnostics are checked against // want
+// comments in every testdata-local package loaded, dependencies
+// included.
 package checktest
 
 import (
@@ -24,6 +34,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -33,7 +44,8 @@ import (
 )
 
 // Run loads testdata/src/<pkg> for each named package and applies a to
-// it, checking diagnostics against // want comments.
+// it (and, for facts, to its testdata-local dependencies), checking
+// diagnostics against // want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
@@ -42,12 +54,21 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			fset:     token.NewFileSet(),
 			loaded:   map[string]*loadedPkg{},
 		}
-		lp, err := l.load(pkg)
-		if err != nil {
+		if _, err := l.load(pkg); err != nil {
 			t.Fatalf("loading %s: %v", pkg, err)
 		}
-		diags := runAnalyzer(t, a, l.fset, lp)
-		checkExpectations(t, l.fset, lp.files, diags)
+		// l.order lists the testdata-local packages in dependency order
+		// (a package is appended only after everything it imports), so a
+		// single forward sweep gives every pass the facts its imports
+		// exported — the in-memory equivalent of unitchecker's fact files.
+		facts := newFactStore()
+		var diags []analysis.Diagnostic
+		var files []*ast.File
+		for _, lp := range l.order {
+			diags = append(diags, runAnalyzer(t, a, l.fset, lp, facts)...)
+			files = append(files, lp.files...)
+		}
+		checkExpectations(t, l.fset, files, diags)
 	}
 }
 
@@ -61,6 +82,7 @@ type loader struct {
 	testdata string
 	fset     *token.FileSet
 	loaded   map[string]*loadedPkg
+	order    []*loadedPkg // completion order: dependencies first
 	std      types.Importer
 }
 
@@ -125,12 +147,110 @@ func (l *loader) load(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{pkg: pkg, files: files, info: info}
 	l.loaded[path] = lp
+	// Check resolves imports before returning, so appending here yields
+	// dependency order.
+	l.order = append(l.order, lp)
 	return lp, nil
 }
 
-// runAnalyzer executes a's requirements then a itself, collecting a's
-// diagnostics. Facts are not supported (no autovet analyzer uses them).
-func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *loadedPkg) []analysis.Diagnostic {
+// factStore is an in-memory substitute for the driver's serialized fact
+// files: per-analyzer object and package facts shared across the passes
+// of one Run call. Facts are stored as copies, matching the real
+// drivers' encode/decode round trip closely enough that an analyzer
+// cannot accidentally depend on sharing mutable state through a fact.
+type factStore struct {
+	obj map[*analysis.Analyzer]map[types.Object][]analysis.Fact
+	pkg map[*analysis.Analyzer]map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: map[*analysis.Analyzer]map[types.Object][]analysis.Fact{},
+		pkg: map[*analysis.Analyzer]map[*types.Package][]analysis.Fact{},
+	}
+}
+
+// copyFact clones f so the store and the caller cannot alias.
+func copyFact(f analysis.Fact) analysis.Fact {
+	v := reflect.ValueOf(f)
+	c := reflect.New(v.Type().Elem())
+	c.Elem().Set(v.Elem())
+	return c.Interface().(analysis.Fact)
+}
+
+// set replaces a same-typed fact in list or appends f.
+func setFact(list []analysis.Fact, f analysis.Fact) []analysis.Fact {
+	for i, g := range list {
+		if reflect.TypeOf(g) == reflect.TypeOf(f) {
+			list[i] = f
+			return list
+		}
+	}
+	return append(list, f)
+}
+
+// get copies the same-typed fact from list into ptr.
+func getFact(list []analysis.Fact, ptr analysis.Fact) bool {
+	for _, g := range list {
+		if reflect.TypeOf(g) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(g).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportObject(a *analysis.Analyzer, obj types.Object, f analysis.Fact) {
+	m := s.obj[a]
+	if m == nil {
+		m = map[types.Object][]analysis.Fact{}
+		s.obj[a] = m
+	}
+	m[obj] = setFact(m[obj], copyFact(f))
+}
+
+func (s *factStore) importObject(a *analysis.Analyzer, obj types.Object, ptr analysis.Fact) bool {
+	return getFact(s.obj[a][obj], ptr)
+}
+
+func (s *factStore) exportPackage(a *analysis.Analyzer, pkg *types.Package, f analysis.Fact) {
+	m := s.pkg[a]
+	if m == nil {
+		m = map[*types.Package][]analysis.Fact{}
+		s.pkg[a] = m
+	}
+	m[pkg] = setFact(m[pkg], copyFact(f))
+}
+
+func (s *factStore) importPackage(a *analysis.Analyzer, pkg *types.Package, ptr analysis.Fact) bool {
+	return getFact(s.pkg[a][pkg], ptr)
+}
+
+func (s *factStore) allObjects(a *analysis.Analyzer) []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, list := range s.obj[a] {
+		for _, f := range list {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: copyFact(f)})
+		}
+	}
+	return out
+}
+
+func (s *factStore) allPackages(a *analysis.Analyzer) []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, list := range s.pkg[a] {
+		for _, f := range list {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: copyFact(f)})
+		}
+	}
+	return out
+}
+
+// runAnalyzer executes a's requirements then a itself on one package,
+// collecting a's diagnostics. Object and package facts live in facts,
+// shared across packages, so fact-based analyzers (and fact-exporting
+// requirements like ctrlflow) see their imports' facts.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *loadedPkg, facts *factStore) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
 	results := map[*analysis.Analyzer]any{}
@@ -142,6 +262,7 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *lo
 		for _, req := range a.Requires {
 			exec(req, false)
 		}
+		an := a
 		pass := &analysis.Pass{
 			Analyzer:   a,
 			Fset:       fset,
@@ -156,6 +277,20 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *lo
 					diags = append(diags, d)
 				}
 			},
+			ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+				return facts.importObject(an, obj, f)
+			},
+			ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+				facts.exportObject(an, obj, f)
+			},
+			ImportPackageFact: func(pkg *types.Package, f analysis.Fact) bool {
+				return facts.importPackage(an, pkg, f)
+			},
+			ExportPackageFact: func(f analysis.Fact) {
+				facts.exportPackage(an, lp.pkg, f)
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return facts.allObjects(an) },
+			AllPackageFacts: func() []analysis.PackageFact { return facts.allPackages(an) },
 		}
 		res, err := a.Run(pass)
 		if err != nil {

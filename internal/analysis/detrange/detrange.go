@@ -1,0 +1,477 @@
+// Package detrange defines an analyzer that forbids order-sensitive
+// iteration over maps in the platform's deterministic packages.
+//
+// Go randomizes map iteration order per run. The platform's core
+// guarantees — identical verification results from core.Incremental and
+// the full path, fault-campaign results independent of worker count,
+// byte-identical exports and diagnostic bundles — all assume that every
+// observable sequence is a pure function of the model and the virtual
+// clock. A single `for k := range m` that emits, appends to an ordered
+// result, or overwrites shared state in loop order silently breaks
+// replayability in a way no test reliably catches (the iteration order
+// is random, not adversarial). The analyzer requires such loops to
+// sort their keys first; loops whose bodies are order-insensitive
+// (counting, keyed writes into another map, commutative integer
+// accumulation, guarded extremum tracking) are left alone.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	platform "autorte/internal/analysis"
+	"autorte/internal/analysis/directive"
+)
+
+// defaultPackages are the determinism-bearing packages: the virtual-time
+// platform (walltime's list) plus the analysis/DSE layers whose results
+// must be reproducible bit-for-bit.
+const defaultPackages = "sim,sched,can,flexray,rte,vfb,osek,ttp,ttethernet,noc,e2e,fault,trace,experiments,obs,par,core,deploy,health,e2eprot,contract,taskset,workload,overlay,protection"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "forbid order-sensitive map iteration in deterministic packages\n\n" +
+		"Map iteration order is randomized per run, so a range over a map\n" +
+		"whose body emits, appends to an ordered result or overwrites shared\n" +
+		"state must sort its keys first — otherwise incremental verification,\n" +
+		"campaign worker-count independence and golden exports all lose their\n" +
+		"determinism guarantee. Order-insensitive bodies (counting, keyed map\n" +
+		"writes, integer accumulation, guarded extremum tracking, collecting\n" +
+		"keys that are sorted afterwards) are fine. Test files are exempt;\n" +
+		"intentional order-dependence needs //autovet:allow detrange.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packagesFlag = defaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "comma-separated package names whose map iterations must be order-insensitive")
+}
+
+// commutative are callee names whose repeated statement-level calls are
+// order-independent (metric increments, waitgroup bookkeeping).
+var commutative = map[string]bool{"Inc": true, "Add": true, "Observe": true, "Done": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !platform.PkgIn(pass.Pkg, packagesFlag) {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	allow := directive.CollectAllow(pass, "detrange", files)
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Walk function by function so the sorted-afterwards check can see
+	// the whole enclosing body.
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	var inSkipped bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inSkipped = skip[n]
+		case *ast.FuncDecl:
+			if !inSkipped && n.Body != nil {
+				checkFunc(pass, allow, n.Body)
+			}
+		case *ast.FuncLit:
+			if !inSkipped {
+				checkFunc(pass, allow, n.Body)
+			}
+		}
+	})
+	allow.ReportUnused()
+	return nil, nil
+}
+
+// checkFunc examines every map-range directly inside body (nested
+// function literals are visited as their own functions).
+func checkFunc(pass *analysis.Pass, allow *directive.Allow, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &loopCheck{pass: pass, rng: rs, fnBody: body}
+		c.derive()
+		if reason := c.check(rs.Body, false); reason != "" {
+			allow.Reportf(rs.Pos(),
+				"map iteration order is nondeterministic: %s; iterate sorted keys instead (or justify with //autovet:allow detrange)",
+				reason)
+		}
+		return true
+	})
+}
+
+type loopCheck struct {
+	pass    *analysis.Pass
+	rng     *ast.RangeStmt
+	fnBody  *ast.BlockStmt
+	derived map[types.Object]bool
+	keyObj  types.Object
+}
+
+// derive seeds the loop variables and propagates through assignments in
+// the body to a fixpoint, giving an ident-level view of which values
+// depend on the iteration element.
+func (c *loopCheck) derive() {
+	c.derived = map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				c.derived[obj] = true
+			}
+		}
+	}
+	if c.rng.Key != nil {
+		add(c.rng.Key)
+		if id, ok := c.rng.Key.(*ast.Ident); ok {
+			c.keyObj = c.pass.TypesInfo.ObjectOf(id)
+		}
+	}
+	if c.rng.Value != nil {
+		add(c.rng.Value)
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else {
+						rhs = n.Rhs[0]
+					}
+					if c.mentionsDerived(rhs) {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && !c.derived[obj] {
+								c.derived[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if c.mentionsDerived(v) {
+						for _, id := range n.Names {
+							if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && !c.derived[obj] {
+								c.derived[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *loopCheck) mentionsDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// outer reports whether the identifier's object is declared outside the
+// range statement (so writes to it survive the loop).
+func (c *loopCheck) outer(e ast.Expr) (types.Object, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil, false
+	}
+	inside := c.rng.Pos() <= obj.Pos() && obj.Pos() <= c.rng.End()
+	return obj, !inside
+}
+
+// check walks stmts looking for the first order-sensitive operation.
+// guarded is true inside an if whose condition is a comparison — the
+// extremum-tracking idiom (if v > best { best, bestK = v, k }), which is
+// deterministic in the value it keeps.
+func (c *loopCheck) check(stmt ast.Stmt, guarded bool) string {
+	switch s := stmt.(type) {
+	case nil:
+		return ""
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			if r := c.check(t, guarded); r != "" {
+				return r
+			}
+		}
+	case *ast.IfStmt:
+		g := guarded || hasComparison(s.Cond)
+		if r := c.check(s.Init, guarded); r != "" {
+			return r
+		}
+		if r := c.check(s.Body, g); r != "" {
+			return r
+		}
+		return c.check(s.Else, g)
+	case *ast.ForStmt:
+		return c.check(s.Body, guarded)
+	case *ast.RangeStmt:
+		return c.check(s.Body, guarded)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, t := range cc.(*ast.CaseClause).Body {
+				if r := c.check(t, guarded); r != "" {
+					return r
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, t := range cc.(*ast.CaseClause).Body {
+				if r := c.check(t, guarded); r != "" {
+					return r
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return c.check(s.Stmt, guarded)
+	case *ast.SendStmt:
+		return "the loop body sends on a channel"
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if c.mentionsDerived(res) {
+				return "the loop body returns a value that depends on which element iteration reached first"
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if r := c.checkCall(call); r != "" {
+				return r
+			}
+		}
+	case *ast.GoStmt:
+		if r := c.checkCall(s.Call); r != "" {
+			return r
+		}
+	case *ast.DeferStmt:
+		if r := c.checkCall(s.Call); r != "" {
+			return r
+		}
+	case *ast.AssignStmt:
+		return c.checkAssign(s, guarded)
+	}
+	return ""
+}
+
+// checkCall flags statement-level calls that carry loop-derived data to
+// a side effect (emitting, recording, printing) in iteration order.
+func (c *loopCheck) checkCall(call *ast.CallExpr) string {
+	switch callee := typeutil.Callee(c.pass.TypesInfo, call).(type) {
+	case *types.Builtin:
+		if callee.Name() == "delete" {
+			return "" // map deletes commute
+		}
+	case *types.Func:
+		if commutative[callee.Name()] {
+			return ""
+		}
+	}
+	derived := false
+	for _, arg := range call.Args {
+		if c.mentionsDerived(arg) {
+			derived = true
+			break
+		}
+	}
+	// A side effect selected through loop-derived state (subs[k].Notify())
+	// is order-sensitive even with no arguments.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.mentionsDerived(sel.X) {
+		derived = true
+	}
+	if !derived {
+		// Repeating an element-independent effect len(m) times is
+		// order-insensitive.
+		return ""
+	}
+	return "the loop body calls " + callName(call) + " with loop-derived data in iteration order"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "a function"
+}
+
+// checkAssign flags order-sensitive writes that survive the loop.
+func (c *loopCheck) checkAssign(as *ast.AssignStmt, guarded bool) string {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		// append into an outer slice
+		if call, ok := rhs.(*ast.CallExpr); ok && as.Tok == token.ASSIGN {
+			if bi, ok := typeutil.Callee(c.pass.TypesInfo, call).(*types.Builtin); ok && bi.Name() == "append" {
+				obj, outer := c.outer(lhs)
+				if !outer {
+					continue
+				}
+				// Collecting bare keys into a slice that the function sorts
+				// afterwards is the canonical compliant idiom.
+				if c.collectsSortedKeys(call, obj) {
+					continue
+				}
+				return "the loop body appends to the ordered result " + obj.Name()
+			}
+		}
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			obj, outer := c.outer(lhs)
+			if !outer {
+				continue
+			}
+			switch as.Tok {
+			case token.ASSIGN:
+				if c.mentionsDerived(rhs) && !guarded {
+					return "the loop body overwrites " + obj.Name() + " in iteration order (last writer wins)"
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+				// Integer accumulation commutes; float addition does not
+				// associate, string concatenation does not commute.
+				if !isInteger(c.pass.TypesInfo.TypeOf(lhs)) && c.mentionsDerived(rhs) {
+					return "the loop body accumulates non-integer " + obj.Name() + " in iteration order"
+				}
+			default:
+				if c.mentionsDerived(rhs) && !guarded {
+					return "the loop body updates " + obj.Name() + " in iteration order"
+				}
+			}
+		case *ast.IndexExpr:
+			// Keyed writes into a map (or loop-keyed slice positions)
+			// commute; positional fills of an outer slice do not.
+			t := c.pass.TypesInfo.TypeOf(lhs.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				continue
+			}
+			if c.mentionsDerived(lhs.Index) {
+				continue
+			}
+			if _, outerBase := c.outer(lhs.X); outerBase && c.mentionsDerived(rhs) {
+				return "the loop body fills ordered positions of " + exprName(lhs.X) + " in iteration order"
+			}
+		}
+	}
+	return ""
+}
+
+func exprName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "a slice"
+}
+
+// collectsSortedKeys reports the keys-then-sort idiom: the append adds
+// exactly the loop key, and the enclosing function sorts that slice
+// somewhere after the loop.
+func (c *loopCheck) collectsSortedKeys(call *ast.CallExpr, slice types.Object) bool {
+	if len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	arg := call.Args[1]
+	// Unwrap a pure type conversion of the key (append(ks, int(k))):
+	// converting the key before collecting it preserves the idiom.
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			arg = conv.Args[0]
+		}
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok || c.keyObj == nil || c.pass.TypesInfo.ObjectOf(id) != c.keyObj {
+		return false
+	}
+	sorted := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		sc, ok := n.(*ast.CallExpr)
+		if !ok || sorted {
+			return !sorted
+		}
+		fn, ok := typeutil.Callee(c.pass.TypesInfo, sc).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if len(sc.Args) == 0 {
+			return true
+		}
+		if arg, ok := sc.Args[0].(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(arg) == slice {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func hasComparison(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	checktest.Run(t, "testdata", detrange.Analyzer, "core")
+}

@@ -1,0 +1,142 @@
+// Package core exercises the detrange analyzer: order-sensitive map
+// iteration is diagnosed, order-insensitive iteration is not.
+package core
+
+import "sort"
+
+type counter struct{}
+
+func (counter) Inc()             {}
+func (counter) Add(d float64)    {}
+func (counter) Set(v float64)    {}
+func emit(name string, v int)    {}
+func lookup(name string) counter { return counter{} }
+
+// sortedKeys is the canonical compliant idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedConvertedKeys collects the key through a type conversion before
+// sorting — still the compliant idiom.
+func sortedConvertedKeys(m map[uint8]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic: the loop body appends to the ordered result keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendsValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `appends to the ordered result vals`
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func emits(m map[string]int) {
+	for k, v := range m { // want `calls emit with loop-derived data in iteration order`
+		emit(k, v)
+	}
+}
+
+func sends(m map[string]int, ch chan int) {
+	for range m { // want `sends on a channel`
+		ch <- 1
+	}
+}
+
+func counts(m map[string]int) (n int, sum int) {
+	for _, v := range m { // order-insensitive: integer accumulation
+		n++
+		sum += v
+	}
+	return
+}
+
+func floats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates non-integer sum`
+		sum += v
+	}
+	return sum
+}
+
+func keyed(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m { // order-insensitive: keyed writes commute
+		out[k] = v * 2
+	}
+	return out
+}
+
+func extremum(m map[string]int) (string, int) {
+	best := -1
+	var bestKey string
+	for k, v := range m { // order-insensitive: guarded extremum
+		if v > best {
+			best = v
+			bestKey = k
+		}
+	}
+	return bestKey, best
+}
+
+func overwrites(m map[string]int) int {
+	var last int
+	for _, v := range m { // want `overwrites last in iteration order`
+		last = v
+	}
+	return last
+}
+
+func returnsFirst(m map[string]int) int {
+	for _, v := range m { // want `returns a value that depends on which element iteration reached first`
+		return v
+	}
+	return 0
+}
+
+func deletes(m, seen map[string]int) {
+	for k := range m { // order-insensitive: deletes commute
+		delete(seen, k)
+	}
+}
+
+func meters(m map[string]int) {
+	for k := range m { // order-insensitive: counter increments commute
+		lookup(k).Inc()
+		lookup(k).Add(1)
+	}
+}
+
+func gauges(m map[string]float64) {
+	for k, v := range m { // want `calls Set with loop-derived data in iteration order`
+		lookup(k).Set(v)
+	}
+}
+
+func excused(m map[string]int) []int {
+	var vals []int
+	//autovet:allow detrange test fixture tolerates any order
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}

@@ -16,6 +16,14 @@
 // on a type declaration opts the type into the nilsafe analyzer's
 // nil-receiver-guard contract.
 //
+//	//autovet:bounded <reason>
+//
+// on a struct type declaration or an individual struct field marks its
+// growth as bounded by design (ring-capped, sized by the static model),
+// exempting appends that feed it from the bounded analyzer. The reason
+// is mandatory: a bound that cannot be stated in a sentence is not a
+// bound.
+//
 // The package also exports Analyzer ("autovetdirective"), which
 // validates directive syntax: unknown verbs, missing or unknown
 // analyzer names, and misplaced nilsafe markers are all diagnosed so a
@@ -39,11 +47,18 @@ const Prefix = "//autovet:"
 const (
 	VerbAllow   = "allow"
 	VerbNilsafe = "nilsafe"
+	// VerbBounded marks a struct type or field whose growth is bounded by
+	// design (a ring, a model-sized registry): the bounded analyzer then
+	// exempts appends that feed it. The marker must carry a reason.
+	VerbBounded = "bounded"
 )
 
 // Analyzers that may be named in an allow directive. The directive
 // analyzer itself cannot be suppressed.
-var KnownAnalyzers = []string{"baregoroutine", "kindswitch", "nilsafe", "walltime"}
+var KnownAnalyzers = []string{
+	"baregoroutine", "bounded", "detrange", "e2eflow", "errreport",
+	"kindswitch", "lockorder", "nilsafe", "walltime",
+}
 
 // A Directive is one parsed //autovet: comment.
 type Directive struct {
@@ -221,18 +236,27 @@ func runDirective(pass *analysis.Pass) (any, error) {
 	}
 	for _, f := range pass.Files {
 		// Positions of comments attached to type declarations, where a
-		// nilsafe marker is legitimate.
+		// nilsafe marker is legitimate; bounded markers may additionally
+		// sit on individual struct fields.
 		typeDocs := map[token.Pos]bool{}
+		fieldDocs := map[token.Pos]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			gd, ok := n.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				return true
-			}
-			markGroup(typeDocs, gd.Doc)
-			for _, spec := range gd.Specs {
-				if ts, ok := spec.(*ast.TypeSpec); ok {
-					markGroup(typeDocs, ts.Doc)
-					markGroup(typeDocs, ts.Comment)
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				if n.Tok != token.TYPE {
+					return true
+				}
+				markGroup(typeDocs, n.Doc)
+				for _, spec := range n.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						markGroup(typeDocs, ts.Doc)
+						markGroup(typeDocs, ts.Comment)
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					markGroup(fieldDocs, fld.Doc)
+					markGroup(fieldDocs, fld.Comment)
 				}
 			}
 			return true
@@ -251,8 +275,14 @@ func runDirective(pass *analysis.Pass) (any, error) {
 				if !typeDocs[d.Pos] {
 					pass.Reportf(d.Pos, "//autovet:nilsafe must be part of a type declaration's comment")
 				}
+			case VerbBounded:
+				if !typeDocs[d.Pos] && !fieldDocs[d.Pos] {
+					pass.Reportf(d.Pos, "//autovet:bounded must be part of a type declaration's or struct field's comment")
+				} else if len(d.Args) == 0 {
+					pass.Reportf(d.Pos, "//autovet:bounded needs a reason stating the bound")
+				}
 			default:
-				pass.Reportf(d.Pos, "unknown autovet directive verb %q (expected %s or %s)", d.Verb, VerbAllow, VerbNilsafe)
+				pass.Reportf(d.Pos, "unknown autovet directive verb %q (expected %s, %s or %s)", d.Verb, VerbAllow, VerbBounded, VerbNilsafe)
 			}
 		}
 	}

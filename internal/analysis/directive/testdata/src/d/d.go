@@ -21,6 +21,23 @@ func ok() {
 	_ = 1 //autovet:allow walltime justified elsewhere
 }
 
+// Buf is properly marked bounded: no diagnostic.
+//
+//autovet:bounded capacity fixed at construction
+type Buf struct {
+	// items is also individually markable.
+	//
+	//autovet:bounded ring-capped by cap
+	items []int
+	cap   int
+}
+
+//autovet:bounded // want `//autovet:bounded needs a reason stating the bound`
+type Unreasoned struct{}
+
+//autovet:bounded it is fine really // want `//autovet:bounded must be part of a type declaration's or struct field's comment`
+var boundedMisplaced int
+
 //autovet:nilsafe // want `//autovet:nilsafe must be part of a type declaration's comment`
 var misplaced int
 

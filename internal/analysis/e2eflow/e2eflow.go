@@ -1,0 +1,351 @@
+// Package e2eflow defines a taint-style analyzer for the platform's
+// end-to-end qualification invariant: a value read from a signal port
+// must not flow into an actuation (Context.Write) unless an E2E
+// qualification check dominates the write.
+//
+// The e2eprot layer (PR 5) can detect corrupted, masqueraded, delayed
+// and resequenced communication — but only if runnables actually
+// consult the verdict. A behaviour that does
+//
+//	c.Write("cmd", "u", c.Read("in", "v"))
+//
+// forwards whatever arrived, qualified or not, and the protection
+// becomes dead code on the most safety-relevant path. The analyzer
+// tracks Context.Read/ReadOK results intraprocedurally (assignments
+// propagate the taint) and reports any Write whose value derives from a
+// read unless a qualification call — Context.E2EStatus, Context.Age,
+// Platform.E2EState, or a function the suite has fact-marked as a
+// qualifier — dominates the write in the control-flow graph. Helper
+// functions that perform a qualification check are exported as
+// qualifier facts, so a shared guard in another package still counts.
+//
+// Local-only signals need no E2E qualification; such writes are
+// documented with //autovet:allow e2eflow and the reason the signal is
+// trusted.
+package e2eflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	platform "autorte/internal/analysis"
+	"autorte/internal/analysis/directive"
+)
+
+// qualifierFact marks a function that performs an E2E qualification
+// check, so calling it counts as a dominating guard in any package.
+type qualifierFact struct{}
+
+func (*qualifierFact) AFact()         {}
+func (*qualifierFact) String() string { return "e2equalifier" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: "e2eflow",
+	Doc: "require E2E qualification between signal reads and actuation writes\n\n" +
+		"Values read from Context.Read/ReadOK must not reach Context.Write\n" +
+		"unless an E2EStatus/E2EState/Age qualification dominates the write\n" +
+		"in the control-flow graph — otherwise communication protection is\n" +
+		"dead code on the actuation path. Qualification helpers are\n" +
+		"propagated as analysis facts across packages. Writes of local,\n" +
+		"trusted signals are justified with //autovet:allow e2eflow. Test\n" +
+		"files are exempt.",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*qualifierFact)(nil)},
+	Run:       run,
+}
+
+// rtePkg is the package whose Context/Platform types anchor the flow.
+const rtePkg = "rte"
+
+// contextMethod returns the method name when call is a method call on
+// rte.Context or rte.Platform (the receiver's type name is returned in
+// recv).
+func contextMethod(info *types.Info, call *ast.CallExpr) (recv, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !platform.PkgIs(fn.Pkg(), rtePkg) {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	return named.Obj().Name(), fn.Name()
+}
+
+type flow struct {
+	pass    *analysis.Pass
+	allow   *directive.Allow
+	tainted map[types.Object]bool
+}
+
+// isSource reports a Context.Read/ReadOK call.
+func (fl *flow) isSource(call *ast.CallExpr) bool {
+	recv, name := contextMethod(fl.pass.TypesInfo, call)
+	return recv == "Context" && (name == "Read" || name == "ReadOK")
+}
+
+// isSink reports a Context.Write call.
+func (fl *flow) isSink(call *ast.CallExpr) bool {
+	recv, name := contextMethod(fl.pass.TypesInfo, call)
+	return recv == "Context" && name == "Write"
+}
+
+// isGuard reports an E2E qualification call: the platform's own status
+// and freshness probes, or a fact-marked qualifier helper.
+func (fl *flow) isGuard(call *ast.CallExpr) bool {
+	recv, name := contextMethod(fl.pass.TypesInfo, call)
+	if recv == "Context" && (name == "E2EStatus" || name == "Age") {
+		return true
+	}
+	if recv == "Platform" && name == "E2EState" {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := fl.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			return fl.pass.ImportObjectFact(fn, new(qualifierFact))
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if fn, ok := fl.pass.TypesInfo.Uses[id].(*types.Func); ok {
+			return fl.pass.ImportObjectFact(fn, new(qualifierFact))
+		}
+	}
+	return false
+}
+
+// taintedExpr reports whether e contains a source call or a tainted
+// identifier.
+func (fl *flow) taintedExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function, separate flow
+		case *ast.CallExpr:
+			if fl.isSource(n) {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := fl.pass.TypesInfo.ObjectOf(n); obj != nil && fl.tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// taint seeds and propagates read-derived values through assignments in
+// body (nested function literals excluded) to a fixpoint.
+func (fl *flow) taint(body *ast.BlockStmt) {
+	fl.tainted = map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else {
+						rhs = n.Rhs[0]
+					}
+					if !fl.taintedExpr(rhs) {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := fl.pass.TypesInfo.ObjectOf(id); obj != nil && !fl.tainted[obj] {
+							fl.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if !fl.taintedExpr(v) {
+						continue
+					}
+					for _, id := range n.Names {
+						if obj := fl.pass.TypesInfo.ObjectOf(id); obj != nil && !fl.tainted[obj] {
+							fl.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCFG walks the function's control-flow graph and reports tainted
+// writes not dominated by a guard: a write is safe only if every path
+// from entry to it passes a qualification call first.
+func (fl *flow) checkCFG(g *cfg.CFG) {
+	if g == nil || len(g.Blocks) == 0 {
+		return
+	}
+	type sink struct {
+		idx  int
+		call *ast.CallExpr
+	}
+	guardIdx := map[*cfg.Block]int{}
+	sinks := map[*cfg.Block][]sink{}
+	for _, b := range g.Blocks {
+		guardIdx[b] = -1
+		for i, n := range b.Nodes {
+			hasGuard, hasSink := false, false
+			var sinkCall *ast.CallExpr
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					if fl.isGuard(call) {
+						hasGuard = true
+					}
+					if fl.isSink(call) {
+						tainted := false
+						for _, arg := range call.Args {
+							if fl.taintedExpr(arg) {
+								tainted = true
+							}
+						}
+						if tainted {
+							hasSink = true
+							sinkCall = call
+						}
+					}
+				}
+				return true
+			})
+			if hasGuard && guardIdx[b] < 0 {
+				guardIdx[b] = i
+			}
+			if hasSink {
+				sinks[b] = append(sinks[b], sink{idx: i, call: sinkCall})
+			}
+		}
+	}
+	// Blocks reachable from entry without crossing a guard.
+	unguarded := map[*cfg.Block]bool{}
+	queue := []*cfg.Block{g.Blocks[0]}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if unguarded[b] {
+			continue
+		}
+		unguarded[b] = true
+		if guardIdx[b] >= 0 {
+			continue // qualification stops the unguarded frontier
+		}
+		queue = append(queue, b.Succs...)
+	}
+	for _, b := range g.Blocks {
+		for _, s := range sinks[b] {
+			if !unguarded[b] {
+				continue
+			}
+			if gi := guardIdx[b]; gi >= 0 && s.idx >= gi {
+				continue
+			}
+			fl.allow.Reportf(s.call.Pos(),
+				"signal value flows from Context.Read to Context.Write without a dominating E2E qualification (check E2EStatus/Age first, or justify a trusted local signal with //autovet:allow e2eflow)")
+		}
+	}
+}
+
+// hasGuardCall reports whether body directly performs a qualification
+// call (making the enclosing function itself a qualifier).
+func (fl *flow) hasGuardCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && fl.isGuard(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	allow := directive.CollectAllow(pass, "e2eflow", files)
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+	}
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	fl := &flow{pass: pass, allow: allow}
+
+	// Export qualifier facts first so same-package helpers count as
+	// guards below (cross-package helpers already carry facts).
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && fl.hasGuardCall(fd.Body) {
+				pass.ExportObjectFact(obj, &qualifierFact{})
+			}
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	var inSkipped bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inSkipped = skip[n]
+		case *ast.FuncDecl:
+			if inSkipped || n.Body == nil {
+				return
+			}
+			fl.taint(n.Body)
+			fl.checkCFG(cfgs.FuncDecl(n))
+		case *ast.FuncLit:
+			if inSkipped {
+				return
+			}
+			fl.taint(n.Body)
+			fl.checkCFG(cfgs.FuncLit(n))
+		}
+	})
+	allow.ReportUnused()
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package e2eflow_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/e2eflow"
+)
+
+func TestE2EFlow(t *testing.T) {
+	checktest.Run(t, "testdata", e2eflow.Analyzer, "app")
+}

@@ -1,0 +1,75 @@
+// Package app exercises the e2eflow analyzer: unqualified read-to-write
+// flows are diagnosed; dominated (qualified) flows are not.
+package app
+
+import (
+	"qual"
+	"rte"
+)
+
+func direct(c *rte.Context) {
+	c.Write("cmd", "u", c.Read("in", "v")) // want `without a dominating E2E qualification`
+}
+
+func viaVar(c *rte.Context) {
+	v := c.Read("in", "v")
+	u := v*2 + 1
+	c.Write("cmd", "u", u) // want `without a dominating E2E qualification`
+}
+
+func viaOK(c *rte.Context) {
+	if v, ok := c.ReadOK("in", "v"); ok {
+		c.Write("cmd", "u", v) // want `without a dominating E2E qualification`
+	}
+}
+
+func qualified(c *rte.Context) {
+	s, ok := c.E2EStatus("in", "v")
+	if !ok || s != 0 {
+		return
+	}
+	c.Write("cmd", "u", c.Read("in", "v")) // ok: qualification dominates
+}
+
+func aged(c *rte.Context) {
+	if c.Age("in", "v") > 10 {
+		return
+	}
+	c.Write("cmd", "u", c.Read("in", "v")) // ok: freshness guard dominates
+}
+
+func helper(c *rte.Context) {
+	if !qual.Valid(c, "in", "v") {
+		return
+	}
+	c.Write("cmd", "u", c.Read("in", "v")) // ok: fact-marked qualifier dominates
+}
+
+func platformGuard(c *rte.Context, p *rte.Platform) {
+	if _, ok := p.E2EState("sig"); !ok {
+		return
+	}
+	c.Write("cmd", "u", c.Read("in", "v")) // ok: platform-level qualification
+}
+
+func partially(c *rte.Context, b bool) {
+	v := c.Read("in", "v")
+	if b {
+		_, _ = c.E2EStatus("in", "v")
+	}
+	c.Write("cmd", "u", v) // want `without a dominating E2E qualification`
+}
+
+func constant(c *rte.Context) {
+	c.Write("out", "v", 100) // ok: no signal taint
+}
+
+func closure(p interface{ SetBehavior(func(*rte.Context)) }) {
+	p.SetBehavior(func(c *rte.Context) {
+		c.Write("cmd", "u", c.Read("in", "v")) // want `without a dominating E2E qualification`
+	})
+}
+
+func excused(c *rte.Context) {
+	c.Write("cmd", "u", c.Read("in", "v")) //autovet:allow e2eflow local intra-ECU connector, no bus hop
+}

@@ -1,0 +1,12 @@
+// Package qual holds a shared qualification helper: e2eflow must
+// export a qualifier fact for it, so calls in other packages count as
+// dominating guards.
+package qual
+
+import "rte"
+
+// Valid reports whether the protected element is currently qualified.
+func Valid(c *rte.Context, port, elem string) bool {
+	s, ok := c.E2EStatus(port, elem)
+	return ok && s == 0
+}

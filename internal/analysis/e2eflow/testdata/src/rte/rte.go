@@ -1,0 +1,15 @@
+// Package rte stubs the platform RTE surface the e2eflow analyzer
+// anchors on: Context read/write/qualification and Platform.E2EState.
+package rte
+
+type Context struct{}
+
+func (c *Context) Read(port, elem string) float64           { return 0 }
+func (c *Context) ReadOK(port, elem string) (float64, bool) { return 0, false }
+func (c *Context) Write(port, elem string, v float64)       {}
+func (c *Context) E2EStatus(port, elem string) (int, bool)  { return 0, false }
+func (c *Context) Age(port, elem string) int64              { return 0 }
+
+type Platform struct{}
+
+func (p *Platform) E2EState(signal string) (int, bool) { return 0, false }

@@ -1,0 +1,252 @@
+// Package errreport defines an analyzer that forbids silently dropping
+// errors returned by the platform's reliability APIs.
+//
+// The health chain (report → debounce → qualify → escalate) only works
+// if errors actually enter it: an error from rte, health or e2eprot
+// that is discarded never reaches the ErrorManager, so the fault it
+// describes is invisible to supervision, recovery and diagnostics —
+// precisely the "silent failure" class the paper's consistent error
+// handling concept exists to exclude. The analyzer reports calls to
+// error-returning functions of those packages whose error result is
+// dropped (an expression statement, a go/defer statement, or a blank
+// assignment); assigning the error to a variable counts as handling it.
+//
+// The check is cross-package: a function in any package whose own error
+// result derives from a must-check call is marked with an exported fact
+// and becomes must-check for its callers too, so wrapping a platform
+// API does not launder its error away.
+package errreport
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	platform "autorte/internal/analysis"
+	"autorte/internal/analysis/directive"
+)
+
+// defaultPackages are the packages whose exported error-returning
+// functions seed the must-check set.
+const defaultPackages = "rte,health,e2eprot"
+
+// mustCheckFact marks a function whose error result derives from a
+// platform must-check API, making the function itself must-check for
+// its callers (in this and every importing package).
+type mustCheckFact struct{}
+
+func (*mustCheckFact) AFact()         {}
+func (*mustCheckFact) String() string { return "mustcheck" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errreport",
+	Doc: "forbid dropping errors from the platform reliability APIs\n\n" +
+		"Errors returned by rte, health and e2eprot must be handled or\n" +
+		"forwarded to the ErrorManager: a dropped error is a fault the health\n" +
+		"chain never sees. Wrappers whose error results derive from those\n" +
+		"APIs are propagated as analysis facts, so the check crosses package\n" +
+		"boundaries. Intentional drops need //autovet:allow errreport and a\n" +
+		"reason. Test files are exempt.",
+	FactTypes: []analysis.Fact{(*mustCheckFact)(nil)},
+	Run:       run,
+}
+
+var packagesFlag = defaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "comma-separated package names whose exported error-returning functions are must-check")
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	allow *directive.Allow
+}
+
+// mustCheck reports whether a call to fn drops into the platform's
+// must-check set: a seed-package exported error API, or a wrapper
+// carrying the propagated fact.
+func (c *checker) mustCheck(fn *types.Func) bool {
+	if fn == nil || !returnsError(fn) {
+		return false
+	}
+	if fn.Exported() && platform.PkgIn(fn.Pkg(), packagesFlag) {
+		return true
+	}
+	return c.pass.ImportObjectFact(fn, new(mustCheckFact))
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass, f) {
+			files = append(files, f)
+		}
+	}
+	c := &checker{pass: pass, allow: directive.CollectAllow(pass, "errreport", files)}
+
+	// Mark same-package wrappers before checking call sites (to a
+	// fixpoint, so a wrapper of a wrapper is caught too); imported
+	// packages' wrappers already carry their facts.
+	for c.exportWrappers(files) {
+	}
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					c.checkDropped(call)
+				}
+			case *ast.GoStmt:
+				c.checkDropped(n.Call)
+			case *ast.DeferStmt:
+				c.checkDropped(n.Call)
+			case *ast.AssignStmt:
+				c.checkBlank(n)
+			}
+			return true
+		})
+	}
+
+	c.allow.ReportUnused()
+	return nil, nil
+}
+
+// checkDropped reports a call whose results (error included) are
+// discarded entirely.
+func (c *checker) checkDropped(call *ast.CallExpr) {
+	fn := typeutil.Callee(c.pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok || !c.mustCheck(f) {
+		return
+	}
+	c.allow.Reportf(call.Pos(),
+		"error returned by %s.%s is dropped: handle it or forward it to the ErrorManager (or justify with //autovet:allow errreport)",
+		f.Pkg().Name(), f.Name())
+}
+
+// checkBlank reports assignments that discard the error result into _.
+func (c *checker) checkBlank(as *ast.AssignStmt) {
+	// Single call on the RHS: the error is the last LHS position.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := typeutil.Callee(c.pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok || !c.mustCheck(f) {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	c.allow.Reportf(as.Pos(),
+		"error returned by %s.%s is discarded with _: handle it or forward it to the ErrorManager (or justify with //autovet:allow errreport)",
+		f.Pkg().Name(), f.Name())
+}
+
+// exportWrappers marks functions whose own error result derives from a
+// must-check call, so the obligation follows the error across package
+// boundaries. It reports whether any new fact was exported (callers
+// loop to a fixpoint for same-package wrapper chains).
+func (c *checker) exportWrappers(files []*ast.File) bool {
+	changed := false
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !returnsError(obj) {
+				continue
+			}
+			if c.pass.ImportObjectFact(obj, new(mustCheckFact)) {
+				continue // already marked
+			}
+			if c.wrapsMustCheck(fd.Body) {
+				c.pass.ExportObjectFact(obj, &mustCheckFact{})
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// wrapsMustCheck reports whether body returns an error that came from a
+// must-check call: either a return whose result expression contains
+// such a call, or a return of a variable assigned from one.
+func (c *checker) wrapsMustCheck(body *ast.BlockStmt) bool {
+	// Variables assigned (anywhere in the function) from a must-check
+	// call's error position.
+	tainted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, ok := typeutil.Callee(c.pass.TypesInfo, call).(*types.Func); !ok || !c.mustCheck(f) {
+			return true
+		}
+		if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if f, ok := typeutil.Callee(c.pass.TypesInfo, m).(*types.Func); ok && c.mustCheck(f) {
+						found = true
+					}
+				case *ast.Ident:
+					if obj := c.pass.TypesInfo.ObjectOf(m); obj != nil && tainted[obj] {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package errreport_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/errreport"
+)
+
+func TestErrreport(t *testing.T) {
+	checktest.Run(t, "testdata", errreport.Analyzer, "er")
+}

@@ -1,0 +1,38 @@
+// Package er exercises the errreport analyzer: dropped and blank-
+// discarded platform errors are diagnosed, handled ones are not, and
+// the must-check obligation follows wrappers across packages.
+package er
+
+import (
+	"rte"
+	"wrap"
+)
+
+func drops(p *rte.Platform) {
+	p.RestartRunnable("a", "b")    // want `error returned by rte.RestartRunnable is dropped`
+	_ = p.SetBehavior("x")         // want `error returned by rte.SetBehavior is discarded with _`
+	go p.RestartRunnable("a", "b") // want `error returned by rte.RestartRunnable is dropped`
+	v, _ := rte.Helper()           // want `error returned by rte.Helper is discarded with _`
+	_ = v
+	wrap.Restart(p) // want `error returned by wrap.Restart is dropped`
+	wrap.Again(p)   // want `error returned by wrap.Again is dropped`
+	wrap.Via(p)     // want `error returned by wrap.Via is dropped`
+}
+
+func deferred(p *rte.Platform) {
+	defer p.SetBehavior("x") // want `error returned by rte.SetBehavior is dropped`
+}
+
+func handled(p *rte.Platform) {
+	if err := p.RestartRunnable("a", "b"); err != nil {
+		println(err.Error())
+	}
+	err := wrap.Restart(p)
+	_ = err
+	rte.NoError()   // no error result: fine
+	wrap.Handled(p) // Handled's error never carries a platform error: fine
+}
+
+func excused(p *rte.Platform) {
+	p.RestartRunnable("a", "b") //autovet:allow errreport teardown path, restart failure is terminal anyway
+}

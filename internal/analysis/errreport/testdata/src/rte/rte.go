@@ -1,0 +1,17 @@
+// Package rte is a stub of the platform RTE: its exported
+// error-returning functions seed the errreport must-check set.
+package rte
+
+import "errors"
+
+type Platform struct{}
+
+func (p *Platform) RestartRunnable(swc, runnable string) error { return errors.New("no such runnable") }
+
+func (p *Platform) SetBehavior(swc string) error { return errors.New("no such swc") }
+
+// Helper returns a value and an error.
+func Helper() (int, error) { return 0, errors.New("helper") }
+
+// NoError has no error result: never must-check.
+func NoError() int { return 1 }

@@ -1,0 +1,34 @@
+// Package wrap wraps platform APIs: the errreport analyzer must export
+// must-check facts for the wrappers so callers in other packages cannot
+// launder the error away.
+package wrap
+
+import "rte"
+
+// Restart returns a platform error directly: must-check for callers.
+func Restart(p *rte.Platform) error {
+	return p.RestartRunnable("a", "b")
+}
+
+// Again wraps a wrapper (same-package fixpoint): still must-check.
+func Again(p *rte.Platform) error {
+	return Restart(p)
+}
+
+// Via returns a platform error through a variable: must-check.
+func Via(p *rte.Platform) error {
+	_, err := rte.Helper()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Handled deals with the error itself and never returns it: callers may
+// drop its (always-nil-from-platform) error.
+func Handled(p *rte.Platform) error {
+	if err := p.RestartRunnable("a", "b"); err != nil {
+		println(err.Error())
+	}
+	return nil
+}

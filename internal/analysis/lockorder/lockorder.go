@@ -1,0 +1,368 @@
+// Package lockorder defines an analyzer for the observability layer's
+// lock-holding discipline: a Ring/Log/Flight mutex may not be held
+// across an operation that can acquire another lock or hand control to
+// arbitrary code.
+//
+// The flight recorder sits on the platform's hot path, so its locks are
+// meant to guard a few slice writes and nothing else. Holding one while
+// calling an exported method of another mutex-bearing type nests locks
+// in whatever order the call sites happen to choose — the classic
+// deadlock-by-inversion — and holding one across a callback or a
+// channel send lets user code re-enter the very structure that is
+// locked. The analyzer reconstructs critical sections from
+// mu.Lock()/mu.Unlock() pairs (a deferred unlock extends the section to
+// the end of the function) and reports, inside each section:
+//
+//   - calls to exported methods of types that contain a sync.Mutex or
+//     sync.RWMutex (they may lock it),
+//   - calls to exported functions the analyzer has fact-marked as
+//     acquiring a lock in their own body,
+//   - calls through func-typed values (callbacks: arbitrary code), and
+//   - channel sends.
+//
+// Unexported same-package calls are exempt: the repo's convention is
+// that unexported helpers document "callers hold mu" instead of
+// re-locking. Sections that intentionally run a caller-supplied merge
+// function under the lock carry //autovet:allow lockorder with the
+// contract that makes it safe.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"autorte/internal/analysis/directive"
+)
+
+// acquiresLockFact marks an exported function whose body locks a mutex,
+// so calling it while already holding one is flagged cross-package.
+type acquiresLockFact struct{}
+
+func (*acquiresLockFact) AFact()         {}
+func (*acquiresLockFact) String() string { return "acquiresLock" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "forbid holding an obs lock across lock-acquiring or re-entrant operations\n\n" +
+		"Within a mu.Lock()/mu.Unlock() critical section, calls to exported\n" +
+		"methods of mutex-bearing types, calls to fact-marked lock-acquiring\n" +
+		"functions, calls through func values, and channel sends are\n" +
+		"reported: they can nest locks in inconsistent order or re-enter the\n" +
+		"locked structure. Justify intentional cases with\n" +
+		"//autovet:allow lockorder. Test files are exempt.",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*acquiresLockFact)(nil)},
+	Run:       run,
+}
+
+// defaultPackages are the packages whose locks guard hot-path state and
+// therefore must not be held across foreign calls.
+const defaultPackages = "obs"
+
+var packagesFlag = defaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "comma-separated package names whose critical sections are checked")
+}
+
+func scoped(pkg *types.Package) bool {
+	for _, name := range strings.Split(packagesFlag, ",") {
+		if pkg.Name() == strings.TrimSpace(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// isMutexType reports sync.Mutex or sync.RWMutex (pointers included).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// hasMutexField reports whether t (or what it points to) is a struct
+// with a sync.Mutex/RWMutex field — a type whose methods may lock.
+func hasMutexField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp classifies call as a Lock/Unlock-family call on a sync mutex
+// and returns the locked expression rendered as a key ("r.mu").
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if tv, ok := info.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// section is one critical interval: positions strictly inside it hold
+// the named mutex.
+type section struct {
+	mutex      string
+	start, end token.Pos
+}
+
+// sections reconstructs critical sections in body, not descending into
+// nested function literals (they run on their own goroutine's schedule
+// and are analyzed separately).
+func sections(info *types.Info, body *ast.BlockStmt) []section {
+	type event struct {
+		pos   token.Pos
+		mutex string
+		op    string // "lock", "unlock", "deferUnlock"
+	}
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if key, op := mutexOp(info, call); key != "" {
+					switch op {
+					case "Lock", "RLock":
+						events = append(events, event{n.Pos(), key, "lock"})
+					case "Unlock", "RUnlock":
+						events = append(events, event{n.Pos(), key, "unlock"})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if key, op := mutexOp(info, n.Call); key != "" && (op == "Unlock" || op == "RUnlock") {
+				events = append(events, event{n.Pos(), key, "deferUnlock"})
+			}
+			return false
+		}
+		return true
+	})
+	// events come out of ast.Inspect in source order.
+	var out []section
+	for i, e := range events {
+		if e.op != "lock" {
+			continue
+		}
+		end := body.End()
+		for _, f := range events[i+1:] {
+			if f.mutex != e.mutex {
+				continue
+			}
+			if f.op == "unlock" {
+				end = f.pos
+			}
+			// A deferred unlock keeps the section open to function end.
+			break
+		}
+		out = append(out, section{mutex: e.mutex, start: e.pos, end: end})
+	}
+	return out
+}
+
+// holding returns the mutex held at pos, if any.
+func holding(secs []section, pos token.Pos) (string, bool) {
+	for _, s := range secs {
+		if pos > s.start && pos < s.end {
+			return s.mutex, true
+		}
+	}
+	return "", false
+}
+
+// acquiresDirectly reports whether body itself contains a mu.Lock()
+// (nested function literals excluded).
+func acquiresDirectly(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, op := mutexOp(info, call); op == "Lock" || op == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	allow *directive.Allow
+}
+
+// callee resolves the static callee of call, nil for dynamic calls.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := c.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkBody reports foreign calls and channel sends inside body's
+// critical sections.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	secs := sections(c.pass.TypesInfo, body)
+	if len(secs) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if mu, ok := holding(secs, n.Pos()); ok {
+				c.allow.Reportf(n.Pos(),
+					"channel send while holding %s: a subscriber hand-off belongs outside the critical section (or justify with //autovet:allow lockorder)", mu)
+			}
+		case *ast.CallExpr:
+			mu, ok := holding(secs, n.Pos())
+			if !ok {
+				return true
+			}
+			if key, _ := mutexOp(c.pass.TypesInfo, n); key != "" {
+				return true // the section boundaries themselves
+			}
+			fn := c.callee(n)
+			if fn == nil {
+				// Conversions and builtins have no *types.Func but are not
+				// dynamic calls either.
+				if tv, ok := c.pass.TypesInfo.Types[ast.Unparen(n.Fun)]; ok {
+					if tv.IsType() || tv.IsBuiltin() {
+						return true
+					}
+				}
+				c.allow.Reportf(n.Pos(),
+					"call through a func value while holding %s runs arbitrary code under the lock (or justify with //autovet:allow lockorder)", mu)
+				return true
+			}
+			if !fn.Exported() {
+				return true // caller-holds-mu helper convention
+			}
+			sig := fn.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil && hasMutexField(recv.Type()) {
+				c.allow.Reportf(n.Pos(),
+					"call to %s.%s while holding %s can acquire another lock: release %s first (or justify with //autovet:allow lockorder)",
+					recvName(recv.Type()), fn.Name(), mu, mu)
+				return true
+			}
+			if c.pass.ImportObjectFact(fn, new(acquiresLockFact)) {
+				c.allow.Reportf(n.Pos(),
+					"call to %s while holding %s acquires a lock: release %s first (or justify with //autovet:allow lockorder)",
+					fn.Name(), mu, mu)
+			}
+		}
+		return true
+	})
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass, f) {
+			files = append(files, f)
+		}
+	}
+
+	// Export facts from every package: a consumer in scope must learn
+	// that an out-of-scope exported function acquires a lock.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok &&
+				acquiresDirectly(pass.TypesInfo, fd.Body) {
+				pass.ExportObjectFact(fn, &acquiresLockFact{})
+			}
+		}
+	}
+
+	if !scoped(pass.Pkg) {
+		return nil, nil
+	}
+	allow := directive.CollectAllow(pass, "lockorder", files)
+	skip := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		skip[f] = isTestFile(pass, f)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	c := &checker{pass: pass, allow: allow}
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	var inSkipped bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inSkipped = skip[n]
+		case *ast.FuncDecl:
+			if !inSkipped && n.Body != nil {
+				c.checkBody(n.Body)
+			}
+		case *ast.FuncLit:
+			if !inSkipped {
+				c.checkBody(n.Body)
+			}
+		}
+	})
+	allow.ReportUnused()
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"autorte/internal/analysis/checktest"
+	"autorte/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	checktest.Run(t, "testdata", lockorder.Analyzer, "obs")
+}

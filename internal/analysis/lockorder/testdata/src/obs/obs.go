@@ -1,0 +1,94 @@
+// Package obs exercises the lockorder analyzer: foreign calls and
+// channel sends inside critical sections are diagnosed, released-lock
+// and caller-holds-mu patterns are not.
+package obs
+
+import (
+	"sync"
+
+	"ringpkg"
+)
+
+type Log struct {
+	mu   sync.Mutex
+	recs []int
+	subs []chan int
+	ring *ringpkg.Ring
+}
+
+func (l *Log) push(v int) { l.recs = append(l.recs, v) }
+
+func (l *Log) Record(v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.push(v) // ok: unexported caller-holds-mu helper
+}
+
+func (l *Log) Emit(v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, v)
+	for _, ch := range l.subs {
+		select {
+		case ch <- v: // want `channel send while holding l\.mu`
+		default:
+		}
+	}
+}
+
+func (l *Log) EmitUnlocked(v int) {
+	l.mu.Lock()
+	l.recs = append(l.recs, v)
+	subs := append([]chan int(nil), l.subs...)
+	l.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v // ok: lock released before the hand-off
+	}
+}
+
+func (l *Log) Mirror(v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring.Push(v) // want `call to Ring\.Push while holding l\.mu`
+}
+
+func (l *Log) MirrorAfter(v int) {
+	l.mu.Lock()
+	l.recs = append(l.recs, v)
+	l.mu.Unlock()
+	l.ring.Push(v) // ok: lock released
+}
+
+func (l *Log) Coalesce(v int, merge func(prev *int, v int) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.recs {
+		if merge(&l.recs[i], v) { // want `call through a func value while holding l\.mu`
+			return
+		}
+	}
+}
+
+func (l *Log) ResetAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = nil
+	ringpkg.Reset() // want `call to Reset while holding l\.mu acquires a lock`
+}
+
+func (l *Log) ResetAfter() {
+	l.mu.Lock()
+	l.recs = nil
+	l.mu.Unlock()
+	ringpkg.Reset() // ok: lock released
+}
+
+func (l *Log) Excused(v int, merge func(prev *int, v int) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.recs {
+		if merge(&l.recs[i], v) { //autovet:allow lockorder merge contract: pure coalescing, no locking
+			return
+		}
+	}
+}

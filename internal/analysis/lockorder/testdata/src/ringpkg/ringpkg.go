@@ -1,0 +1,27 @@
+// Package ringpkg is an out-of-scope provider: lockorder exports facts
+// for it (Reset acquires a lock) but reports nothing here, and the
+// mutex field inside Ring is what makes calls to its exported methods
+// suspicious from a critical section elsewhere.
+package ringpkg
+
+import "sync"
+
+type Ring struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+func (r *Ring) Push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, v)
+}
+
+var global Ring
+
+// Reset locks internally; the analyzer fact-marks it as lock-acquiring.
+func Reset() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.buf = nil
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// PkgIs reports whether pkg is the platform package with the given base
+// name: the real import path autorte/internal/<base>, or the bare
+// testdata path <base> that the checktest harness loads analyzers'
+// fixture packages under.
+func PkgIs(pkg *types.Package, base string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == base || p == "autorte/internal/"+base
+}
+
+// PkgIn reports whether pkg is one of the comma-separated platform
+// package base names (as used by analyzer -packages flags).
+func PkgIn(pkg *types.Package, bases string) bool {
+	for _, b := range strings.Split(bases, ",") {
+		if PkgIs(pkg, strings.TrimSpace(b)) {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package contract
 
 import (
 	"fmt"
+	"sort"
 
 	"autorte/internal/model"
 	"autorte/internal/sim"
@@ -27,7 +28,15 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 // counted), mirroring incremental adoption in a supplier landscape.
 func CheckSystem(sys *model.System, contracts map[string]*Contract) (*Report, error) {
 	rep := &Report{Confidence: 1}
-	for _, c := range contracts {
+	// Sorted names: with several invalid contracts the returned error must
+	// not depend on map iteration order.
+	names := make([]string, 0, len(contracts))
+	for name := range contracts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := contracts[name]
 		if err := c.Validate(); err != nil {
 			return nil, err
 		}

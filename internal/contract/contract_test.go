@@ -322,3 +322,33 @@ func TestImportRejectsBadCatalogue(t *testing.T) {
 		}
 	}
 }
+
+// With several invalid contracts, the reported error must not depend on
+// map iteration order: the alphabetically first invalid contract wins.
+func TestCheckSystemDeterministicError(t *testing.T) {
+	sys := minimalSystem()
+	bad := func(comp string) *Contract {
+		return &Contract{
+			Component: comp,
+			Assumes:   []Condition{{Kind: ValueRange, Port: "in", Elem: "v", Lo: 10, Hi: 0}},
+		}
+	}
+	contracts := map[string]*Contract{
+		"Sensor": bad("Sensor"),
+		"Ctrl":   bad("Ctrl"),
+	}
+	_, err := CheckSystem(sys, contracts)
+	if err == nil {
+		t.Fatal("invalid contracts accepted")
+	}
+	first := err.Error()
+	if !strings.Contains(first, "Ctrl") {
+		t.Fatalf("error %q does not name Ctrl, the first invalid contract in name order", first)
+	}
+	for i := 0; i < 10; i++ {
+		_, err := CheckSystem(sys, contracts)
+		if err == nil || err.Error() != first {
+			t.Fatalf("run %d reported %v, first run reported %q", i, err, first)
+		}
+	}
+}

@@ -148,11 +148,11 @@ func NewIncremental(p *Pipeline, sys *model.System, contracts map[string]*contra
 	for _, comp := range sys.Components {
 		dirty[inc.mapping[comp.Name]] = true
 	}
-	for ecu := range dirty {
+	for _, ecu := range sortedKeys(dirty) {
 		inc.rebuildECU(ecu)
 	}
 	inc.rebuildWarnings()
-	for ecu := range inc.taskSets {
+	for _, ecu := range sortedKeys(inc.taskSets) {
 		rep, err := inc.ecuVerdict(ecu)
 		if err != nil {
 			return nil, err
@@ -342,13 +342,21 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 	if len(mapping) != len(inc.mapping) {
 		return nil, fmt.Errorf("core: incremental reverify: mapping has %d entries, want %d", len(mapping), len(inc.mapping))
 	}
+	// Sorted component names: with several unknown components the
+	// returned error must not depend on map iteration order, and moved
+	// comes out sorted for the commit/restore bookkeeping below.
+	comps := make([]string, 0, len(mapping))
+	for comp := range mapping {
+		comps = append(comps, comp)
+	}
+	sort.Strings(comps)
 	var moved []string
-	for comp, newECU := range mapping {
+	for _, comp := range comps {
 		old, ok := inc.mapping[comp]
 		if !ok {
 			return nil, fmt.Errorf("core: incremental reverify: unknown component %s", comp)
 		}
-		if old != newECU {
+		if old != mapping[comp] {
 			moved = append(moved, comp)
 		}
 	}
@@ -356,7 +364,6 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 		inc.reused.Add(uint64(len(inc.ecuRep) + len(inc.busRep) + len(inc.chainRep)))
 		return inc.Report(), nil
 	}
-	sort.Strings(moved)
 
 	dirtyECU := map[string]bool{}
 	for _, comp := range moved {
@@ -393,7 +400,7 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 		r   vfb.Route
 	}
 	var changes []routeChange
-	for ti := range touched {
+	for _, ti := range sortedIntKeys(touched) {
 		r, err := inc.tmpls[ti].Materialize(inc.mapping, inc.pathFor)
 		if err != nil {
 			restore()
@@ -462,7 +469,7 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 	inc.routes, inc.byBus, inc.busMsgs = routes, byBus, busMsgs
 	prevTaskSets := make(map[string][]sched.Task, len(dirtyECU))
 	prevEcuProtos := make(map[string][]protoTask, len(dirtyECU))
-	for e := range dirtyECU {
+	for _, e := range sortedKeys(dirtyECU) {
 		if ts, ok := inc.taskSets[e]; ok {
 			prevTaskSets[e] = ts
 		}
@@ -491,7 +498,7 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 
 	// Re-analyze dirty ECUs.
 	newEcuRep := make(map[string]ECUReport, len(dirtyECU))
-	for e := range dirtyECU {
+	for _, e := range sortedKeys(dirtyECU) {
 		if _, ok := inc.taskSets[e]; !ok {
 			continue // ECU lost its last runnable
 		}
@@ -508,7 +515,7 @@ func (inc *Incremental) Reverify(mapping map[string]string) (*Report, error) {
 	// Re-analyze dirty buses.
 	newBusRep := make(map[string]BusReport, len(dirtyBus))
 	newBusUsed := make(map[string]bool, len(dirtyBus))
-	for b := range dirtyBus {
+	for _, b := range sortedKeys(dirtyBus) {
 		bus := inc.sys.BusByName(b)
 		if bus == nil || len(inc.byBus[b]) == 0 {
 			continue
@@ -583,4 +590,28 @@ func (inc *Incremental) Observe(reg *obs.Registry) {
 	reg.CounterFunc("incremental_reverify_total", "Incremental re-verification passes.", inc.reverifies.Load)
 	reg.CounterFunc("incremental_recomputed_total", "Per-item analyses re-run by incremental re-verification.", inc.recomputed.Load)
 	reg.CounterFunc("incremental_reused_total", "Per-item results served from retained state by incremental re-verification.", inc.reused.Load)
+}
+
+// sortedKeys returns m's keys sorted. The incremental rebuild and
+// verdict loops iterate maps; a fixed order keeps first-error-wins
+// reporting (and the rebuild sequence itself) independent of map
+// iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedIntKeys is sortedKeys for integer-indexed maps (route template
+// indices).
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -562,7 +562,14 @@ func (p *Pipeline) chainBound(sys *model.System, lc model.LatencyConstraint,
 		// The resolved route carries the bus path, including a gateway
 		// segment pair when the ECUs share no bus.
 		var signal *vfb.Route
+		busNames := make([]string, 0, len(byBus))
 		for busName := range byBus {
+			busNames = append(busNames, busName)
+		}
+		// Sorted scan: a connector routed over several buses must resolve
+		// to the same segment on every run, not per map iteration order.
+		sort.Strings(busNames)
+		for _, busName := range busNames {
 			if s := findRouteSignal(byBus[busName], conn); s != nil {
 				signal = s
 				break

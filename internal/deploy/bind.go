@@ -267,7 +267,15 @@ func (b *Bound) Evaluate(mapping map[string]string) Metrics {
 // first), every connector endpoint must be mapped, and every
 // route-producing remote connector needs a reachable ECU pair.
 func (b *Bound) commCheck(mapping map[string]string) error {
-	for swc, ecu := range mapping {
+	// Sorted components: "same first error" must mean the same error on
+	// every run, not whichever bad entry map iteration reaches first.
+	swcs := make([]string, 0, len(mapping))
+	for swc := range mapping {
+		swcs = append(swcs, swc)
+	}
+	sort.Strings(swcs)
+	for _, swc := range swcs {
+		ecu := mapping[swc]
 		if _, ok := b.compIdx[swc]; !ok {
 			return fmt.Errorf("mapping references unknown component %q", swc)
 		}

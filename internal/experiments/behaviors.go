@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"autorte/internal/e2eprot"
+	"autorte/internal/rte"
+)
+
+// qualifiedForward is the controller law of the reference chains: it
+// forwards the chain input to the command port, but first consults the
+// E2E qualification of the feeding channel and holds the actuation
+// while the window state machine condemns it. On a protected channel
+// the RTE already delivers only verified frames ("correct data or no
+// data"), so the remaining application-level duty — the part no
+// middleware can take over — is to stop acting on a channel that has
+// been qualified invalid: the first deliveries after an outage arrive
+// while the state machine is still re-qualifying, and a safety function
+// must not trust them yet. On an unprotected or local channel
+// E2EStatus reports no protection and the law degenerates to a plain
+// forward, so the same behavior serves both arms of every protected-
+// versus-unprotected comparison.
+func qualifiedForward(c *rte.Context) {
+	if st, ok := c.E2EStatus("in", "v"); ok && st == e2eprot.SMInvalid {
+		return // channel condemned: hold rather than act on it
+	}
+	c.Write("cmd", "u", c.Read("in", "v"))
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"autorte/internal/fault"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+// runForwardLaw drives the E12 chain through a bounded bus outage and
+// counts actuator activations under the given controller law.
+func runForwardLaw(t *testing.T, law rte.Behavior) int {
+	t.Helper()
+	p, err := rte.Build(e12System(model.BusCAN), rte.Options{E2E: &rte.E2EOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
+	p.MustBehavior("Ctrl", "law", law)
+	acts := 0
+	p.MustBehavior("Act", "apply", func(c *rte.Context) { acts++ })
+	fault.DropPDU(p, e12Signal, sim.MS(100), sim.MS(200))
+	p.Run(sim.MS(400))
+	return acts
+}
+
+// The qualified forward law must hold actuation while the feeding
+// channel's E2E state machine still condemns it: after the outage the
+// first deliveries arrive during requalification, and a gated law
+// suppresses them where a plain forward acts immediately.
+func TestQualifiedForwardGatesInvalidChannel(t *testing.T) {
+	plain := func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) } //autovet:allow e2eflow deliberately ungated baseline of the gating regression test
+	ungated := runForwardLaw(t, plain)
+	gated := runForwardLaw(t, qualifiedForward)
+	if gated == 0 {
+		t.Fatal("gated law never actuated: the channel must requalify after the outage")
+	}
+	if gated >= ungated {
+		t.Fatalf("gated law actuated %d times, ungated %d: gating suppressed nothing", gated, ungated)
+	}
+}
+
+// Without protection E2EStatus reports nothing and the qualified law
+// degenerates to a plain forward: both arms of a protected-versus-
+// unprotected comparison can share it.
+func TestQualifiedForwardPassthroughUnprotected(t *testing.T) {
+	p, err := rte.Build(e12System(model.BusCAN), rte.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
+	p.MustBehavior("Ctrl", "law", qualifiedForward)
+	acts := 0
+	p.MustBehavior("Act", "apply", func(c *rte.Context) { acts++ })
+	p.Run(sim.MS(200))
+	if acts == 0 {
+		t.Fatal("qualified forward forwarded nothing on an unprotected channel")
+	}
+}

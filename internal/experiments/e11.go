@@ -124,31 +124,31 @@ func runE11Instrumented(cfg E11Config, s fault.Scenario, inst *e11Instrumentatio
 	healthy := func(c *rte.Context) { c.Write("out", "v", 100) }
 	switch s.Class {
 	case fault.FaultSensorSilent:
-		p.SetBehavior("Sensor", "sample",
+		p.MustBehavior("Sensor", "sample",
 			fault.BreakSensorBetween(s.InjectAt, s.Until, fault.Silent, 0, healthy))
 	case fault.FaultSensorStuck:
-		p.SetBehavior("Sensor", "sample",
+		p.MustBehavior("Sensor", "sample",
 			fault.BreakSensorBetween(s.InjectAt, s.Until, fault.Stuck, 0, healthy))
 	case fault.FaultSensorNoise:
-		p.SetBehavior("Sensor", "sample",
+		p.MustBehavior("Sensor", "sample",
 			fault.BreakSensorBetween(s.InjectAt, s.Until, fault.Noise, 9999, healthy))
 	case fault.FaultCANBurst:
-		p.SetBehavior("Sensor", "sample", healthy)
+		p.MustBehavior("Sensor", "sample", healthy)
 		fault.CANBurst(p.CANBus("can0"), s.InjectAt, s.Until, 1.0, cfg.Seed)
 	case fault.FaultOverrun:
-		p.SetBehavior("Sensor", "sample", healthy)
+		p.MustBehavior("Sensor", "sample", healthy)
 		fault.OverrunTaskBetween(p.K, p.Task("Sensor", "sample"), s.InjectAt, s.Until, 50)
 	default:
 		// Communication classes are exercised by E12's protected-channel
 		// harness, not the recovery-ladder sweep.
-		p.SetBehavior("Sensor", "sample", healthy)
+		p.MustBehavior("Sensor", "sample", healthy)
 	}
-	p.SetBehavior("Ctrl", "step", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-	p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+	p.MustBehavior("Ctrl", "step", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) }) //autovet:allow e2eflow E11 is the deliberately unprotected recovery-ladder baseline; channel qualification is E12's subject
+	p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 	// Diagnostic monitor: temporal validity and plausibility of the chain
 	// input, attributed to the Sensor partition (unlatched — the health
 	// monitor's debouncing is the flood control).
-	p.SetBehavior("Watch", "check", func(c *rte.Context) {
+	p.MustBehavior("Watch", "check", func(c *rte.Context) {
 		if age := c.Age("tap", "v"); age >= 0 && age > sim.MS(25) {
 			p.Errors.Report("Sensor", rte.ErrSensor, "stale chain input")
 		}
@@ -208,8 +208,8 @@ func E11LimpHome(cfg E11Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-	p.SetBehavior("Ctrl", "step", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
+	p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+	p.MustBehavior("Ctrl", "step", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) }) //autovet:allow e2eflow E11 is the deliberately unprotected recovery-ladder baseline; channel qualification is E12's subject
 	deg := health.MustDegradation(p, map[health.Level][]string{
 		health.LimpHome: {"Sensor.sample", "Ctrl.step", "Act.apply", "Watch.check"},
 	})

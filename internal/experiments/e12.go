@@ -99,9 +99,9 @@ func runE12Coverage(cfg E12Config, class fault.FaultClass, protected bool) (e12C
 	if err != nil {
 		return e12CoverageResult{}, err
 	}
-	p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
-	p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-	p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+	p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
+	p.MustBehavior("Ctrl", "law", qualifiedForward)
+	p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 
 	var inj *fault.CommInjector
 	detClass := ""
@@ -179,9 +179,9 @@ func E12Overhead(cfg E12Config) (*Table, error) {
 		}
 		var total sim.Duration
 		var n int
-		p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
-		p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-		p.SetBehavior("Act", "apply", func(c *rte.Context) {
+		p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", float64(c.Job())) })
+		p.MustBehavior("Ctrl", "law", qualifiedForward)
+		p.MustBehavior("Act", "apply", func(c *rte.Context) {
 			job := int64(c.Read("in", "u"))
 			total += c.Now() - sim.Time(job)*sim.Time(sim.MS(10))
 			n++
@@ -226,9 +226,9 @@ func E12Recovery(cfg E12Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-		p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-		p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+		p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+		p.MustBehavior("Ctrl", "law", qualifiedForward)
+		p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 		fault.CorruptPayload(p, e12Signal, cfg.InjectAt, 0, cfg.Seed)
 		deg := health.MustDegradation(p, map[health.Level][]string{
 			health.Degraded: {"Sensor.sample", "Ctrl.law", "Act.apply"},
@@ -255,9 +255,9 @@ func E12Recovery(cfg E12Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-		p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-		p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+		p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+		p.MustBehavior("Ctrl", "law", qualifiedForward)
+		p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 		p.FlexRayBus("bus0").FailChannel(flexray.ChannelA, cfg.InjectAt)
 		p.Run(cfg.Horizon)
 		lat, det := fault.DetectionLatency(p.Errors.Records(), rte.ErrComm, cfg.InjectAt)

@@ -48,9 +48,9 @@ func E12RecoverySeries(cfg E12Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-		p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-		p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+		p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+		p.MustBehavior("Ctrl", "law", qualifiedForward)
+		p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 		fault.CorruptPayload(p, e12Signal, cfg.InjectAt, 0, cfg.Seed)
 		deg := health.MustDegradation(p, map[health.Level][]string{
 			health.Degraded: {"Sensor.sample", "Ctrl.law", "Act.apply"},
@@ -76,9 +76,9 @@ func E12RecoverySeries(cfg E12Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-		p.SetBehavior("Ctrl", "law", func(c *rte.Context) { c.Write("cmd", "u", c.Read("in", "v")) })
-		p.SetBehavior("Act", "apply", func(c *rte.Context) {})
+		p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+		p.MustBehavior("Ctrl", "law", qualifiedForward)
+		p.MustBehavior("Act", "apply", func(c *rte.Context) {})
 		p.FlexRayBus("bus0").FailChannel(flexray.ChannelA, cfg.InjectAt)
 		e12SampleChain(p, "e2e_failovers_total")
 		p.Run(cfg.Horizon)

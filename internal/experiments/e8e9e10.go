@@ -195,41 +195,41 @@ func E10ErrorHandling(cfg E10Config) (*Table, error) {
 			name: "timing overrun (budget protection)", kind: rte.ErrTiming,
 			opts: rte.Options{EnforceBudgets: true},
 			inject: func(p *rte.Platform) {
-				p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
-				p.SetBehavior("Watch", "check", func(c *rte.Context) {})
+				p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+				p.MustBehavior("Watch", "check", func(c *rte.Context) {})
 				fault.OverrunTask(p.K, p.Task("Sensor", "sample"), cfg.InjectAt, 50)
 			},
 		},
 		{
 			name: "broken sensor (silent)", kind: rte.ErrSensor,
 			inject: func(p *rte.Platform) {
-				p.SetBehavior("Sensor", "sample", fault.BreakSensor(cfg.InjectAt, fault.Silent, 0,
+				p.MustBehavior("Sensor", "sample", fault.BreakSensor(cfg.InjectAt, fault.Silent, 0,
 					func(c *rte.Context) { c.Write("out", "v", 100) }))
-				p.SetBehavior("Watch", "check", fault.AgeMonitor("in", "v", sim.MS(25)))
+				p.MustBehavior("Watch", "check", fault.AgeMonitor("in", "v", sim.MS(25)))
 			},
 		},
 		{
 			name: "broken sensor (noise)", kind: rte.ErrSensor,
 			inject: func(p *rte.Platform) {
-				p.SetBehavior("Sensor", "sample", fault.BreakSensor(cfg.InjectAt, fault.Noise, 9999,
+				p.MustBehavior("Sensor", "sample", fault.BreakSensor(cfg.InjectAt, fault.Noise, 9999,
 					func(c *rte.Context) { c.Write("out", "v", 100) }))
-				p.SetBehavior("Watch", "check", fault.RangeMonitor("in", "v", 0, 300, rte.ErrSensor))
+				p.MustBehavior("Watch", "check", fault.RangeMonitor("in", "v", 0, 300, rte.ErrSensor))
 			},
 		},
 		{
 			name: "memory failure (corruption)", kind: rte.ErrMemory,
 			inject: func(p *rte.Platform) {
-				p.SetBehavior("Sensor", "sample", fault.CorruptValue(cfg.InjectAt,
+				p.MustBehavior("Sensor", "sample", fault.CorruptValue(cfg.InjectAt,
 					func(c *rte.Context) { c.Write("out", "v", 100) }))
-				p.SetBehavior("Watch", "check", fault.RangeMonitor("in", "v", 0, 300, rte.ErrMemory))
+				p.MustBehavior("Watch", "check", fault.RangeMonitor("in", "v", 0, 300, rte.ErrMemory))
 			},
 		},
 		{
 			name: "communication error (burst)", kind: rte.ErrComm,
 			inject: func(p *rte.Platform) {
-				p.SetBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
+				p.MustBehavior("Sensor", "sample", func(c *rte.Context) { c.Write("out", "v", 100) })
 				// Detector: stale input during the burst window.
-				p.SetBehavior("Watch", "check", fault.AgeMonitor("in", "v", sim.MS(25)))
+				p.MustBehavior("Watch", "check", fault.AgeMonitor("in", "v", sim.MS(25)))
 				fault.CANBurst(p.CANBus("can0"), cfg.InjectAt, cfg.InjectAt+sim.MS(60), 1.0, 5)
 			},
 		},
@@ -241,9 +241,9 @@ func E10ErrorHandling(cfg E10Config) (*Table, error) {
 			return nil, err
 		}
 		handled := 0
-		p.SetBehavior("Diag", "onError", func(c *rte.Context) { handled++ })
-		p.SetBehavior("Diag", "onMem", func(c *rte.Context) { handled++ })
-		p.SetBehavior("Diag", "onTiming", func(c *rte.Context) { handled++ })
+		p.MustBehavior("Diag", "onError", func(c *rte.Context) { handled++ })
+		p.MustBehavior("Diag", "onMem", func(c *rte.Context) { handled++ })
+		p.MustBehavior("Diag", "onTiming", func(c *rte.Context) { handled++ })
 		sc.inject(p)
 		p.Run(cfg.Horizon)
 		wantKind := sc.kind

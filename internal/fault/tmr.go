@@ -43,6 +43,7 @@ func Voter(replicas []Replica, outPort, outElem string, tolerance float64) (rte.
 		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
 		median := sorted[len(sorted)/2]
+		//autovet:allow e2eflow the vote is the qualification: median masking over independent replicas tolerates a corrupted input
 		c.Write(outPort, outElem, median)
 		for j, v := range vals {
 			i := idx[j]

@@ -2,6 +2,7 @@ package health
 
 import (
 	"fmt"
+	"sort"
 
 	"autorte/internal/model"
 	"autorte/internal/obs"
@@ -49,6 +50,7 @@ type Degradation struct {
 	keep map[Level]map[string]bool
 	// all lists every runnable in deterministic (component, runnable)
 	// declaration order; handlers marks the mode-switch-triggered ones.
+	//autovet:bounded one entry per runnable, filled once at construction
 	all      []string
 	handlers map[string]bool
 
@@ -77,9 +79,17 @@ func NewDegradation(p *rte.Platform, keep map[Level][]string) (*Degradation, err
 			}
 		}
 	}
-	for level, names := range keep {
+	// Ascending levels: which bad keep-set gets reported must not depend
+	// on map iteration order.
+	levels := make([]int, 0, len(keep))
+	for level := range keep {
+		levels = append(levels, int(level))
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		level := Level(l)
 		set := map[string]bool{}
-		for _, n := range names {
+		for _, n := range keep[level] {
 			if !known[n] {
 				return nil, fmt.Errorf("health: degradation keep-set for %v names unknown runnable %s", level, n)
 			}

@@ -47,12 +47,15 @@ type MonitorOptions struct {
 // and drives recovery. Create with NewMonitor, then Protect each
 // partition before Run.
 type Monitor struct {
-	p       *rte.Platform
-	deg     *Degradation
-	sink    func(*obs.Bundle)
-	window  sim.Duration
-	guards  map[string]*guard
-	order   []string // Protect order: deterministic window processing
+	p      *rte.Platform
+	deg    *Degradation
+	sink   func(*obs.Bundle)
+	window sim.Duration
+	guards map[string]*guard
+	// order fixes window processing to Protect call order; one entry per
+	// protected partition, added once at setup.
+	//autovet:bounded one entry per protected partition
+	order   []string
 	started bool
 }
 

@@ -2,6 +2,7 @@ package health
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"autorte/internal/model"
@@ -376,5 +377,32 @@ func TestProtectValidation(t *testing.T) {
 	}
 	if err := m.SuperviseFlow("Ctrl", "step", FlowGraph{}); err == nil {
 		t.Fatal("flow supervision on unprotected component accepted")
+	}
+}
+
+// With several bad keep-sets, NewDegradation must report the same error
+// on every run: the lowest bad level wins, not map iteration order.
+func TestNewDegradationDeterministicError(t *testing.T) {
+	first := ""
+	for i := 0; i < 10; i++ {
+		p := rte.MustBuild(testSystem(), rte.Options{})
+		_, err := NewDegradation(p, map[Level][]string{
+			Degraded: {"Ghost.a"},
+			LimpHome: {"Ghost.b"},
+			SafeStop: {"Ghost.c"},
+		})
+		if err == nil {
+			t.Fatal("unknown runnables accepted")
+		}
+		if i == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "Ghost.a") {
+				t.Fatalf("error %q does not name Ghost.a, the lowest bad level's runnable", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("run %d reported %q, first run reported %q", i, err.Error(), first)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"autorte/internal/sim"
 	"autorte/internal/trace"
@@ -126,7 +127,20 @@ func (n *Network) Start() {
 			n.schedulePeriodic(f, f.Offset)
 		}
 	}
-	for c, w := range n.babbler {
+	// Row-major core order: babble events enter the kernel queue in a
+	// fixed sequence so equal-time ties break identically on every run.
+	coords := make([]Coord, 0, len(n.babbler))
+	for c := range n.babbler {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Y != coords[j].Y {
+			return coords[i].Y < coords[j].Y
+		}
+		return coords[i].X < coords[j].X
+	})
+	for _, c := range coords {
+		w := n.babbler[c]
 		n.scheduleBabble(c, w[0], w[1])
 	}
 }

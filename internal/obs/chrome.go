@@ -45,10 +45,11 @@ func ProcessName(pid int64, name string) TraceEvent {
 //
 //autovet:nilsafe
 type ChromeStream struct {
-	w       io.Writer
-	n       int
-	err     error
-	done    bool
+	w    io.Writer
+	n    int
+	err  error
+	done bool
+	//autovet:bounded reused encode buffer, reset to [:0] per event
 	scratch []byte
 }
 

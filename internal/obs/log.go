@@ -73,7 +73,8 @@ type Log struct {
 	// (LevelVerbose) keeps everything.
 	Min Level
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//autovet:bounded ring mode caps retention; unbounded only for explicit host-side capture
 	records []LogRecord
 	dropped uint64 // filtered below Min
 	// Ring mode (flight recorder): cap > 0 bounds the kept records to the
@@ -140,6 +141,7 @@ func (l *Log) Emit(at int64, level Level, app, ctx, msg string) {
 	}
 	for _, ch := range l.subs {
 		select {
+		//autovet:allow lockorder non-blocking send; cancel closes ch under l.mu, so sending under the lock is exactly what makes it close-safe
 		case ch <- rec:
 		default: // a stalled tail must not block the platform
 		}
@@ -250,7 +252,7 @@ func (l *Log) Records() []LogRecord {
 // already closed and cancel is a no-op.
 func (l *Log) Subscribe(buf int) (<-chan LogRecord, func()) {
 	if l == nil {
-		ch := make(chan LogRecord)
+		ch := make(chan LogRecord) //autovet:allow bounded closed immediately: the nil-receiver tail never carries a record
 		close(ch)
 		return ch, func() {}
 	}

@@ -160,7 +160,8 @@ func seriesKey(name string, labels []Label) string {
 type Registry struct {
 	mu    sync.Mutex
 	index map[string]*metric
-	all   []*metric
+	//autovet:bounded one entry per distinct series key, deduped via index
+	all []*metric
 }
 
 // NewRegistry returns an empty registry.
@@ -184,6 +185,7 @@ func (r *Registry) register(name, help string, kind Kind, labels []Label, create
 		return m
 	}
 	m := &metric{name: name, help: help, labels: sorted, kind: kind}
+	//autovet:allow lockorder create is the registry's own field-initializer closure, not user code
 	create(m)
 	r.index[key] = m
 	r.all = append(r.all, m)

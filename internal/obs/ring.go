@@ -13,7 +13,8 @@ import "sync"
 //
 //autovet:nilsafe
 type Ring[T any] struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//autovet:bounded grows to cap, then overwrites in place
 	buf   []T
 	cap   int
 	start int    // read index once wrapped
@@ -65,6 +66,7 @@ func (r *Ring[T]) PushMerge(v T, lookback int, merge func(prev *T, v T) bool) {
 		// Newest-first: the most recent entry sits just before the wrap
 		// point (start) once full, at the slice end while still filling.
 		idx := (r.start - 1 - i + 2*n) % n
+		//autovet:allow lockorder documented PushMerge contract: merge is pure in-place coalescing and must not take locks
 		if merge(&r.buf[idx], v) {
 			r.total++
 			return

@@ -48,10 +48,11 @@ type SamplerOptions struct {
 //
 //autovet:nilsafe
 type Sampler struct {
-	mu      sync.Mutex
-	reg     *Registry
-	opt     SamplerOptions
-	series  map[string]*seriesState
+	mu     sync.Mutex
+	reg    *Registry
+	opt    SamplerOptions
+	series map[string]*seriesState
+	//autovet:bounded one entry per matched series, deduped via series map
 	order   []string
 	samples uint64
 }
@@ -90,26 +91,41 @@ func (s *Sampler) Sample(at int64) {
 	s.reg.mu.Lock()
 	metrics := append([]*metric(nil), s.reg.all...)
 	s.reg.mu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.samples++
+	// Evaluate every reading before taking s.mu: counterFn/gaugeFn are
+	// arbitrary user callbacks, and running them under the sampler lock
+	// would let a callback that touches the sampler (or another lock)
+	// deadlock the sampling grid. opt is immutable after NewSampler, so
+	// Match runs unlocked too.
+	type reading struct {
+		m       *metric
+		name    string
+		v       float64
+		counter bool
+	}
+	reads := make([]reading, 0, len(metrics))
 	for _, m := range metrics {
 		if s.opt.Match != nil && !s.opt.Match(m.name) {
 			continue
 		}
 		switch {
 		case m.counterFn != nil:
-			s.point(at, m, m.name, float64(m.counterFn()), true)
+			reads = append(reads, reading{m, m.name, float64(m.counterFn()), true})
 		case m.gaugeFn != nil:
-			s.point(at, m, m.name, m.gaugeFn(), false)
+			reads = append(reads, reading{m, m.name, m.gaugeFn(), false})
 		case m.counter != nil:
-			s.point(at, m, m.name, float64(m.counter.Value()), true)
+			reads = append(reads, reading{m, m.name, float64(m.counter.Value()), true})
 		case m.gauge != nil:
-			s.point(at, m, m.name, float64(m.gauge.Value()), false)
+			reads = append(reads, reading{m, m.name, float64(m.gauge.Value()), false})
 		case m.hist != nil:
-			s.point(at, m, m.name+"_count", float64(m.hist.Count()), false)
-			s.point(at, m, m.name+"_sum", float64(m.hist.Sum()), false)
+			reads = append(reads, reading{m, m.name + "_count", float64(m.hist.Count()), false})
+			reads = append(reads, reading{m, m.name + "_sum", float64(m.hist.Sum()), false})
 		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	for _, r := range reads {
+		s.point(at, r.m, r.name, r.v, r.counter)
 	}
 }
 

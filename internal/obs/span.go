@@ -17,6 +17,7 @@ import (
 type Tracer struct {
 	mu    sync.Mutex
 	epoch time.Time
+	//autovet:bounded host-side dev tracing, one bounded export run per tracer
 	spans []spanData
 }
 

@@ -43,12 +43,14 @@ type ErrorManager struct {
 	p *Platform
 	// records is a bounded ring of the most recent reports; start is the
 	// ring's read index once it has wrapped.
+	//autovet:bounded ring capped at ErrorRecordCap; cap<0 is an explicit opt-in
 	records []ErrorRecord
 	cap     int
 	start   int
 	total   int64
 	// Exact aggregates, maintained on every report so the ring cap never
 	// distorts diagnostics.
+	//autovet:bounded deduped per (source, kind); growth is bounded by the model
 	dtcs     []DTC
 	dtcIndex map[string]int
 	byKind   map[ErrorKind]int

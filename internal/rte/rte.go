@@ -279,6 +279,16 @@ func (p *Platform) SetBehavior(swc, runnable string, b Behavior) error {
 	return nil
 }
 
+// MustBehavior is SetBehavior but panics on an unknown component or
+// runnable. Experiments and examples use it so a typo'd name fails the
+// run loudly instead of leaving the real behavior silently unattached
+// and measuring a dead platform.
+func (p *Platform) MustBehavior(swc, runnable string, b Behavior) {
+	if err := p.SetBehavior(swc, runnable, b); err != nil {
+		panic(err)
+	}
+}
+
 // CPU returns the generated CPU of an ECU.
 func (p *Platform) CPU(ecu string) *osek.CPU { return p.cpus[ecu] }
 
@@ -321,17 +331,20 @@ func (p *Platform) Run(horizon sim.Time) {
 		p.DLT.Emitf(int64(p.K.Now()), obs.LevelInfo, "RTE", "LIFE",
 			"platform started: %d ECUs, %d buses, %d tasks",
 			len(p.cpus), len(p.canBus)+len(p.frBus)+len(p.ttpBus), len(p.tasks))
-		for _, c := range p.cpus {
-			c.Start()
+		// Name-sorted starts: the initial kernel events must enter the
+		// queue in a fixed order so equal-time ties (every CPU and bus
+		// starts at t=0) resolve identically on every run.
+		for _, name := range sortedNames(p.cpus) {
+			p.cpus[name].Start()
 		}
-		for _, b := range p.canBus {
-			b.Start()
+		for _, name := range sortedNames(p.canBus) {
+			p.canBus[name].Start()
 		}
-		for _, b := range p.frBus {
-			b.Start()
+		for _, name := range sortedNames(p.frBus) {
+			p.frBus[name].Start()
 		}
-		for _, a := range p.ttpBus {
-			a.start()
+		for _, name := range sortedNames(p.ttpBus) {
+			p.ttpBus[name].start()
 		}
 		p.startE2ESupervision()
 	}
@@ -547,4 +560,14 @@ func (p *Platform) buildIsolation(ecu string, comps []*model.SWC) (map[string]os
 		// NoIsolation returned early above: no throttles to build.
 	}
 	return out, nil
+}
+
+// sortedNames returns m's keys sorted, for deterministic start order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -668,3 +668,23 @@ func TestSetRunnableEnabledSheds(t *testing.T) {
 		t.Fatal("unknown runnable disabled")
 	}
 }
+
+func TestMustBehaviorPanicsOnUnknownRunnable(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBehavior accepted an unknown runnable")
+		}
+	}()
+	p.MustBehavior("Sensor", "ghost", func(c *Context) {})
+}
+
+func TestMustBehaviorInstallsValidBehavior(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	ran := 0
+	p.MustBehavior("Sensor", "sample", func(c *Context) { ran++ })
+	p.Run(sim.MS(50))
+	if ran == 0 {
+		t.Fatal("behavior installed via MustBehavior never ran")
+	}
+}
