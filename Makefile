@@ -27,17 +27,19 @@ test:
 
 # Verification & DSE pipeline benchmarks (see EXPERIMENTS.md "Performance").
 # Emits BENCH_pipeline.json (name -> ns/op, allocs/op) alongside the
-# human-readable output, then enforces the performance budget: par no
-# slower than seq, BenchmarkVerify/large within its allocs/op ceiling,
+# human-readable output, then enforces the performance budget: Verify
+# par no slower than seq, the paired E13 availability campaign within
+# its par/seq-ratio budget,
+# BenchmarkVerify/large within its allocs/op ceiling,
 # the incremental DSE path at least 3x faster than cached-par, and the
-# always-on flight recorder within 3% of recorder-off. The flight
+# always-on flight recorder within 5% of recorder-off. The flight
 # benchmarks interleave on and off within each iteration and report the
 # paired "on/off-ratio" metric benchguard gates — pairing cancels
-# shared-runner noise a 3% budget could never be measured under from
+# shared-runner noise a 5% budget could never be measured under from
 # independent samples; -count=2 with benchjson keeping the fastest
 # repeat adds slack against a one-off bad run.
 bench:
-	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel' -benchmem . > BENCH_pipeline.txt
+	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel|BenchmarkE13Availability' -benchmem . > BENCH_pipeline.txt
 	go test -run '^$$' -bench 'BenchmarkPlatformFlight|BenchmarkE11Flight|BenchmarkVerifyFlight' -benchmem -benchtime=2s -count=2 . >> BENCH_pipeline.txt
 	go run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 	go run ./cmd/benchguard -bench BENCH_pipeline.json
@@ -54,16 +56,17 @@ bench-compare:
 	go run ./cmd/benchguard -bench BENCH_pipeline.json -old BENCH_baseline.json > BENCH_compare.txt || { cat BENCH_compare.txt; exit 1; }
 	cat BENCH_compare.txt
 
-# The complete benchmark suite (E1-E11 harness + platform + pipeline).
+# The complete benchmark suite (E1-E13 harness + platform + pipeline).
 bench-all:
 	go test -run '^$$' -bench . -benchmem ./...
 
 # Fault-injection smoke suite: the systematic campaign, the escalation
-# ladder and the graceful-degradation experiments, under the race
-# detector (the campaign runner fans scenarios out across workers).
+# ladder, the graceful-degradation experiments and the fail-operational
+# availability study (E13) with its replica fail-over runtime, under the
+# race detector (the campaign runner fans scenarios out across workers).
 chaos:
-	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12' \
-		./internal/fault ./internal/health ./internal/experiments
+	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12|E13|FailOver|Ladder|KillECU' \
+		./internal/fault ./internal/health ./internal/experiments ./internal/rte
 
 # Observability smoke: simulate the demo vehicle with the always-on
 # flight recorder and a 20ms virtual-time sampler, cut an end-of-run

@@ -1,6 +1,6 @@
 package autorte
 
-// The benchmark harness: one benchmark per experiment E1–E11 (DESIGN.md's
+// The benchmark harness: one benchmark per experiment E1–E13 (DESIGN.md's
 // experiment index). Each runs the experiment at its published default
 // configuration; the measured shapes are recorded in EXPERIMENTS.md.
 // Run with:
@@ -126,6 +126,33 @@ func BenchmarkE12DetectionCoverage(b *testing.B) {
 	})
 }
 
+// BenchmarkE13Availability measures the fail-operational deployment
+// study — every candidate deployment simulated under the full ECU-kill
+// and bus-burst scenario matrix — as a paired par/seq comparison: the
+// GOMAXPROCS campaign against the single-worker campaign, interleaved
+// within each iteration (same pairing rationale as the flight-recorder
+// benchmarks). benchguard gates the reported "par/seq-ratio": on a
+// multicore host the fan-out must win outright, and even on a one-CPU
+// host — where both arms degenerate to the same single worker — the
+// parallel dispatch must stay within the overhead budget rather than
+// becoming a tax.
+func BenchmarkE13Availability(b *testing.B) {
+	campaign := func(workers int) func() {
+		cfg := experiments.DefaultE13()
+		cfg.Workers = workers
+		return func() {
+			tab, err := experiments.E13Availability(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		}
+	}
+	benchPairedMetric(b, "par/seq-ratio", campaign(0), campaign(1))
+}
+
 // BenchmarkPlatformThroughput measures raw simulation speed: virtual
 // events per wall second on the full generated vehicle. This is the
 // substrate-cost figure behind every experiment above.
@@ -150,12 +177,19 @@ func BenchmarkPlatformThroughput(b *testing.B) {
 // benchPairedRatio times recorder-on and recorder-off alternately within
 // one benchmark run — flipping the order every iteration — and reports
 // the cumulative on/off ns ratio as the "on/off-ratio" metric benchguard
-// gates. Pairing is what makes a 3% budget measurable: each on sample
+// gates. Pairing is what makes a 5% budget measurable: each on sample
 // runs milliseconds from its off partner, so machine-level noise
 // episodes (shared-runner co-tenancy, frequency shifts) hit both sides
 // and cancel, where independently sampled on/off minima would need
 // hundreds of repeats to converge that tightly.
 func benchPairedRatio(b *testing.B, on, off func()) {
+	b.Helper()
+	benchPairedMetric(b, "on/off-ratio", on, off)
+}
+
+// benchPairedMetric is the general paired comparison: cumulative
+// on-ns / off-ns reported under the given metric name.
+func benchPairedMetric(b *testing.B, metric string, on, off func()) {
 	b.Helper()
 	benchSettle(b)
 	var onNs, offNs int64
@@ -174,7 +208,7 @@ func benchPairedRatio(b *testing.B, on, off func()) {
 		}
 	}
 	if offNs > 0 {
-		b.ReportMetric(float64(onNs)/float64(offNs), "on/off-ratio")
+		b.ReportMetric(float64(onNs)/float64(offNs), metric)
 	}
 }
 

@@ -22,8 +22,12 @@
 //
 // Reliability: -health supervises every component with the default health
 // policy (error qualification, recovery escalation) and prints partition
-// health after the run; -faults runs the E11 fault-injection campaign and
-// graceful-degradation tables and exits.
+// health after the run; -faults selects fault classes ("all" or a
+// comma-separated subset such as "ecu-kill,can-burst") and runs the
+// matching fault-injection campaign tables — E11 for the
+// sensor/bus/overrun classes, E12 for the communication classes, E13 for
+// ecu-kill — then exits. An unknown class name fails fast and prints the
+// valid class list.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"time"
 
 	"autorte/internal/experiments"
+	"autorte/internal/fault"
 	"autorte/internal/health"
 	"autorte/internal/model"
 	"autorte/internal/obs"
@@ -60,30 +65,15 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write platform metrics (Prometheus text format) to file")
 		dltOut     = flag.String("dlt", "", "enable the DLT event log and write it as text to file")
 		healthOn   = flag.Bool("health", false, "supervise every component with the default health policy and report partition health")
-		faults     = flag.Bool("faults", false, "run the E11 fault-injection campaign and graceful-degradation tables, then exit")
+		faults     = flag.String("faults", "", "run the fault-injection campaign tables for these fault classes (\"all\" or a comma-separated subset), then exit")
 		bundleOut  = flag.String("bundle", "", "write a diagnostic bundle of the run (inspect with autodiag)")
 		sample     = flag.Duration("sample", 0, "sample all metrics on this virtual-time grid into the bundle's series")
 	)
 	flag.Parse()
 
-	if *faults {
-		for _, run := range []func(experiments.E11Config) (*experiments.Table, error){
-			experiments.E11FaultCampaign, experiments.E11LimpHome,
-		} {
-			tab, err := run(experiments.DefaultE11())
-			if err != nil {
-				fatal(err)
-			}
-			tab.Render(os.Stdout)
-		}
-		for _, run := range []func(experiments.E12Config) (*experiments.Table, error){
-			experiments.E12DetectionCoverage, experiments.E12Overhead, experiments.E12Recovery,
-		} {
-			tab, err := run(experiments.DefaultE12())
-			if err != nil {
-				fatal(err)
-			}
-			tab.Render(os.Stdout)
+	if *faults != "" {
+		if err := runFaultTables(*faults); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -199,6 +189,66 @@ func main() {
 		fmt.Printf("\nDEADLINE MISSES: %d\n", p.Trace.Count(trace.Miss, ""))
 		os.Exit(3)
 	}
+}
+
+// runFaultTables parses the -faults class selection and renders every
+// campaign table whose swept classes intersect it: E11 for the sensor,
+// bus-burst and overrun classes, E12 for the communication classes, E13
+// (the fail-operational deployment study) for ecu-kill. A mistyped class
+// name fails fast here — ParseClasses' error lists every valid name —
+// instead of silently sweeping nothing.
+func runFaultTables(selection string) error {
+	classes, err := fault.ParseClasses(selection)
+	if err != nil {
+		return err
+	}
+	selected := map[fault.FaultClass]bool{}
+	for _, c := range classes {
+		selected[c] = true
+	}
+	any := func(cs ...fault.FaultClass) bool {
+		for _, c := range cs {
+			if selected[c] {
+				return true
+			}
+		}
+		return false
+	}
+	var runs []func() (*experiments.Table, error)
+	if any(fault.FaultSensorSilent, fault.FaultSensorStuck, fault.FaultSensorNoise,
+		fault.FaultCANBurst, fault.FaultOverrun) {
+		for _, run := range []func(experiments.E11Config) (*experiments.Table, error){
+			experiments.E11FaultCampaign, experiments.E11LimpHome,
+		} {
+			run := run
+			runs = append(runs, func() (*experiments.Table, error) { return run(experiments.DefaultE11()) })
+		}
+	}
+	if any(fault.FaultCommCorrupt, fault.FaultCommMasquerade, fault.FaultCommDrop,
+		fault.FaultCommDuplicate, fault.FaultCommDelay, fault.FaultCommResequence) {
+		for _, run := range []func(experiments.E12Config) (*experiments.Table, error){
+			experiments.E12DetectionCoverage, experiments.E12Overhead, experiments.E12Recovery,
+		} {
+			run := run
+			runs = append(runs, func() (*experiments.Table, error) { return run(experiments.DefaultE12()) })
+		}
+	}
+	if any(fault.FaultECUKill) {
+		for _, run := range []func(experiments.E13Config) (*experiments.Table, error){
+			experiments.E13Availability, experiments.E13Curve,
+		} {
+			run := run
+			runs = append(runs, func() (*experiments.Table, error) { return run(experiments.DefaultE13()) })
+		}
+	}
+	for _, run := range runs {
+		tab, err := run()
+		if err != nil {
+			return err
+		}
+		tab.Render(os.Stdout)
+	}
+	return nil
 }
 
 func loadSystem(path string, demo bool, seed uint64) (*model.System, error) {

@@ -15,11 +15,12 @@ func healthy() map[string]Result {
 		"BenchmarkVerifyDSESweep/large-52chains/par":    {NsPerOp: 2500000},
 		"BenchmarkVerifyDSESweepInc/large-52chains/inc": {NsPerOp: 430000},
 		"BenchmarkVerifyFlight":                         {NsPerOp: 2170000, Metrics: map[string]float64{"on/off-ratio": 1.009}},
+		"BenchmarkE13Availability":                      {NsPerOp: 16000000, Metrics: map[string]float64{"par/seq-ratio": 0.41}},
 	}
 }
 
 func TestGuardPassesHealthyArtifact(t *testing.T) {
-	if v := guard(healthy(), 1690, 3.0, 1.03); len(v) != 0 {
+	if v := guard(healthy(), 1690, 3.0, 1.03, 1.15); len(v) != 0 {
 		t.Fatalf("healthy artifact flagged: %v", v)
 	}
 }
@@ -29,7 +30,7 @@ func TestGuardFlagsParSlowerThanSeq(t *testing.T) {
 	r := m["BenchmarkVerify/small-13chains/par"]
 	r.NsPerOp = 250000 // slower than seq's 240000
 	m["BenchmarkVerify/small-13chains/par"] = r
-	v := guard(m, 1690, 3.0, 1.03)
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "par 250000 ns/op slower than seq") {
 		t.Fatalf("want one par-slower violation, got %v", v)
 	}
@@ -40,7 +41,7 @@ func TestGuardFlagsAllocBudget(t *testing.T) {
 	r := m["BenchmarkVerify/large-52chains/par"]
 	r.AllocsPerOp = 1700
 	m["BenchmarkVerify/large-52chains/par"] = r
-	v := guard(m, 1690, 3.0, 1.03)
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "1700 allocs/op exceeds budget 1690") {
 		t.Fatalf("want one alloc-budget violation, got %v", v)
 	}
@@ -49,7 +50,7 @@ func TestGuardFlagsAllocBudget(t *testing.T) {
 	r = m["BenchmarkVerify/small-13chains/par"]
 	r.AllocsPerOp = 5000
 	m["BenchmarkVerify/small-13chains/par"] = r
-	if v := guard(m, 1690, 3.0, 1.03); len(v) != 0 {
+	if v := guard(m, 1690, 3.0, 1.03, 1.15); len(v) != 0 {
 		t.Fatalf("small size should be exempt from alloc budget, got %v", v)
 	}
 }
@@ -59,7 +60,7 @@ func TestGuardFlagsIncRatio(t *testing.T) {
 	r := m["BenchmarkVerifyDSESweepInc/large-52chains/inc"]
 	r.NsPerOp = 1000000 // 2.5x, under the 3x budget
 	m["BenchmarkVerifyDSESweepInc/large-52chains/inc"] = r
-	v := guard(m, 1690, 3.0, 1.03)
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "incremental only 2.50x faster") {
 		t.Fatalf("want one inc-ratio violation, got %v", v)
 	}
@@ -68,16 +69,25 @@ func TestGuardFlagsIncRatio(t *testing.T) {
 func TestGuardFlagsFlightRatio(t *testing.T) {
 	m := healthy()
 	m["BenchmarkVerifyFlight"] = Result{NsPerOp: 2170000, Metrics: map[string]float64{"on/off-ratio": 1.111}}
-	v := guard(m, 1690, 3.0, 1.03)
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "flight recorder costs 11.1% over off (budget 3.0%)") {
 		t.Fatalf("want one flight-ratio violation, got %v", v)
 	}
 }
 
+func TestGuardFlagsE13Ratio(t *testing.T) {
+	m := healthy()
+	m["BenchmarkE13Availability"] = Result{NsPerOp: 16000000, Metrics: map[string]float64{"par/seq-ratio": 1.31}}
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkE13Availability: par costs 31.0% over seq (budget 15.0%)") {
+		t.Fatalf("want one E13 ratio violation, got %v", v)
+	}
+}
+
 func TestGuardFailsVacuousArtifact(t *testing.T) {
-	v := guard(map[string]Result{}, 1690, 3.0, 1.03)
-	if len(v) != 3 {
-		t.Fatalf("empty artifact must flag all three vacuous-pass guards, got %v", v)
+	v := guard(map[string]Result{}, 1690, 3.0, 1.03, 1.15)
+	if len(v) != 4 {
+		t.Fatalf("empty artifact must flag all four vacuous-pass guards, got %v", v)
 	}
 	for _, s := range v {
 		if !strings.Contains(s, "vacuously") {
@@ -89,21 +99,27 @@ func TestGuardFailsVacuousArtifact(t *testing.T) {
 func TestGuardFlagsMissingCounterpart(t *testing.T) {
 	m := healthy()
 	delete(m, "BenchmarkVerify/large-52chains/par")
-	v := guard(m, 1690, 3.0, 1.03)
+	v := guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "has seq but no par run") {
 		t.Fatalf("want missing-par violation, got %v", v)
 	}
 	m = healthy()
 	delete(m, "BenchmarkVerifyDSESweep/large-52chains/par")
-	v = guard(m, 1690, 3.0, 1.03)
+	v = guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "no cached-par sweep") {
 		t.Fatalf("want missing-sweep violation, got %v", v)
 	}
 	m = healthy()
 	delete(m, "BenchmarkVerifyFlight")
-	v = guard(m, 1690, 3.0, 1.03)
+	v = guard(m, 1690, 3.0, 1.03, 1.15)
 	if len(v) != 1 || !strings.Contains(v[0], "no flight-recorder on/off-ratio metrics") {
 		t.Fatalf("want vacuous flight-ratio violation, got %v", v)
+	}
+	m = healthy()
+	delete(m, "BenchmarkE13Availability")
+	v = guard(m, 1690, 3.0, 1.03, 1.15)
+	if len(v) != 1 || !strings.Contains(v[0], "no BenchmarkE13Availability par/seq-ratio metric") {
+		t.Fatalf("want vacuous E13 violation, got %v", v)
 	}
 }
 

@@ -33,6 +33,19 @@ func handled(p *rte.Platform) {
 	wrap.Handled(p) // Handled's error never carries a platform error: fine
 }
 
+// Replica switchover paths: a dropped FailOver error is a failed
+// promotion supervision never hears about — the service stays down while
+// the monitor believes the rung succeeded.
+func switchover(p *rte.Platform) {
+	p.FailOver("Ctrl")       // want `error returned by rte.FailOver is dropped`
+	_ = p.KillECU("ecu2")    // want `error returned by rte.KillECU is discarded with _`
+	defer p.ResetECU("ecu2") // want `error returned by rte.ResetECU is dropped`
+	wrap.Promote(p)          // want `error returned by wrap.Promote is dropped`
+	if err := p.FailOver("Ctrl"); err != nil {
+		println(err.Error()) // handled: the ladder can escalate past the dead standby
+	}
+}
+
 func excused(p *rte.Platform) {
 	p.RestartRunnable("a", "b") //autovet:allow errreport teardown path, restart failure is terminal anyway
 }

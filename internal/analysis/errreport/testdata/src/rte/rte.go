@@ -10,6 +10,14 @@ func (p *Platform) RestartRunnable(swc, runnable string) error { return errors.N
 
 func (p *Platform) SetBehavior(swc string) error { return errors.New("no such swc") }
 
+// Replica switchover APIs: their errors are failed promotions or
+// rejected fault injections — exactly what the health chain must see.
+func (p *Platform) FailOver(swc string) error { return errors.New("no standby") }
+
+func (p *Platform) KillECU(ecu string) error { return errors.New("no such ecu") }
+
+func (p *Platform) ResetECU(ecu string) error { return errors.New("no such ecu") }
+
 // Helper returns a value and an error.
 func Helper() (int, error) { return 0, errors.New("helper") }
 

@@ -24,6 +24,12 @@ func Via(p *rte.Platform) error {
 	return nil
 }
 
+// Promote wraps the replica switchover: a caller dropping its error
+// never learns the promotion failed and the service is still down.
+func Promote(p *rte.Platform) error {
+	return p.FailOver("Ctrl")
+}
+
 // Handled deals with the error itself and never returns it: callers may
 // drop its (always-nil-from-platform) error.
 func Handled(p *rte.Platform) error {

@@ -165,3 +165,41 @@ func e2eAcceptGate(s E2EStatus) bool {
 		return false
 	}
 }
+
+// ReplicaMode mirrors the deployment model's standby-mode enum: a
+// switchover path that handles only the passive mode silently skips hot
+// (active) replicas when one is added, so partial switches must be
+// flagged.
+type ReplicaMode uint8
+
+const (
+	StandbyPassive ReplicaMode = iota
+	StandbyActive
+)
+
+func switchoverCost(m ReplicaMode) int {
+	switch m {
+	case StandbyPassive:
+		return 10 // promote: resume the suspended replica's tasks
+	case StandbyActive:
+		return 1 // already running: just move the active pointer
+	}
+	return -1
+}
+
+func passiveOnly(m ReplicaMode) int {
+	switch m { // want `switch over ReplicaMode is not exhaustive: missing StandbyActive`
+	case StandbyPassive:
+		return 10
+	}
+	return -1
+}
+
+func modeGate(m ReplicaMode) bool {
+	switch m { // default says what happens to future modes: fine
+	case StandbyPassive:
+		return true
+	default:
+		return false
+	}
+}

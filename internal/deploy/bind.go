@@ -40,6 +40,12 @@ type boundComp struct {
 	name     string
 	memoryKB int
 	asil     model.ASIL
+	// replicaOf/passive mirror the component's standby role: passive
+	// standbys keep their protos (the fail-over analysis promotes them)
+	// but contribute no normal-case load or schedulability demand,
+	// matching AnalyzedLoad and taskset.Build.
+	replicaOf string
+	passive   bool
 	// loadTerms holds WCETNominal/period per rated runnable, in runnable
 	// order — AnalyzedLoad's summation terms before the speed division.
 	loadTerms []float64
@@ -81,6 +87,9 @@ type Bound struct {
 	conns   []boundConn
 	// path caches vfb.Path's verdict per ordered ECU pair; nil = reachable.
 	path map[[2]string]error
+	// groups holds the replica groups of the topology; empty for systems
+	// without standbys, where the fail-operational check is skipped.
+	groups []redGroup
 }
 
 // Bind precomputes the mapping-independent derivations of sys. It fails
@@ -96,46 +105,15 @@ func (ev *Evaluator) Bind(sys *model.System) (*Bound, error) {
 		compIdx: make(map[string]int, len(sys.Components)),
 		path:    make(map[[2]string]error, len(sys.ECUs)*len(sys.ECUs)),
 	}
-	for i, e := range sys.ECUs {
-		b.ecus = append(b.ecus, boundECU{
-			name: e.Name, speed: e.Speed, memoryKB: e.MemoryKB,
-			maxASIL: e.MaxASIL, pos: e.Position,
-		})
-		b.ecuIdx[e.Name] = i
+	b.ecus = bindECUs(sys)
+	for i := range b.ecus {
+		b.ecuIdx[b.ecus[i].name] = i
 	}
-	for i, c := range sys.Components {
-		bc := boundComp{name: c.Name, memoryKB: c.MemoryKB, asil: c.ASIL}
-		for j := range c.Runnables {
-			r := &c.Runnables[j]
-			period := sys.EffectivePeriod(c, r)
-			if period > 0 {
-				bc.loadTerms = append(bc.loadTerms, float64(r.WCETNominal)/float64(period))
-			}
-			bc.protos = append(bc.protos, protoTask{
-				name: c.Name + "." + r.Name, sortKey: c.Name + r.Name,
-				wcet: r.WCETNominal, period: period, deadline: r.Deadline,
-			})
-		}
-		b.comps = append(b.comps, bc)
-		b.compIdx[c.Name] = i
-	}
-	// Rank all protos once in taskset.Build's (period, tie-break) order;
-	// per-candidate ranking then reduces to sorting small int keys.
-	var all []*protoTask
+	b.comps = bindComps(sys)
 	for i := range b.comps {
-		for j := range b.comps[i].protos {
-			all = append(all, &b.comps[i].protos[j])
-		}
+		b.compIdx[b.comps[i].name] = i
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].period != all[j].period {
-			return all[i].period < all[j].period
-		}
-		return all[i].sortKey < all[j].sortKey
-	})
-	for ord, p := range all {
-		p.ord = ord
-	}
+	b.groups = redGroups(b.comps)
 	for _, c := range sys.Connectors {
 		prov := sys.Component(c.FromSWC).Port(c.FromPort)
 		req := sys.Component(c.ToSWC).Port(c.ToPort)
@@ -152,6 +130,65 @@ func (ev *Evaluator) Bind(sys *model.System) (*Bound, error) {
 		}
 	}
 	return b, nil
+}
+
+// bindECUs derives the mapping-independent per-ECU terms, in declaration
+// order.
+func bindECUs(sys *model.System) []boundECU {
+	var ecus []boundECU
+	for _, e := range sys.ECUs {
+		ecus = append(ecus, boundECU{
+			name: e.Name, speed: e.Speed, memoryKB: e.MemoryKB,
+			maxASIL: e.MaxASIL, pos: e.Position,
+		})
+	}
+	return ecus
+}
+
+// bindComps derives the mapping-independent per-component terms — shared
+// by Bind and by the unbound evaluator's fail-operational check, so both
+// see identical load terms and proto orderings. Passive standbys keep
+// their loadTerms and protos — the fail-over absorption analysis charges
+// them to the promotion target — but the normal-case accumulation loops
+// skip them, matching AnalyzedLoad and taskset.Build.
+func bindComps(sys *model.System) []boundComp {
+	var comps []boundComp
+	for _, c := range sys.Components {
+		bc := boundComp{
+			name: c.Name, memoryKB: c.MemoryKB, asil: c.ASIL,
+			replicaOf: c.ReplicaOf, passive: c.PassiveStandby(),
+		}
+		for j := range c.Runnables {
+			r := &c.Runnables[j]
+			period := sys.EffectivePeriod(c, r)
+			if period > 0 {
+				bc.loadTerms = append(bc.loadTerms, float64(r.WCETNominal)/float64(period))
+			}
+			bc.protos = append(bc.protos, protoTask{
+				name: c.Name + "." + r.Name, sortKey: c.Name + r.Name,
+				wcet: r.WCETNominal, period: period, deadline: r.Deadline,
+			})
+		}
+		comps = append(comps, bc)
+	}
+	// Rank all protos once in taskset.Build's (period, tie-break) order;
+	// per-candidate ranking then reduces to sorting small int keys.
+	var all []*protoTask
+	for i := range comps {
+		for j := range comps[i].protos {
+			all = append(all, &comps[i].protos[j])
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].period != all[j].period {
+			return all[i].period < all[j].period
+		}
+		return all[i].sortKey < all[j].sortKey
+	})
+	for ord, p := range all {
+		p.ord = ord
+	}
+	return comps
 }
 
 // Evaluate scores one candidate mapping against the bound topology. The
@@ -194,10 +231,10 @@ func (b *Bound) Evaluate(mapping map[string]string) Metrics {
 	// order per ECU is component order — the same order AnalyzedLoad sums
 	// in, so the floats come out bit-identical.
 	type hostAcc struct {
-		load   float64
-		memory int
-		hosts  bool
-		worst  model.ASIL
+		load        float64
+		memory      int
+		hosts       bool
+		worst, best model.ASIL
 	}
 	accs := make([]hostAcc, len(b.ecus))
 	for i := range b.comps {
@@ -207,10 +244,16 @@ func (b *Bound) Evaluate(mapping map[string]string) Metrics {
 			continue
 		}
 		a := &accs[idx]
+		if !a.hosts || c.asil < a.best {
+			a.best = c.asil
+		}
 		a.hosts = true
 		a.memory += c.memoryKB
 		if c.asil > a.worst {
 			a.worst = c.asil
+		}
+		if c.passive {
+			continue // suspended until promotion: no normal-case load
 		}
 		speed := b.ecus[idx].speed
 		for _, t := range c.loadTerms {
@@ -239,7 +282,18 @@ func (b *Bound) Evaluate(mapping map[string]string) Metrics {
 			m.Feasible = false
 			m.Violations = append(m.Violations, fmt.Sprintf("%s hosts %v components but qualifies only for %v", e.name, a.worst, e.maxASIL))
 		}
+		if msg := asilSpreadViolation(e.name, a.worst, a.best, cons.MaxASILSpread); msg != "" {
+			m.Feasible = false
+			m.Violations = append(m.Violations, msg)
+		}
 	}
+	rc := &redCheck{
+		comps: b.comps, groups: b.groups, ecus: b.ecus, cons: cons, rta: b.ev.RTA,
+		ecuOf: func(ci int) (int, bool) { idx, ok := b.ecuIdx[mapping[b.comps[ci].name]]; return idx, ok },
+		load:  func(ei int) float64 { return accs[ei].load },
+		hosts: func(ei int) bool { return accs[ei].hosts },
+	}
+	rc.run(&m)
 	if err := b.commCheck(mapping); err != nil {
 		m.Feasible = false
 		m.Violations = append(m.Violations, err.Error())
@@ -309,6 +363,9 @@ func (b *Bound) commCheck(mapping map[string]string) error {
 func (b *Bound) checkSchedulable(mapping map[string]string, m *Metrics) {
 	groups := map[string][]*protoTask{}
 	for i := range b.comps {
+		if b.comps[i].passive {
+			continue // taskset.Build skips suspended standbys too
+		}
 		ecu := mapping[b.comps[i].name]
 		for j := range b.comps[i].protos {
 			groups[ecu] = append(groups[ecu], &b.comps[i].protos[j])

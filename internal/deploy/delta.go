@@ -25,11 +25,11 @@ import (
 // ecuAcc is one ECU's per-candidate accumulator state: the hosting terms
 // Bound.Evaluate derives per evaluation, retained per incumbent instead.
 type ecuAcc struct {
-	load   float64
-	memory int
-	hosts  bool
-	worst  model.ASIL
-	protos int // hosted runnable count, rate-less included
+	load        float64
+	memory      int
+	hosts       bool
+	worst, best model.ASIL
+	protos      int // hosted analyzable runnable count, rate-less included
 }
 
 // moveKey identifies one dirty-ECU recomputation: ECU index, the comp
@@ -146,10 +146,16 @@ func (p *Prepared) computeECU(idx, skip, add int) (ecuAcc, string) {
 			continue
 		}
 		c := &b.comps[i]
+		if !a.hosts || c.asil < a.best {
+			a.best = c.asil
+		}
 		a.hosts = true
 		a.memory += c.memoryKB
 		if c.asil > a.worst {
 			a.worst = c.asil
+		}
+		if c.passive {
+			continue // suspended until promotion: no normal-case demand
 		}
 		for _, t := range c.loadTerms {
 			a.load += t / speed
@@ -162,7 +168,7 @@ func (p *Prepared) computeECU(idx, skip, add int) (ecuAcc, string) {
 	if len(protos) == 0 {
 		return a, ""
 	}
-	sort.Slice(protos, func(i, j int) bool { return protos[i].ord < protos[j].ord })
+	sortProtos(protos)
 	var tasks []sched.Task
 	for rank, pt := range protos {
 		if pt.period <= 0 {
@@ -337,7 +343,18 @@ func (p *Prepared) assemble(moved, target int, get func(int) (ecuAcc, string)) M
 			m.Feasible = false
 			m.Violations = append(m.Violations, fmt.Sprintf("%s hosts %v components but qualifies only for %v", e.name, a.worst, e.maxASIL))
 		}
+		if msg := asilSpreadViolation(e.name, a.worst, a.best, cons.MaxASILSpread); msg != "" {
+			m.Feasible = false
+			m.Violations = append(m.Violations, msg)
+		}
 	}
+	rc := &redCheck{
+		comps: b.comps, groups: b.groups, ecus: b.ecus, cons: cons, rta: b.ev.RTA,
+		ecuOf: func(ci int) (int, bool) { return p.ecuOf(ci, moved, target), true },
+		load:  func(ei int) float64 { a, _ := get(ei); return a.load },
+		hosts: func(ei int) bool { a, _ := get(ei); return a.hosts },
+	}
+	rc.run(&m)
 	if err := p.commCheck(moved, target); err != nil {
 		m.Feasible = false
 		m.Violations = append(m.Violations, err.Error())

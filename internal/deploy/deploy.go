@@ -47,6 +47,12 @@ type Constraints struct {
 	// cache when one is attached) and rejects mappings with an
 	// unschedulable ECU. Stricter than the utilization cap alone.
 	RequireSchedulable bool
+	// MaxASILSpread bounds how far apart the criticality levels co-located
+	// on one ECU may lie (freedom-from-interference: a QM component next
+	// to an ASIL-D one forces the whole ECU to the strictest qualification
+	// regime). 0 is unset (no bound); a positive value caps
+	// worst−best; a negative value is strict — one level per ECU.
+	MaxASILSpread int
 }
 
 func (c *Constraints) fill() {
@@ -74,6 +80,11 @@ type Objective struct {
 	WECU     float64 // per used ECU (hardware + wiring + contact points)
 	WHarness float64 // per meter of harness
 	WLoad    float64 // per unit of load variance (balance)
+	// WAvail prices unavailability: the cost charges WAvail times
+	// (1 − Survivability), so a fully fail-operational deployment pays
+	// nothing and one that loses every replica group to every ECU failure
+	// pays the full weight. 0 (the default) ignores the term.
+	WAvail float64
 }
 
 // DefaultObjective prioritizes ECU elimination, then harness, then balance.
@@ -81,12 +92,17 @@ func DefaultObjective() Objective { return Objective{WECU: 1000, WHarness: 10, W
 
 // Metrics evaluates one mapping.
 type Metrics struct {
-	ECUs       int
-	Harness    float64
-	MaxLoad    float64
-	LoadVar    float64
-	Feasible   bool
-	Violations []string
+	ECUs    int
+	Harness float64
+	MaxLoad float64
+	LoadVar float64
+	// Survivability is the fraction of (used-ECU failure × replica group)
+	// events the deployment survives with a valid fail-over: a standby on
+	// another ECU whose host stays within capacity after absorbing the
+	// failed-over load. 1.0 for systems without replicas.
+	Survivability float64
+	Feasible      bool
+	Violations    []string
 }
 
 // Cost folds metrics into a scalar (infeasible mappings are +Inf).
@@ -94,7 +110,8 @@ func (m Metrics) Cost(obj Objective) float64 {
 	if !m.Feasible {
 		return math.Inf(1)
 	}
-	return obj.WECU*float64(m.ECUs) + obj.WHarness*m.Harness + obj.WLoad*m.LoadVar
+	return obj.WECU*float64(m.ECUs) + obj.WHarness*m.Harness + obj.WLoad*m.LoadVar +
+		obj.WAvail*(1-m.Survivability)
 }
 
 // Evaluator scores candidate mappings. It bundles the constraints with a
@@ -156,16 +173,28 @@ func (ev *Evaluator) Evaluate(sys *model.System) Metrics {
 	}
 	m.ECUs = len(sys.UsedECUs())
 	m.Harness = sys.HarnessLength()
+	hasRed := false
+	for _, c := range sys.Components {
+		if c.ReplicaOf != "" {
+			hasRed = true
+			break
+		}
+	}
 	// Per-ECU checks.
 	var loads []float64
-	for _, e := range sys.ECUs {
+	loadByIdx := make([]float64, len(sys.ECUs))
+	hostsByIdx := make([]bool, len(sys.ECUs))
+	for ei, e := range sys.ECUs {
 		load := sys.AnalyzedLoad(e.Name)
 		memory := 0
 		hosts := false
-		worstASIL := model.QM
+		worstASIL, bestASIL := model.QM, model.QM
 		for _, c := range sys.Components {
 			if sys.Mapping[c.Name] != e.Name {
 				continue
+			}
+			if !hosts || c.ASIL < bestASIL {
+				bestASIL = c.ASIL
 			}
 			hosts = true
 			memory += c.MemoryKB
@@ -173,6 +202,7 @@ func (ev *Evaluator) Evaluate(sys *model.System) Metrics {
 				worstASIL = c.ASIL
 			}
 		}
+		loadByIdx[ei], hostsByIdx[ei] = load, hosts
 		if !hosts {
 			continue
 		}
@@ -192,6 +222,29 @@ func (ev *Evaluator) Evaluate(sys *model.System) Metrics {
 			m.Feasible = false
 			m.Violations = append(m.Violations, fmt.Sprintf("%s hosts %v components but qualifies only for %v", e.Name, worstASIL, e.MaxASIL))
 		}
+		if msg := asilSpreadViolation(e.Name, worstASIL, bestASIL, cons.MaxASILSpread); msg != "" {
+			m.Feasible = false
+			m.Violations = append(m.Violations, msg)
+		}
+	}
+	// Fail-operational feasibility: replica anti-affinity, fail-over
+	// validity and the survivability fraction, through the same checker
+	// the bound and delta paths run.
+	m.Survivability = 1
+	if hasRed {
+		comps := bindComps(sys)
+		ecus := bindECUs(sys)
+		ecuIdx := make(map[string]int, len(ecus))
+		for i := range ecus {
+			ecuIdx[ecus[i].name] = i
+		}
+		rc := &redCheck{
+			comps: comps, groups: redGroups(comps), ecus: ecus, cons: cons, rta: ev.RTA,
+			ecuOf: func(ci int) (int, bool) { idx, ok := ecuIdx[sys.Mapping[comps[ci].name]]; return idx, ok },
+			load:  func(ei int) float64 { return loadByIdx[ei] },
+			hosts: func(ei int) bool { return hostsByIdx[ei] },
+		}
+		rc.run(&m)
 	}
 	// Communication feasibility: every remote connector needs a shared bus.
 	if _, err := vfb.Resolve(sys); err != nil {
@@ -298,7 +351,46 @@ func fits(out *model.System, c *model.SWC, e *model.ECU, cons Constraints) bool 
 			return false
 		}
 	}
+	// Replica anti-affinity: never pack two instances of one group onto
+	// the same ECU — they would fail together.
+	if c.ReplicaOf != "" || c.Redundancy.Replicated() || hasStandbyOf(out, c.Name) {
+		for _, o := range out.Components {
+			if o.Name != c.Name && out.Mapping[o.Name] == e.Name && sameReplicaGroup(c, o) {
+				return false
+			}
+		}
+	}
+	if cons.MaxASILSpread != 0 {
+		hosts := false
+		var worst, best model.ASIL
+		for _, o := range out.Components {
+			if out.Mapping[o.Name] != e.Name {
+				continue
+			}
+			if !hosts || o.ASIL < best {
+				best = o.ASIL
+			}
+			if !hosts || o.ASIL > worst {
+				worst = o.ASIL
+			}
+			hosts = true
+		}
+		if asilSpreadViolation(e.Name, worst, best, cons.MaxASILSpread) != "" {
+			return false
+		}
+	}
 	return true
+}
+
+// hasStandbyOf reports whether any materialized standby names c as its
+// primary (the primary itself carries no back-pointer).
+func hasStandbyOf(out *model.System, name string) bool {
+	for _, o := range out.Components {
+		if o.ReplicaOf == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Place maps only the unmapped components of a system into the existing

@@ -1,0 +1,156 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"autorte/internal/model"
+	"autorte/internal/sim"
+	"autorte/internal/vfb"
+)
+
+// redSpec is a minimal chain Sensor -> Ctrl -> Act with the controller
+// asking for one passive standby. Loads on the reference core: Sensor
+// 0.005, Ctrl 0.020, Act 0.008. Ctrl's 5ms period outranks the 10ms
+// tasks under rate-monotonic ranking, so a promoted standby preempts
+// whatever shares its ECU.
+func redSpec() *model.System {
+	sig := &model.PortInterface{
+		Name: "IfSig", Kind: model.SenderReceiver,
+		Elements: []model.DataElement{{Name: "v", Type: model.UInt16}},
+	}
+	sensor := &model.SWC{
+		Name: "Sensor", ASIL: model.ASILB, MemoryKB: 16,
+		Ports: []model.Port{{Name: "out", Direction: model.Provided, Interface: sig}},
+		Runnables: []model.Runnable{{
+			Name: "sample", WCETNominal: sim.US(50),
+			Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(10)},
+			Writes:  []model.PortRef{{Port: "out", Elem: "v"}},
+		}},
+	}
+	ctrl := &model.SWC{
+		Name: "Ctrl", ASIL: model.ASILD, MemoryKB: 32,
+		Redundancy: model.Redundancy{Replicas: 2, Mode: model.StandbyPassive},
+		Ports: []model.Port{
+			{Name: "in", Direction: model.Required, Interface: sig},
+			{Name: "cmd", Direction: model.Provided, Interface: sig},
+		},
+		Runnables: []model.Runnable{{
+			Name: "law", WCETNominal: sim.US(100),
+			Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(5)},
+			Reads:   []model.PortRef{{Port: "in", Elem: "v"}},
+			Writes:  []model.PortRef{{Port: "cmd", Elem: "v"}},
+		}},
+	}
+	act := &model.SWC{
+		Name: "Act", ASIL: model.ASILC, MemoryKB: 16,
+		Ports: []model.Port{{Name: "in", Direction: model.Required, Interface: sig}},
+		Runnables: []model.Runnable{{
+			Name: "apply", WCETNominal: sim.US(80),
+			Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(10)},
+			Reads:   []model.PortRef{{Port: "in", Elem: "v"}},
+		}},
+	}
+	return &model.System{
+		Name:       "red",
+		Interfaces: []*model.PortInterface{sig},
+		Components: []*model.SWC{sensor, ctrl, act},
+		ECUs: []*model.ECU{
+			{Name: "e1", Speed: 1, MemoryKB: 256, MaxASIL: model.ASILD, Buses: []string{"can0"}, Position: [2]float64{0, 0}},
+			{Name: "e2", Speed: 1, MemoryKB: 256, MaxASIL: model.ASILD, Buses: []string{"can0"}, Position: [2]float64{1, 0}},
+			{Name: "e3", Speed: 1, MemoryKB: 256, MaxASIL: model.ASILD, Buses: []string{"can0"}, Position: [2]float64{2, 0}},
+		},
+		Buses: []*model.Bus{{Name: "can0", Kind: model.BusCAN, BitRate: 500000}},
+		Connectors: []model.Connector{
+			{FromSWC: "Sensor", FromPort: "out", ToSWC: "Ctrl", ToPort: "in"},
+			{FromSWC: "Ctrl", FromPort: "cmd", ToSWC: "Act", ToPort: "in"},
+		},
+		Mapping: map[string]string{"Sensor": "e1", "Ctrl": "e1", "Act": "e2"},
+	}
+}
+
+// redSystem is the materialized fixture: the standby Ctrl#1 exists and is
+// sited on e2, apart from its primary.
+func redSystem(t *testing.T) *model.System {
+	t.Helper()
+	sys, err := Replicate(redSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Mapping["Ctrl#1"] = "e2"
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestReplicateMaterializesStandbys(t *testing.T) {
+	out := redSystem(t)
+	// The standby sits directly after its primary, keeping the group
+	// contiguous in declaration order.
+	names := make([]string, 0, len(out.Components))
+	for _, c := range out.Components {
+		names = append(names, c.Name)
+	}
+	want := []string{"Sensor", "Ctrl", "Ctrl#1", "Act"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("components = %v, want %v", names, want)
+	}
+	sb := out.Component("Ctrl#1")
+	if sb.ReplicaOf != "Ctrl" || !sb.PassiveStandby() {
+		t.Fatalf("standby role: ReplicaOf=%q passive=%v", sb.ReplicaOf, sb.PassiveStandby())
+	}
+	if out.Component("Ctrl").Redundancy.Replicated() {
+		t.Fatal("primary still requests replicas after materialization")
+	}
+	// Connector fan-out: Sensor feeds both Ctrl instances, both instances
+	// feed Act — 4 connectors from the original 2.
+	if len(out.Connectors) != 4 {
+		t.Fatalf("connectors = %d, want 4: %v", len(out.Connectors), out.Connectors)
+	}
+	// The fan-in on Act.in is one logical provider (the Ctrl group), so
+	// VFB connectivity holds.
+	if err := vfb.CheckConnectivity(out); err != nil {
+		t.Fatalf("connectivity: %v", err)
+	}
+	if _, err := vfb.Resolve(out); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	// Idempotent: the spec is spent, a second pass adds nothing.
+	again, err := Replicate(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Components) != len(out.Components) || len(again.Connectors) != len(out.Connectors) {
+		t.Fatalf("second Replicate changed the system: %d comps, %d conns",
+			len(again.Components), len(again.Connectors))
+	}
+}
+
+func TestReplicateRejectsNameCollision(t *testing.T) {
+	sys := redSpec()
+	clash := *sys.Components[2]
+	clash.Name = "Ctrl#1"
+	sys.Components = append(sys.Components, &clash)
+	if _, err := Replicate(sys); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("collision not caught: %v", err)
+	}
+}
+
+// Greedy must keep replica instances apart (anti-affinity) and produce a
+// feasible fail-operational packing.
+func TestGreedyPlacesReplicasApart(t *testing.T) {
+	sys := redSystem(t)
+	sys.Mapping = nil
+	out, err := Greedy(sys, Constraints{RespectASIL: true, RespectMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mapping["Ctrl"] == out.Mapping["Ctrl#1"] {
+		t.Fatalf("replicas co-located on %s", out.Mapping["Ctrl"])
+	}
+	m := Evaluate(out, Constraints{RespectASIL: true, RespectMemory: true})
+	if !m.Feasible || m.Survivability != 1 {
+		t.Fatalf("greedy packing not fail-operational: %+v", m)
+	}
+}

@@ -66,9 +66,12 @@ func E11FaultCampaign(cfg E11Config) (*Table, error) {
 		Name: "sensor-silent@100ms/permanent", Class: fault.FaultSensorSilent,
 		InjectAt: 100 * sim.Millisecond, Until: sim.Infinity,
 	})
-	results := fault.RunCampaign(cfg.Workers, scenarios, func(s fault.Scenario) fault.Result {
+	results, err := fault.RunCampaign(cfg.Workers, scenarios, func(s fault.Scenario) fault.Result {
 		return runE11Scenario(cfg, s)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		det, rec := "-", "-"
 		if r.Detected {
@@ -182,8 +185,8 @@ func runE11Instrumented(cfg E11Config, s fault.Scenario, inst *e11Instrumentatio
 		kind = rte.ErrTiming
 	}
 	res.DetectionLatency, res.Detected = fault.DetectionLatency(p.Errors.Records(), kind, s.InjectAt)
-	res.Availability = fault.Availability(p.Trace, "Act.apply", sim.MS(10), s.InjectAt, cfg.Horizon)
-	res.RecoveryLatency, res.Recovered = fault.ServiceRecovery(p.Trace, "Act.apply", sim.MS(10), s.InjectAt, cfg.Horizon)
+	res.Availability, _ = fault.Availability(p.Trace, "Act.apply", sim.MS(10), s.InjectAt, cfg.Horizon)
+	res.RecoveryLatency, res.Recovered, _ = fault.ServiceRecovery(p.Trace, "Act.apply", sim.MS(10), s.InjectAt, cfg.Horizon)
 	st := m.Status()[0]
 	res.Escalations = st.Attempts
 	res.FinalState = deg.Level().String() + "/" + st.State.String()
@@ -244,8 +247,11 @@ func E11LimpHome(cfg E11Config) (*Table, error) {
 			fin += count(s, trace.Finish, ph.from, ph.to)
 			drop += count(s, trace.Drop, ph.from, ph.to)
 		}
-		tab.Add(ph.name, ph.level,
-			fault.Availability(p.Trace, "Act.apply", sim.MS(10), ph.from, ph.to),
+		av, err := fault.Availability(p.Trace, "Act.apply", sim.MS(10), ph.from, ph.to)
+		if err != nil {
+			return nil, fmt.Errorf("e11 limp-home phase %s: %w", ph.name, err)
+		}
+		tab.Add(ph.name, ph.level, av,
 			fin, drop, count("Diag.onLimp", trace.Finish, ph.from, ph.to) > 0)
 	}
 	return tab, nil

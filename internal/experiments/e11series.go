@@ -50,9 +50,12 @@ func E11RecoverySeries(cfg E11Config) (*Table, error) {
 		InjectAt: 100 * sim.Millisecond, Until: sim.Infinity,
 	})
 	inst := &e11Instrumentation{sampleStep: e11SeriesStep, match: e11SeriesMatch}
-	_, perRun := fault.RunCampaignSeries(cfg.Workers, scenarios, func(s fault.Scenario) (fault.Result, []obs.Series) {
+	_, perRun, err := fault.RunCampaignSeries(cfg.Workers, scenarios, func(s fault.Scenario) (fault.Result, []obs.Series) {
 		return runE11Instrumented(cfg, s, inst)
 	})
+	if err != nil {
+		return nil, err
+	}
 	deg := fault.AggregateSeries(perRun, "health_degradation_level")
 	fin := fault.AggregateSeries(perRun, "chain_finishes")
 	if len(deg.Points) == 0 || len(fin.Points) == 0 {

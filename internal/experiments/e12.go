@@ -134,7 +134,10 @@ func runE12Coverage(cfg E12Config, class fault.FaultClass, protected bool) (e12C
 		detections: e12Detected(p, detClass),
 	}
 	r.detLatency, r.detected = fault.DetectionLatency(p.Errors.Records(), rte.ErrComm, cfg.InjectAt)
-	r.availability = fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+	r.availability, err = fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+	if err != nil {
+		return e12CoverageResult{}, fmt.Errorf("e12 %v: %w", class, err)
+	}
 	switch class {
 	case fault.FaultCommDrop, fault.FaultCommDelay:
 		// Temporal faults: coverage is detection of the outage.
@@ -244,9 +247,13 @@ func E12Recovery(cfg E12Config) (*Table, error) {
 		p.Run(cfg.Horizon)
 		lat, det := fault.DetectionLatency(p.Errors.Records(), rte.ErrComm, cfg.InjectAt)
 		st := m.Status()[0]
+		av, err := fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
 		tab.Add("can corrupt (permanent)", det, lat, st.Attempts, "-",
 			deg.Level().String()+"/"+st.State.String(), false, "-",
-			fmt.Sprintf("%.2f", fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)))
+			fmt.Sprintf("%.2f", av))
 	}
 
 	// Scenario 2: FlexRay channel A dies; protected streams fail over.
@@ -263,13 +270,20 @@ func E12Recovery(cfg E12Config) (*Table, error) {
 		lat, det := fault.DetectionLatency(p.Errors.Records(), rte.ErrComm, cfg.InjectAt)
 		fo := p.Metrics.Counter("e2e_failovers_total",
 			"Protected channels moved to a redundant physical channel after invalid qualification.").Value()
-		recLat, rec := fault.ServiceRecovery(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+		recLat, rec, err := fault.ServiceRecovery(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
 		recs := "-"
 		if rec {
 			recs = fmt.Sprint(recLat)
 		}
+		av, err := fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
 		tab.Add("flexray channel A loss", det, lat, "-", fo, "normal", rec, recs,
-			fmt.Sprintf("%.2f", fault.Availability(p.Trace, "Act.apply", sim.MS(10), cfg.InjectAt, cfg.Horizon)))
+			fmt.Sprintf("%.2f", av))
 	}
 	return tab, nil
 }

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E11 defined in
+// Package experiments implements the reproduction suite E1–E13 defined in
 // DESIGN.md. The paper is a position paper without quantitative results,
 // so each experiment operationalizes one of its claims; EXPERIMENTS.md
 // records the qualitative shape the paper predicts next to what these
@@ -90,6 +90,8 @@ func All(w io.Writer) error {
 		func() (*Table, error) { return E12Overhead(DefaultE12()) },
 		func() (*Table, error) { return E12Recovery(DefaultE12()) },
 		func() (*Table, error) { return E12RecoverySeries(DefaultE12()) },
+		func() (*Table, error) { return E13Availability(DefaultE13()) },
+		func() (*Table, error) { return E13Curve(DefaultE13()) },
 	}
 	for _, run := range runs {
 		tab, err := run()

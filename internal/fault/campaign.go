@@ -2,6 +2,8 @@ package fault
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"autorte/internal/par"
 	"autorte/internal/sim"
@@ -42,12 +44,17 @@ const (
 	FaultCommDelay
 	// FaultCommResequence: consecutive frames swap order.
 	FaultCommResequence
+	// FaultECUKill: an ECU dies permanently — every hosted task stops and
+	// never resumes. The fail-operational deployment study (E13) scores
+	// candidate deployments under this class: only a standby replica on a
+	// surviving ECU can restore the service.
+	FaultECUKill
 )
 
 var faultClassNames = [...]string{
 	"sensor-silent", "sensor-stuck", "sensor-noise", "can-burst", "wcet-overrun",
 	"comm-corrupt", "comm-masquerade", "comm-drop", "comm-duplicate",
-	"comm-delay", "comm-resequence",
+	"comm-delay", "comm-resequence", "ecu-kill",
 }
 
 func (c FaultClass) String() string {
@@ -55,6 +62,54 @@ func (c FaultClass) String() string {
 		return faultClassNames[c]
 	}
 	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classes returns every fault class in declaration order.
+func Classes() []FaultClass {
+	out := make([]FaultClass, len(faultClassNames))
+	for i := range out {
+		out[i] = FaultClass(i)
+	}
+	return out
+}
+
+// ClassNames returns the valid fault-class names in declaration order —
+// the list a CLI prints when the user asks for an unknown class.
+func ClassNames() []string {
+	return append([]string(nil), faultClassNames[:]...)
+}
+
+// ParseClass resolves a fault-class name (as printed by String). Unknown
+// names fail with an error that lists every valid class, so a mistyped
+// `-faults` selection dies loudly instead of silently sweeping nothing.
+func ParseClass(name string) (FaultClass, error) {
+	for i, n := range faultClassNames {
+		if n == name {
+			return FaultClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault class %q (valid: %s)", name, strings.Join(faultClassNames[:], ", "))
+}
+
+// ParseClasses resolves a comma-separated class-name list; "all" selects
+// every class. Empty input is an error — a campaign over no classes is a
+// configuration mistake, not an empty result.
+func ParseClasses(list string) ([]FaultClass, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("fault: empty fault-class list (use \"all\" or a comma-separated subset of: %s)", strings.Join(faultClassNames[:], ", "))
+	}
+	if strings.TrimSpace(list) == "all" {
+		return Classes(), nil
+	}
+	var out []FaultClass
+	for _, name := range strings.Split(list, ",") {
+		c, err := ParseClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // Scenario is one cell of the fault space.
@@ -117,8 +172,12 @@ func Sweep(classes []FaultClass, injectTimes []sim.Time, window sim.Duration) []
 // goroutines (<= 0 selects GOMAXPROCS). Each scenario must build its own
 // platform inside run — simulations share nothing — so results are
 // deterministic and slot-indexed: out[i] always belongs to scenarios[i],
-// regardless of scheduling.
-func RunCampaign(workers int, scenarios []Scenario, run func(Scenario) Result) []Result {
+// regardless of scheduling. An empty campaign is a configuration error,
+// not an empty result: reports aggregating over it would divide by zero.
+func RunCampaign(workers int, scenarios []Scenario, run func(Scenario) Result) ([]Result, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("fault: empty campaign: no scenarios to run")
+	}
 	out := make([]Result, len(scenarios))
 	// The job function never errors: a scenario's outcome — including a
 	// crashed or undetected fault — is data, not a campaign failure.
@@ -126,32 +185,43 @@ func RunCampaign(workers int, scenarios []Scenario, run func(Scenario) Result) [
 		out[i] = run(scenarios[i])
 		return nil
 	})
-	return out
+	return out, nil
 }
 
 // Availability returns the fraction of expected periodic completions of a
 // source that actually finished in [from, to): 1.0 is full service,
 // 0 is a dead service. More than expected (catch-up after a stall) clamps
-// to 1.
-func Availability(r *trace.Recorder, source string, period sim.Duration, from, to sim.Time) float64 {
-	if period <= 0 || to <= from {
-		return 0
+// to 1. A non-positive period or a zero-length observation window is an
+// explicit error — the quotient would otherwise be a silent 0 (or NaN in
+// a hand-rolled variant) that reads like a dead service in reports.
+func Availability(r *trace.Recorder, source string, period sim.Duration, from, to sim.Time) (float64, error) {
+	return AvailabilityAny(r, []string{source}, period, from, to)
+}
+
+// AvailabilityAny is Availability over a replicated service: the union of
+// the sources' finish streams (primary or promoted standby — whichever
+// instance delivers, the function is up).
+func AvailabilityAny(r *trace.Recorder, sources []string, period sim.Duration, from, to sim.Time) (float64, error) {
+	if err := checkWindow(sources, period, from, to); err != nil {
+		return 0, err
 	}
 	expected := int64(to-from) / int64(period)
 	if expected == 0 {
-		return 1
+		return 1, nil
 	}
 	n := int64(0)
-	for _, rec := range r.BySource(source) {
-		if rec.Kind == trace.Finish && rec.At >= from && rec.At < to {
-			n++
+	for _, source := range sources {
+		for _, rec := range r.BySource(source) {
+			if rec.Kind == trace.Finish && rec.At >= from && rec.At < to {
+				n++
+			}
 		}
 	}
 	av := float64(n) / float64(expected)
 	if av > 1 {
 		av = 1
 	}
-	return av
+	return av, nil
 }
 
 // ServiceRecovery examines a periodic source's finish stream after an
@@ -159,25 +229,58 @@ func Availability(r *trace.Recorder, source string, period sim.Duration, from, t
 // than 2*period apart. It returns the delay from injectAt to the finish
 // that ended the last outage — 0 if the service never went down — and
 // whether the service was up again at the horizon (false means it was
-// still down, and the latency is meaningless).
-func ServiceRecovery(r *trace.Recorder, source string, period sim.Duration, injectAt, horizon sim.Time) (sim.Duration, bool) {
+// still down, and the latency is meaningless). A non-positive period or a
+// horizon at or before the injection is an explicit error.
+func ServiceRecovery(r *trace.Recorder, source string, period sim.Duration, injectAt, horizon sim.Time) (sim.Duration, bool, error) {
+	return ServiceRecoveryAny(r, []string{source}, period, injectAt, horizon)
+}
+
+// ServiceRecoveryAny is ServiceRecovery over a replicated service: the
+// merged, time-ordered finish stream of all sources. A fail-over that
+// moves delivery from the primary to a promoted standby counts as
+// continued (or recovered) service.
+func ServiceRecoveryAny(r *trace.Recorder, sources []string, period sim.Duration, injectAt, horizon sim.Time) (sim.Duration, bool, error) {
+	if err := checkWindow(sources, period, injectAt, horizon); err != nil {
+		return 0, false, err
+	}
+	var finishes []sim.Time
+	for _, source := range sources {
+		for _, rec := range r.BySource(source) {
+			if rec.Kind == trace.Finish && rec.At > injectAt {
+				finishes = append(finishes, rec.At)
+			}
+		}
+	}
+	sort.Slice(finishes, func(i, j int) bool { return finishes[i] < finishes[j] })
 	gap := sim.Time(2 * period)
 	prev := injectAt
 	lastOutageEnd := sim.Time(-1)
-	for _, rec := range r.BySource(source) {
-		if rec.Kind != trace.Finish || rec.At <= injectAt {
-			continue
+	for _, at := range finishes {
+		if at-prev > gap {
+			lastOutageEnd = at
 		}
-		if rec.At-prev > gap {
-			lastOutageEnd = rec.At
-		}
-		prev = rec.At
+		prev = at
 	}
 	if horizon-prev > gap {
-		return 0, false
+		return 0, false, nil
 	}
 	if lastOutageEnd < 0 {
-		return 0, true
+		return 0, true, nil
 	}
-	return lastOutageEnd - injectAt, true
+	return lastOutageEnd - injectAt, true, nil
+}
+
+// checkWindow rejects the degenerate scoring inputs every service metric
+// shares: no observed sources, a rate-less service, an empty window.
+func checkWindow(sources []string, period sim.Duration, from, to sim.Time) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("fault: service scoring needs at least one source")
+	}
+	if period <= 0 {
+		return fmt.Errorf("fault: non-positive service period %v", period)
+	}
+	if to <= from {
+		return fmt.Errorf("fault: zero-length observation window [%v, %v)", from, to)
+	}
+	return nil
 }

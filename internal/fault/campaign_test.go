@@ -33,11 +33,57 @@ func TestAvailabilityCountsExpectedFinishes(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		r.Emit(sim.MS(10)*sim.Time(i)+sim.US(100), trace.Finish, "Act.apply", int64(i), "")
 	}
-	if av := Availability(r, "Act.apply", sim.MS(10), 0, sim.MS(100)); av != 0.7 {
-		t.Fatalf("availability %v, want 0.7", av)
+	av, err := Availability(r, "Act.apply", sim.MS(10), 0, sim.MS(100))
+	if err != nil || av != 0.7 {
+		t.Fatalf("availability (%v, %v), want (0.7, nil)", av, err)
 	}
-	if av := Availability(r, "Act.apply", sim.MS(10), 0, 0); av != 0 {
-		t.Fatalf("empty window availability %v, want 0", av)
+	if _, err := Availability(r, "Act.apply", sim.MS(10), 0, 0); err == nil {
+		t.Fatal("zero-length window: want explicit error, got nil")
+	}
+	if _, err := Availability(r, "Act.apply", 0, 0, sim.MS(100)); err == nil {
+		t.Fatal("non-positive period: want explicit error, got nil")
+	}
+	if _, err := AvailabilityAny(r, nil, sim.MS(10), 0, sim.MS(100)); err == nil {
+		t.Fatal("no sources: want explicit error, got nil")
+	}
+}
+
+func TestAvailabilityAnyUnionsSources(t *testing.T) {
+	r := &trace.Recorder{}
+	// Primary delivers jobs 0..4, then the promoted standby takes over for
+	// jobs 5..9: the union is full service, each source alone is half.
+	for i := 0; i < 5; i++ {
+		r.Emit(sim.MS(10)*sim.Time(i)+sim.US(100), trace.Finish, "Act.apply", int64(i), "")
+	}
+	for i := 5; i < 10; i++ {
+		r.Emit(sim.MS(10)*sim.Time(i)+sim.US(100), trace.Finish, "Act#1.apply", int64(i), "")
+	}
+	av, err := AvailabilityAny(r, []string{"Act.apply", "Act#1.apply"}, sim.MS(10), 0, sim.MS(100))
+	if err != nil || av != 1 {
+		t.Fatalf("union availability (%v, %v), want (1, nil)", av, err)
+	}
+	solo, err := Availability(r, "Act.apply", sim.MS(10), 0, sim.MS(100))
+	if err != nil || solo != 0.5 {
+		t.Fatalf("primary-only availability (%v, %v), want (0.5, nil)", solo, err)
+	}
+}
+
+func TestServiceRecoveryAnyMergesStreams(t *testing.T) {
+	r := &trace.Recorder{}
+	// Primary up until 30ms, killed; standby resumes delivery at 80ms.
+	for i := int64(1); i <= 3; i++ {
+		r.Emit(sim.MS(10)*sim.Time(i), trace.Finish, "Act.apply", i, "")
+	}
+	for i := int64(8); i <= 15; i++ {
+		r.Emit(sim.MS(10)*sim.Time(i), trace.Finish, "Act#1.apply", i, "")
+	}
+	lat, ok, err := ServiceRecoveryAny(r, []string{"Act.apply", "Act#1.apply"}, sim.MS(10), sim.MS(25), sim.MS(160))
+	if err != nil || !ok || lat != sim.MS(55) {
+		t.Fatalf("merged recovery (%v,%v,%v), want (55ms,true,nil)", lat, ok, err)
+	}
+	// Primary alone never recovers.
+	if _, ok, err := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(160)); err != nil || ok {
+		t.Fatalf("primary alone reported recovered (err=%v)", err)
 	}
 }
 
@@ -52,18 +98,22 @@ func TestServiceRecoveryFindsLastOutage(t *testing.T) {
 	for i := int64(0); i < 8; i++ {
 		emit(float64(80+10*i), 2+i)
 	}
-	lat, ok := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(160))
-	if !ok || lat != sim.MS(55) {
-		t.Fatalf("recovery (%v,%v), want (55ms,true)", lat, ok)
+	lat, ok, err := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(160))
+	if err != nil || !ok || lat != sim.MS(55) {
+		t.Fatalf("recovery (%v,%v,%v), want (55ms,true,nil)", lat, ok, err)
 	}
 	// Still down at horizon: no finishes after 150 but horizon 300.
-	if _, ok := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(300)); ok {
-		t.Fatal("service down at horizon reported as recovered")
+	if _, ok, err := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(25), sim.MS(300)); err != nil || ok {
+		t.Fatalf("service down at horizon reported as recovered (err=%v)", err)
 	}
 	// No outage at all.
-	lat, ok = ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(85), sim.MS(160))
-	if !ok || lat != 0 {
-		t.Fatalf("outage-free stream: (%v,%v), want (0,true)", lat, ok)
+	lat, ok, err = ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(85), sim.MS(160))
+	if err != nil || !ok || lat != 0 {
+		t.Fatalf("outage-free stream: (%v,%v,%v), want (0,true,nil)", lat, ok, err)
+	}
+	// Horizon at or before the injection is a configuration error.
+	if _, _, err := ServiceRecovery(r, "Act.apply", sim.MS(10), sim.MS(160), sim.MS(160)); err == nil {
+		t.Fatal("horizon == injectAt: want explicit error, got nil")
 	}
 }
 
@@ -109,8 +159,8 @@ func campaignRun(horizon sim.Time) func(Scenario) Result {
 		p.Run(horizon)
 		res := Result{Scenario: s, Errors: p.Errors.Total()}
 		res.DetectionLatency, res.Detected = DetectionLatency(p.Errors.Records(), rte.ErrSensor, s.InjectAt)
-		res.Availability = Availability(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
-		res.RecoveryLatency, res.Recovered = ServiceRecovery(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
+		res.Availability, _ = Availability(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
+		res.RecoveryLatency, res.Recovered, _ = ServiceRecovery(p.Trace, "Act.consume", sim.MS(10), s.InjectAt, horizon)
 		return res
 	}
 }
@@ -118,9 +168,15 @@ func campaignRun(horizon sim.Time) func(Scenario) Result {
 func TestCampaignSmoke(t *testing.T) {
 	scs := Sweep([]FaultClass{FaultSensorSilent, FaultSensorNoise},
 		[]sim.Time{sim.MS(50)}, sim.MS(60))
-	results := RunCampaign(4, scs, campaignRun(sim.MS(300)))
+	results, err := RunCampaign(4, scs, campaignRun(sim.MS(300)))
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
 	if len(results) != len(scs) {
 		t.Fatalf("%d results for %d scenarios", len(results), len(scs))
+	}
+	if _, err := RunCampaign(4, nil, campaignRun(sim.MS(300))); err == nil {
+		t.Fatal("empty campaign: want explicit error, got nil")
 	}
 	for _, r := range results {
 		if !r.Detected {
@@ -153,8 +209,15 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		return out
 	}
-	seq := render(RunCampaign(1, scs, campaignRun(sim.MS(300))))
-	par := render(RunCampaign(8, scs, campaignRun(sim.MS(300))))
+	run := func(workers int) []Result {
+		rs, err := RunCampaign(workers, scs, campaignRun(sim.MS(300)))
+		if err != nil {
+			t.Fatalf("RunCampaign(workers=%d): %v", workers, err)
+		}
+		return rs
+	}
+	seq := render(run(1))
+	par := render(run(8))
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("slot %d differs:\nworkers=1: %s\nworkers=8: %s", i, seq[i], par[i])

@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 
 	"autorte/internal/can"
@@ -178,6 +179,26 @@ func RangeMonitor(port, elem string, lo, hi float64, kind rte.ErrorKind) rte.Beh
 			reported = false
 		}
 	}
+}
+
+// KillECUAt schedules a permanent ECU failure at virtual time at — the
+// campaign's ecu-kill class. The ECU is validated eagerly so a typo'd
+// scenario fails at arm time; the scheduled kill itself cannot fail (the
+// only KillECU errors are unknown or already-dead ECUs, both excluded
+// here), so an error then is a programming bug and panics.
+func KillECUAt(p *rte.Platform, ecu string, at sim.Time) error {
+	if p.CPU(ecu) == nil {
+		return fmt.Errorf("fault: ecu-kill: unknown ECU %s", ecu)
+	}
+	p.K.At(at, func() {
+		if p.ECUDead(ecu) {
+			return // two scenarios may aim at the same ECU; first kill wins
+		}
+		if err := p.KillECU(ecu); err != nil {
+			panic(fmt.Sprintf("fault: ecu-kill of validated ECU %s: %v", ecu, err))
+		}
+	})
+	return nil
 }
 
 // DetectionLatency returns the delay from injection to the first error

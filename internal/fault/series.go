@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"sort"
 
 	"autorte/internal/obs"
@@ -31,15 +32,20 @@ type Band struct {
 
 // RunCampaignSeries is RunCampaign for sampled scenarios: run returns
 // the scenario result plus the virtual-time series its sampler
-// recorded. Results and series stay slot-indexed to scenarios.
-func RunCampaignSeries(workers int, scenarios []Scenario, run func(Scenario) (Result, []obs.Series)) ([]Result, [][]obs.Series) {
+// recorded. Results and series stay slot-indexed to scenarios. Like
+// RunCampaign, an empty campaign is rejected rather than aggregated
+// into empty bands.
+func RunCampaignSeries(workers int, scenarios []Scenario, run func(Scenario) (Result, []obs.Series)) ([]Result, [][]obs.Series, error) {
+	if len(scenarios) == 0 {
+		return nil, nil, fmt.Errorf("fault: empty campaign: no scenarios to run")
+	}
 	results := make([]Result, len(scenarios))
 	series := make([][]obs.Series, len(scenarios))
 	_ = par.ForEach(workers, len(scenarios), func(i int) error {
 		results[i], series[i] = run(scenarios[i])
 		return nil
 	})
-	return results, series
+	return results, series, nil
 }
 
 // AggregateSeries folds the same-named series of every run into one

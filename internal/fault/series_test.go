@@ -13,14 +13,21 @@ func TestRunCampaignSeriesSlotIndexed(t *testing.T) {
 		{Name: "b", InjectAt: sim.MS(2)},
 		{Name: "c", InjectAt: sim.MS(3)},
 	}
-	results, series := RunCampaignSeries(2, scenarios, func(s Scenario) (Result, []obs.Series) {
+	run := func(s Scenario) (Result, []obs.Series) {
 		return Result{Scenario: s}, []obs.Series{{
 			Name:   "m",
 			Points: []obs.SeriesPoint{{At: int64(s.InjectAt), Value: float64(len(s.Name))}},
 		}}
-	})
+	}
+	results, series, err := RunCampaignSeries(2, scenarios, run)
+	if err != nil {
+		t.Fatalf("RunCampaignSeries: %v", err)
+	}
 	if len(results) != 3 || len(series) != 3 {
 		t.Fatalf("got %d results, %d series slots", len(results), len(series))
+	}
+	if _, _, err := RunCampaignSeries(2, nil, run); err == nil {
+		t.Fatal("empty campaign: want explicit error, got nil")
 	}
 	for i, s := range scenarios {
 		if results[i].Scenario.Name != s.Name {

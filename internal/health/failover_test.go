@@ -1,0 +1,120 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"autorte/internal/deploy"
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+)
+
+// replicatedSystem extends testSystem with a second ECU and a passive
+// standby for the Sensor, materialized through deploy.Replicate — the
+// same path the availability campaign deploys with.
+func replicatedSystem(t *testing.T) *model.System {
+	t.Helper()
+	s := testSystem()
+	s.Buses = []*model.Bus{{Name: "can0", Kind: model.BusCAN, BitRate: 500000}}
+	s.ECUs[0].Buses = []string{"can0"}
+	s.ECUs = append(s.ECUs, &model.ECU{Name: "e2", Speed: 1, Buses: []string{"can0"}})
+	s.Component("Sensor").Redundancy = model.Redundancy{Replicas: 2, Mode: model.StandbyPassive}
+	out, err := deploy.Replicate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Mapping["Sensor#1"] = "e2"
+	return out
+}
+
+// A persistently faulty primary with a live standby escalates
+// notify -> restart-runnable -> restart-partition -> failover. The
+// promotion suspends the faulty primary, so the episode heals instead of
+// climbing to ECU reset: the fail-operational rung keeps the rest of the
+// ladder in reserve. The switchover is metered, latency-observed and
+// DLT-logged.
+func TestLadderFailsOverThenHeals(t *testing.T) {
+	p := rte.MustBuild(replicatedSystem(t), rte.Options{})
+	dlt := p.EnableDLT(obs.LevelWarn)
+	if err := p.SetBehavior("Sensor", "sample", faultySensor); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(p, MonitorOptions{})
+	m.MustProtect("Sensor", Policy{
+		MaxAttempts: 1, Cooldown: sim.MS(5),
+		ResetDowntime: sim.MS(20), HealAfter: sim.MS(100),
+	})
+	p.Run(sim.MS(500))
+
+	st := m.Status()[0]
+	if st.State != Healthy || st.Episodes != 1 {
+		t.Fatalf("status %+v, want 1 healed episode", st)
+	}
+	if got := p.ActiveReplica("Sensor"); got != "Sensor#1" {
+		t.Fatalf("active replica %q, want Sensor#1", got)
+	}
+	rungCount := func(r Rung) uint64 {
+		return p.Metrics.Counter("health_escalations_total", "",
+			obs.Label{Key: "rung", Value: r.String()}).Value()
+	}
+	if got := rungCount(RungFailover); got != 1 {
+		t.Fatalf("failover rung attempted %d times, want 1", got)
+	}
+	if got := rungCount(RungECUReset); got != 0 {
+		t.Fatalf("ladder climbed past failover: %d ECU resets", got)
+	}
+	if got := p.Metrics.Counter("deploy_failovers_total", "",
+		obs.Label{Key: "swc", Value: "Sensor"}).Value(); got != 1 {
+		t.Fatalf("deploy_failovers_total = %d, want 1", got)
+	}
+	h := p.Metrics.Histogram("deploy_failover_latency_ns", "")
+	if h.Count() != 1 {
+		t.Fatalf("failover latency observed %d times, want 1", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("failover latency sum %d, want > 0 (promotion after qualification)", h.Sum())
+	}
+	logged := false
+	for _, rec := range dlt.Records() {
+		if rec.Ctx == "ESCL" && strings.Contains(rec.Msg, "rung failover") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatal("failover escalation never DLT-logged")
+	}
+}
+
+// Without a live standby the ladder must not burn cooldown rounds on the
+// failover rung: the replicated system whose standby ECU died behaves
+// like the unreplicated one and goes straight to the ECU reset.
+func TestLadderSkipsFailoverWhenStandbyDead(t *testing.T) {
+	p := rte.MustBuild(replicatedSystem(t), rte.Options{})
+	if err := p.SetBehavior("Sensor", "sample", faultySensor); err != nil {
+		t.Fatal(err)
+	}
+	p.K.At(0, func() {
+		if err := p.KillECU("e2"); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+	})
+	m := NewMonitor(p, MonitorOptions{})
+	m.MustProtect("Sensor", Policy{
+		MaxAttempts: 1, Cooldown: sim.MS(5),
+		ResetDowntime: sim.MS(20), HealAfter: sim.MS(100),
+	})
+	p.Run(sim.MS(500))
+	if st := m.Status()[0]; st.State != SafeStopped {
+		t.Fatalf("final state %v, want safe-stopped", st.State)
+	}
+	if got := p.Metrics.Counter("health_escalations_total", "",
+		obs.Label{Key: "rung", Value: RungFailover.String()}).Value(); got != 0 {
+		t.Fatalf("dead-standby failover attempted %d times, want 0", got)
+	}
+	if got := p.Metrics.Counter("deploy_failovers_total", "",
+		obs.Label{Key: "swc", Value: "Sensor"}).Value(); got != 0 {
+		t.Fatalf("deploy_failovers_total = %d, want 0", got)
+	}
+}

@@ -25,6 +25,11 @@ const (
 	// RungRestartPartition restarts the whole SWC partition: all jobs
 	// killed, port state re-initialized. Enters at least Degraded.
 	RungRestartPartition
+	// RungFailover promotes a standby replica of the partition on another
+	// ECU (rte.FailOver) — the fail-operational move for faults local
+	// restarts cannot cure, milder than resetting the whole ECU. The
+	// ladder skips this rung for partitions without a live standby.
+	RungFailover
 	// RungECUReset resets the partition's ECU with a reboot downtime.
 	// Enters at least LimpHome.
 	RungECUReset
@@ -33,7 +38,7 @@ const (
 	RungSafeStop
 )
 
-var rungNames = [...]string{"notify", "restart-runnable", "restart-partition", "ecu-reset", "safe-stop"}
+var rungNames = [...]string{"notify", "restart-runnable", "restart-partition", "failover", "ecu-reset", "safe-stop"}
 
 func (r Rung) String() string {
 	if int(r) < len(rungNames) {
@@ -234,6 +239,19 @@ func (g *guard) attempt() {
 		if err := p.RestartComponent(g.swc); err != nil {
 			panic(err)
 		}
+	case RungFailover:
+		// Unlike the restart rungs this one can legitimately fail at
+		// attempt time — the last standby's ECU may have died since the
+		// ladder escalated here — so the error is logged and the ladder
+		// keeps climbing instead of panicking.
+		if err := p.FailOver(g.swc); err != nil {
+			p.DLT.Emitf(int64(now), obs.LevelError, "HLTH", "FAIL",
+				"%s: failover failed: %v", g.swc, err)
+		} else {
+			p.Metrics.Histogram("deploy_failover_latency_ns",
+				"Virtual time from fault qualification to standby promotion.").
+				Observe(int64(now - g.episodeStart))
+		}
 	case RungECUReset:
 		// Degrade before resetting: runnables the new level sheds are
 		// already suspended when the reset snapshots the reboot set, so the
@@ -257,6 +275,11 @@ func (g *guard) attempt() {
 	g.cooldown = sim.Duration(float64(g.cooldown) * g.pol.Backoff)
 	if g.attemptsAtRung >= g.pol.MaxAttempts {
 		g.rung++
+		if g.rung == RungFailover && !p.HasStandby(g.swc) {
+			// Nothing to promote: don't burn MaxAttempts cooldown rounds on
+			// a rung that cannot act, go straight to the ECU reset.
+			g.rung++
+		}
 		g.attemptsAtRung = 0
 		g.cooldown = g.pol.Cooldown // backoff restarts per rung
 	}

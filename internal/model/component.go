@@ -102,6 +102,65 @@ type SWC struct {
 	// at deployment time.
 	MemoryKB int
 	Config   ConfigSet // configuration parameters by class
+	// Redundancy declares the component's fail-operational replication
+	// requirement. The zero value means a single, unreplicated instance.
+	Redundancy Redundancy
+	// ReplicaOf names the primary this component is a standby replica of.
+	// Empty on primaries; set by deploy.Replicate when it materializes the
+	// standby instances of a redundancy spec.
+	ReplicaOf string `json:",omitempty"`
+}
+
+// ReplicaMode selects how a standby replica consumes resources before a
+// fail-over promotes it (Becker et al.'s active/passive distinction).
+type ReplicaMode uint8
+
+const (
+	// StandbyPassive replicas are deployed — they consume memory and keep
+	// warm input state — but their runnables stay suspended until a
+	// fail-over promotes them, so they demand no CPU in the normal case.
+	// The deployment analysis checks instead that the hosting ECU can
+	// absorb their load after the primary's ECU fails.
+	StandbyPassive ReplicaMode = iota
+	// StandbyActive replicas run continuously (hot redundancy): full CPU
+	// demand in the normal case, instantaneous takeover on fail-over.
+	StandbyActive
+)
+
+func (m ReplicaMode) String() string {
+	switch m {
+	case StandbyPassive:
+		return "passive"
+	case StandbyActive:
+		return "active"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Redundancy is the per-SWC fail-operational replication spec.
+type Redundancy struct {
+	// Replicas is the total number of deployed instances, primary
+	// included. 0 and 1 both mean "no redundancy".
+	Replicas int
+	// Mode selects passive (default) or active standby behaviour.
+	Mode ReplicaMode
+}
+
+// Replicated reports whether the spec asks for at least one standby.
+func (r Redundancy) Replicated() bool { return r.Replicas > 1 }
+
+// IsStandby reports whether this component is a materialized standby
+// replica of another component.
+func (c *SWC) IsStandby() bool { return c.ReplicaOf != "" }
+
+// PassiveStandby reports whether this component is a standby replica that
+// stays suspended (zero CPU demand) until promoted. The capacity model
+// (AnalyzedLoad, taskset.Build, the deployment evaluators) excludes
+// passive standbys from normal-case load and schedulability; the
+// fail-over validity check in deploy covers their post-promotion demand.
+func (c *SWC) PassiveStandby() bool {
+	return c.ReplicaOf != "" && c.Redundancy.Mode == StandbyPassive
 }
 
 // ASIL is the automotive safety integrity level (ISO 26262 scale, with QM
@@ -177,6 +236,15 @@ func (c *SWC) Validate() error {
 	}
 	if len(c.Runnables) == 0 {
 		return fmt.Errorf("component %s: no runnables", c.Name)
+	}
+	if c.Redundancy.Replicas < 0 {
+		return fmt.Errorf("component %s: negative replica count %d", c.Name, c.Redundancy.Replicas)
+	}
+	if c.ReplicaOf != "" && c.Redundancy.Replicated() {
+		return fmt.Errorf("component %s: standby replica of %s cannot itself request %d replicas", c.Name, c.ReplicaOf, c.Redundancy.Replicas)
+	}
+	if c.ReplicaOf == c.Name && c.Name != "" {
+		return fmt.Errorf("component %s: replica of itself", c.Name)
 	}
 	runSeen := map[string]bool{}
 	for i := range c.Runnables {

@@ -154,6 +154,18 @@ func (s *System) Validate() error {
 			return err
 		}
 	}
+	for _, c := range s.Components {
+		if c.ReplicaOf == "" {
+			continue
+		}
+		primary := s.Component(c.ReplicaOf)
+		if primary == nil {
+			return fmt.Errorf("component %s: replica of unknown component %q", c.Name, c.ReplicaOf)
+		}
+		if primary.IsStandby() {
+			return fmt.Errorf("component %s: replica of %s, which is itself a standby", c.Name, c.ReplicaOf)
+		}
+	}
 	ecuSeen := map[string]bool{}
 	for _, e := range s.ECUs {
 		if ecuSeen[e.Name] {
@@ -378,6 +390,9 @@ func (s *System) effectivePeriod(comp *SWC, run *Runnable, seen map[string]bool)
 // mapping, counting event-driven runnables at their derived rates (unlike
 // ECULoad, which only sees declared periodic work). Deployment decisions
 // must use this so that what the packer admits, the analysis can verify.
+// Passive standby replicas demand no CPU until a fail-over promotes them,
+// so they are excluded here; deploy's fail-over validity check covers
+// their post-promotion demand.
 func (s *System) AnalyzedLoad(ecu string) float64 {
 	e := s.ECUByName(ecu)
 	if e == nil {
@@ -385,7 +400,7 @@ func (s *System) AnalyzedLoad(ecu string) float64 {
 	}
 	u := 0.0
 	for _, c := range s.Components {
-		if s.Mapping[c.Name] != ecu {
+		if s.Mapping[c.Name] != ecu || c.PassiveStandby() {
 			continue
 		}
 		for i := range c.Runnables {

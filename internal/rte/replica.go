@@ -1,0 +1,191 @@
+package rte
+
+import (
+	"fmt"
+	"sort"
+
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/trace"
+)
+
+// Replica switchover: the runtime side of fail-operational deployment.
+// deploy.Replicate materializes standby instances (ReplicaOf set) next to
+// their primaries; this file keeps track of which instance of each
+// replica group is active, suspends passive standbys until a fail-over
+// promotes them, and provides the ECU-kill fault model the availability
+// campaign (E13) injects. The health monitor's escalation ladder drives
+// FailOver through its dedicated rung (health.RungFailover).
+
+// initReplicas indexes the replica groups of the system and puts passive
+// standbys to sleep: their tasks exist — warm state keeps flowing into
+// their consumer ports — but every activation is shed until promotion.
+func (p *Platform) initReplicas() {
+	p.replicas = map[string][]string{}
+	p.active = map[string]string{}
+	p.deadECU = map[string]bool{}
+	for _, c := range p.Sys.Components {
+		if !c.IsStandby() {
+			continue
+		}
+		p.replicas[c.ReplicaOf] = append(p.replicas[c.ReplicaOf], c.Name)
+		if _, ok := p.active[c.ReplicaOf]; !ok {
+			p.active[c.ReplicaOf] = c.ReplicaOf
+		}
+		if c.PassiveStandby() {
+			cpu := p.cpus[p.Sys.Mapping[c.Name]]
+			for i := range c.Runnables {
+				cpu.SetSuspended(p.tasks[c.Name+"."+c.Runnables[i].Name], true)
+			}
+		}
+	}
+}
+
+// ReplicaGroup returns every instance of a replica group in fail-over
+// preference order: the primary first, then its standbys in declaration
+// order. A component without standbys is its own group of one.
+func (p *Platform) ReplicaGroup(primary string) []string {
+	return append([]string{primary}, p.replicas[primary]...)
+}
+
+// ActiveReplica returns the instance of the group currently delivering
+// the primary's function. Before any fail-over that is the primary
+// itself.
+func (p *Platform) ActiveReplica(primary string) string {
+	if a, ok := p.active[primary]; ok {
+		return a
+	}
+	return primary
+}
+
+// HasStandby reports whether a fail-over of the primary's function could
+// succeed right now: some other instance of the group is hosted on a
+// live ECU different from the active instance's.
+func (p *Platform) HasStandby(primary string) bool {
+	return p.failOverTarget(primary) != ""
+}
+
+// failOverTarget picks the instance a fail-over would promote: the first
+// group member (preference order) that is not the active instance and
+// whose ECU is alive and different from the active instance's. Empty
+// when no such instance exists.
+func (p *Platform) failOverTarget(primary string) string {
+	cur := p.ActiveReplica(primary)
+	curECU := p.Sys.Mapping[cur]
+	for _, name := range p.ReplicaGroup(primary) {
+		ecu := p.Sys.Mapping[name]
+		if name == cur || ecu == curECU || p.deadECU[ecu] {
+			continue
+		}
+		return name
+	}
+	return ""
+}
+
+// FailOver promotes a standby of the primary's replica group: the active
+// instance's runnables are shed, the promoted instance's resume, and the
+// active pointer moves. The promotion is metered (deploy_failovers_total
+// by swc), DLT-logged and flight-recorded. It fails when the component
+// has no standbys or no live one is left to promote.
+func (p *Platform) FailOver(primary string) error {
+	if len(p.replicas[primary]) == 0 {
+		return fmt.Errorf("rte: component %s has no standby replicas to fail over to", primary)
+	}
+	cur := p.ActiveReplica(primary)
+	target := p.failOverTarget(primary)
+	if target == "" {
+		return fmt.Errorf("rte: no live standby to promote for %s (active %s on %s)",
+			primary, cur, p.Sys.Mapping[cur])
+	}
+	mode := model.StandbyActive
+	if c := p.Sys.Component(primary); c != nil {
+		mode = c.Redundancy.Mode
+	}
+	switch mode {
+	case model.StandbyPassive:
+		// Cold side of the switch: shed the (presumed failed) active
+		// instance and wake the promoted one. Warm input state is already
+		// in the standby's consumer buffers — routes delivered to every
+		// group member all along.
+		p.setGroupMemberSuspended(cur, true)
+		p.setGroupMemberSuspended(target, false)
+	case model.StandbyActive:
+		// Hot redundancy: every instance runs continuously; the switch
+		// only moves the active pointer that attribution and supervision
+		// follow.
+	default:
+		return fmt.Errorf("rte: component %s: unknown replica mode %v", primary, mode)
+	}
+	p.active[primary] = target
+	now := p.K.Now()
+	n := p.Metrics.Counter("deploy_failovers_total",
+		"Replica fail-overs performed, by primary component.",
+		obs.Label{Key: "swc", Value: primary})
+	n.Inc()
+	p.Trace.Emit(now, trace.Recover, primary, int64(n.Value()),
+		"failover: "+cur+" -> "+target)
+	p.DLT.Emitf(int64(now), obs.LevelWarn, "RTE", "FAIL",
+		"failover %s: %s (%s) -> %s (%s)", primary,
+		cur, p.Sys.Mapping[cur], target, p.Sys.Mapping[target])
+	p.Note("failover", primary+": "+cur+" -> "+target)
+	return nil
+}
+
+// setGroupMemberSuspended sheds or resumes every runnable of one replica
+// instance. Suspending on a dead ECU is a harmless no-op: KillECU
+// already shed them permanently.
+func (p *Platform) setGroupMemberSuspended(name string, suspended bool) {
+	comp := p.Sys.Component(name)
+	if comp == nil {
+		return
+	}
+	cpu := p.cpus[p.Sys.Mapping[name]]
+	for i := range comp.Runnables {
+		cpu.SetSuspended(p.tasks[name+"."+comp.Runnables[i].Name], suspended)
+	}
+}
+
+// KillECU models a permanent ECU failure: every hosted job is killed and
+// every hosted task shed, with no reboot scheduled — unlike ResetECU,
+// nothing ever resumes (and a later escalation-ladder ECU reset resumes
+// only tasks it suspended itself, so the kill sticks through it). The
+// fault campaign's ecu-kill class injects this.
+func (p *Platform) KillECU(ecu string) error {
+	cpu := p.cpus[ecu]
+	if cpu == nil {
+		return fmt.Errorf("rte: unknown ECU %s", ecu)
+	}
+	if p.deadECU == nil {
+		p.deadECU = map[string]bool{}
+	}
+	if p.deadECU[ecu] {
+		return fmt.Errorf("rte: ECU %s is already dead", ecu)
+	}
+	p.deadECU[ecu] = true
+	var comps []string
+	for comp, e := range p.Sys.Mapping {
+		if e == ecu {
+			comps = append(comps, comp)
+		}
+	}
+	sort.Strings(comps)
+	killed := 0
+	for _, swc := range comps {
+		comp := p.Sys.Component(swc)
+		for i := range comp.Runnables {
+			task := p.tasks[swc+"."+comp.Runnables[i].Name]
+			cpu.Kill(task, "ecu-kill")
+			cpu.SetSuspended(task, true)
+			killed++
+		}
+	}
+	now := p.K.Now()
+	p.Trace.Emit(now, trace.Error, ecu, 0, "ecu killed")
+	p.DLT.Emitf(int64(now), obs.LevelError, "RTE", "KILL",
+		"ECU %s killed permanently (%d tasks shed)", ecu, killed)
+	p.Note("ecu-kill", ecu)
+	return nil
+}
+
+// ECUDead reports whether the ECU was killed.
+func (p *Platform) ECUDead(ecu string) bool { return p.deadECU[ecu] }

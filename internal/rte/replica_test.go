@@ -1,0 +1,156 @@
+package rte
+
+import (
+	"testing"
+
+	"autorte/internal/deploy"
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// replicatedChain materializes a passive standby for the chain's
+// controller on a third ECU, through deploy.Replicate — the same path the
+// availability campaign (E13) deploys with.
+func replicatedChain(t *testing.T) *model.System {
+	t.Helper()
+	s := chainSystem(model.BusCAN)
+	s.ECUs = append(s.ECUs, &model.ECU{Name: "ecu3", Speed: 1, Buses: []string{"bus0"}})
+	s.Component("Ctrl").Redundancy = model.Redundancy{Replicas: 2, Mode: model.StandbyPassive}
+	out, err := deploy.Replicate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Mapping["Ctrl#1"] = "ecu3"
+	return out
+}
+
+// A passive standby stays suspended until FailOver promotes it; the
+// switch moves the active pointer, meters deploy_failovers_total and
+// leaves a Recover trace, and the demoted primary stops running.
+func TestPassiveStandbyFailOver(t *testing.T) {
+	p := MustBuild(replicatedChain(t), Options{})
+	runs := map[string]int{}
+	law := func(name string) Behavior {
+		return func(c *Context) {
+			runs[name]++
+			c.Write("cmd", "u", c.Read("in", "v")+1)
+		}
+	}
+	if err := p.SetBehavior("Ctrl", "law", law("Ctrl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetBehavior("Ctrl#1", "law", law("Ctrl#1")); err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	var lastCmd float64
+	p.SetBehavior("Act", "apply", func(c *Context) { applied++; lastCmd = c.Read("in", "u") })
+
+	if got := p.ActiveReplica("Ctrl"); got != "Ctrl" {
+		t.Fatalf("active replica %q before any fail-over", got)
+	}
+	if !p.HasStandby("Ctrl") {
+		t.Fatal("standby on a live third ECU not seen")
+	}
+	p.K.At(sim.MS(50), func() {
+		if err := p.FailOver("Ctrl"); err != nil {
+			t.Errorf("failover: %v", err)
+		}
+	})
+	p.Run(sim.MS(95))
+
+	if runs["Ctrl#1"] == 0 {
+		t.Fatal("promoted standby never ran")
+	}
+	if runs["Ctrl"] > 6 {
+		t.Fatalf("demoted primary kept running: %d jobs", runs["Ctrl"])
+	}
+	if applied < 9 {
+		t.Fatalf("actuator applied %d commands across the switch, want >= 9", applied)
+	}
+	if got := p.ActiveReplica("Ctrl"); got != "Ctrl#1" {
+		t.Fatalf("active replica %q after fail-over, want Ctrl#1", got)
+	}
+	// The actuator must read FRESH values through the promoted standby's
+	// route, not a stale cell of the demoted primary's: the sensor's default
+	// behavior publishes the job index, so the last command tracks time.
+	if lastCmd < 7 {
+		t.Fatalf("last command %v reflects a stale pre-failover value", lastCmd)
+	}
+	if n := p.Metrics.Counter("deploy_failovers_total", "",
+		obs.Label{Key: "swc", Value: "Ctrl"}).Value(); n != 1 {
+		t.Fatalf("deploy_failovers_total = %d, want 1", n)
+	}
+	if p.Trace.Count(trace.Recover, "Ctrl") == 0 {
+		t.Fatal("fail-over left no Recover trace record")
+	}
+}
+
+// KillECU is permanent: the dead ECU's tasks stay shed through a later
+// escalation-style ECU reset, and a manual fail-over restores the chain.
+func TestKillECUSticksAndFailOverRecovers(t *testing.T) {
+	p := MustBuild(replicatedChain(t), Options{})
+	var applied int
+	p.SetBehavior("Act", "apply", func(c *Context) { applied++ })
+	p.K.At(sim.MS(45), func() {
+		if err := p.KillECU("ecu2"); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		if err := p.KillECU("ecu2"); err == nil {
+			t.Error("double kill accepted")
+		}
+		if err := p.FailOver("Ctrl"); err != nil {
+			t.Errorf("failover off the dead ECU: %v", err)
+		}
+	})
+	// The ladder's ECU-reset rung may fire on a dead ECU: nothing it did
+	// not suspend itself may come back.
+	p.K.At(sim.MS(60), func() {
+		if err := p.ResetECU("ecu2", sim.MS(5)); err != nil {
+			t.Errorf("reset: %v", err)
+		}
+	})
+	p.Run(sim.MS(95))
+	if !p.ECUDead("ecu2") {
+		t.Fatal("killed ECU reported alive")
+	}
+	if n := p.Trace.Count(trace.Finish, "Ctrl.law"); n > 5 {
+		t.Fatalf("dead primary finished %d jobs after the kill, want <= 5", n)
+	}
+	if p.Trace.Count(trace.Finish, "Ctrl#1.law") == 0 {
+		t.Fatal("promoted standby never ran after the kill")
+	}
+	if applied < 9 {
+		t.Fatalf("actuator applied %d commands across the kill, want >= 9", applied)
+	}
+}
+
+func TestFailOverErrors(t *testing.T) {
+	// Without standbys the fail-over must refuse, not guess.
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	if p.HasStandby("Ctrl") {
+		t.Fatal("unreplicated component claims a standby")
+	}
+	if err := p.FailOver("Ctrl"); err == nil {
+		t.Fatal("no-standby failover accepted")
+	}
+	// With the last standby's ECU dead there is nothing live to promote.
+	p2 := MustBuild(replicatedChain(t), Options{})
+	p2.K.At(sim.MS(5), func() {
+		if err := p2.KillECU("ecu3"); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		if p2.HasStandby("Ctrl") {
+			t.Error("dead standby still offered")
+		}
+		if err := p2.FailOver("Ctrl"); err == nil {
+			t.Error("failover onto a dead ECU accepted")
+		}
+	})
+	p2.Run(sim.MS(10))
+	if err := p2.KillECU("no-such-ecu"); err == nil {
+		t.Fatal("kill of unknown ECU accepted")
+	}
+}

@@ -292,8 +292,15 @@ func (p *Platform) addBinding(r vfb.Route, b binding) {
 func (p *Platform) makeDeliver(r vfb.Route) func(float64) {
 	_, _, dstSWC, dstPort := routeEndpoints(r)
 	key := storeKey(dstSWC, dstPort, r.Elem)
-	c := &cell{}
-	p.store[key] = c
+	// Replica fan-in: every route into the same consumer element — the
+	// primary's and each standby's — must land in ONE cell, or reads
+	// would follow whichever route registered last while the promoted
+	// instance delivers into an orphan.
+	c := p.store[key]
+	if c == nil {
+		c = &cell{}
+		p.store[key] = c
+	}
 	comp := p.Sys.Component(dstSWC)
 	ecu := p.Sys.Mapping[dstSWC]
 	// Pre-compute the runnables triggered by this element's arrival.

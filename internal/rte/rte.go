@@ -172,6 +172,12 @@ type Platform struct {
 	e2eChans map[string]*e2eChannel
 	e2eByDst map[string]*e2eChannel
 	rxTamper map[string]RxTamper
+	// Replica-switchover state (replica.go): standbys per primary in
+	// fail-over preference order, the instance currently delivering each
+	// replicated function, and permanently failed ECUs.
+	replicas map[string][]string
+	active   map[string]string
+	deadECU  map[string]bool
 	started  bool
 	// Virtual-time sampling state (EnableSampling).
 	sampler       *obs.Sampler
@@ -253,6 +259,7 @@ func Build(sys *model.System, opts Options) (*Platform, error) {
 	if err := p.buildRoutes(); err != nil {
 		return nil, err
 	}
+	p.initReplicas()
 	return p, nil
 }
 

@@ -17,8 +17,11 @@ import (
 
 // Build derives the analyzable task set per ECU. Event-driven runnables
 // inherit the period of their triggering producer; runnables whose rate
-// cannot be derived are skipped with a warning. The output — including
-// the warning order — is deterministic for a given system.
+// cannot be derived are skipped with a warning. Passive standby replicas
+// are excluded entirely — suspended until a fail-over promotes them, they
+// exert no demand in the normal case the analysis models (deploy's
+// fail-over validity check analyzes the post-promotion sets). The output
+// — including the warning order — is deterministic for a given system.
 func Build(sys *model.System) (map[string][]sched.Task, []string) {
 	type tinfo struct {
 		comp *model.SWC
@@ -33,6 +36,9 @@ func Build(sys *model.System) (map[string][]sched.Task, []string) {
 	perECU := map[string][]tinfo{}
 	var ecus []string
 	for _, comp := range sys.Components {
+		if comp.PassiveStandby() {
+			continue
+		}
 		ecu := sys.Mapping[comp.Name]
 		for i := range comp.Runnables {
 			run := &comp.Runnables[i]

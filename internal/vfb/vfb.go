@@ -41,9 +41,17 @@ type Route struct {
 }
 
 // CheckConnectivity verifies VFB completeness: every required port must
-// have exactly one incoming connector (AUTOSAR allows unconnected R-ports
-// only with explicit defaults; we treat them as design errors).
+// have exactly one logical provider (AUTOSAR allows unconnected R-ports
+// only with explicit defaults; we treat them as design errors). A replica
+// group counts as ONE logical provider: when deploy.Replicate fans a
+// connector out so the primary and its standbys all feed the same
+// consumer port, only the active instance publishes at any instant, so
+// the port still sees a single producer stream.
 func CheckConnectivity(s *model.System) error {
+	// Count-only map on the hot path: connectivity runs inside every
+	// verification pass, and a per-port provider slice here was a
+	// measurable fraction of the Verify allocs/op budget. The provider
+	// list is materialized only for the rare multi-provider port.
 	incoming := map[[2]string]int{}
 	for _, c := range s.Connectors {
 		incoming[[2]string{c.ToSWC, c.ToPort}]++
@@ -58,11 +66,43 @@ func CheckConnectivity(s *model.System) error {
 				return fmt.Errorf("vfb: required port %s.%s is unconnected", comp.Name, p.Name)
 			}
 			if n > 1 {
-				return fmt.Errorf("vfb: required port %s.%s has %d providers", comp.Name, p.Name, n)
+				var provs []string
+				for _, c := range s.Connectors {
+					if c.ToSWC == comp.Name && c.ToPort == p.Name {
+						provs = append(provs, c.FromSWC)
+					}
+				}
+				if !oneLogicalProvider(s, provs) {
+					return fmt.Errorf("vfb: required port %s.%s has %d providers", comp.Name, p.Name, n)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// oneLogicalProvider reports whether a set of providing components is one
+// replica group: distinct instances that all collapse (via ReplicaOf) to
+// the same primary. The same instance wired in twice is still an error.
+func oneLogicalProvider(s *model.System, provs []string) bool {
+	primary := ""
+	seen := map[string]bool{}
+	for _, name := range provs {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		group := name
+		if c := s.Component(name); c != nil && c.ReplicaOf != "" {
+			group = c.ReplicaOf
+		}
+		if primary == "" {
+			primary = group
+		} else if group != primary {
+			return false
+		}
+	}
+	return true
 }
 
 // Resolve maps every connector element onto a route under the system's

@@ -62,6 +62,33 @@ func TestCheckConnectivity(t *testing.T) {
 	}
 }
 
+// A replica group is one logical provider: the primary and its standbys
+// may all feed the same required port. Providers from different groups
+// stay rejected.
+func TestCheckConnectivityReplicaFanIn(t *testing.T) {
+	s := buildSystem()
+	sb := *s.Components[0] // standby of Sensor
+	sb.Name = "Sensor#1"
+	sb.ReplicaOf = "Sensor"
+	s.Components = append(s.Components, &sb)
+	s.Connectors = append(s.Connectors,
+		model.Connector{FromSWC: "Sensor#1", FromPort: "out", ToSWC: "Ctrl", ToPort: "in"})
+	s.Mapping["Sensor#1"] = "e2"
+	if err := CheckConnectivity(s); err != nil {
+		t.Fatalf("replica fan-in rejected: %v", err)
+	}
+	// An unrelated second provider is still a design error.
+	other := *s.Components[0]
+	other.Name = "Rogue"
+	other.ReplicaOf = ""
+	s.Components = append(s.Components, &other)
+	s.Connectors = append(s.Connectors,
+		model.Connector{FromSWC: "Rogue", FromPort: "out", ToSWC: "Ctrl", ToPort: "in"})
+	if err := CheckConnectivity(s); err == nil || !strings.Contains(err.Error(), "providers") {
+		t.Fatalf("cross-group fan-in not caught: %v", err)
+	}
+}
+
 func TestResolveRemote(t *testing.T) {
 	s := buildSystem()
 	routes, err := Resolve(s)
