@@ -39,7 +39,7 @@ test:
 # independent samples; -count=2 with benchjson keeping the fastest
 # repeat adds slack against a one-off bad run.
 bench:
-	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel|BenchmarkE13Availability' -benchmem . > BENCH_pipeline.txt
+	go test -run '^$$' -bench 'BenchmarkVerify$$|BenchmarkVerifyDSESweep|BenchmarkDSEDescend|BenchmarkDSEAnnealParallel|BenchmarkE13Availability|BenchmarkE14Observer' -benchmem . > BENCH_pipeline.txt
 	go test -run '^$$' -bench 'BenchmarkPlatformFlight|BenchmarkE11Flight|BenchmarkVerifyFlight' -benchmem -benchtime=2s -count=2 . >> BENCH_pipeline.txt
 	go run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 	go run ./cmd/benchguard -bench BENCH_pipeline.json
@@ -62,10 +62,11 @@ bench-all:
 
 # Fault-injection smoke suite: the systematic campaign, the escalation
 # ladder, the graceful-degradation experiments and the fail-operational
-# availability study (E13) with its replica fail-over runtime, under the
-# race detector (the campaign runner fans scenarios out across workers).
+# availability studies (E13/E14) with the replica fail-over/fail-back
+# runtime and the observer quorum, under the race detector (the campaign
+# runner fans scenarios out across workers).
 chaos:
-	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12|E13|FailOver|Ladder|KillECU' \
+	go test -race -run 'Campaign|Escalation|LimpHome|Debounce|Supervision|Coverage|E12|E13|E14|FailOver|FailBack|Quorum|KillECU|Ladder|Switchover|ResetECUDemotes' \
 		./internal/fault ./internal/health ./internal/experiments ./internal/rte
 
 # Observability smoke: simulate the demo vehicle with the always-on

@@ -153,6 +153,27 @@ func BenchmarkE13Availability(b *testing.B) {
 	benchPairedMetric(b, "par/seq-ratio", campaign(0), campaign(1))
 }
 
+// BenchmarkE14Observer measures the multi-failure detection study — the
+// single- and replicated-observer deployments under the full ECU-kill
+// campaign with quorum voting on every scenario — under the same paired
+// par/seq discipline as E13.
+func BenchmarkE14Observer(b *testing.B) {
+	campaign := func(workers int) func() {
+		cfg := experiments.DefaultE14()
+		cfg.Workers = workers
+		return func() {
+			tab, err := experiments.E14Observer(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		}
+	}
+	benchPairedMetric(b, "par/seq-ratio", campaign(0), campaign(1))
+}
+
 // BenchmarkPlatformThroughput measures raw simulation speed: virtual
 // events per wall second on the full generated vehicle. This is the
 // substrate-cost figure behind every experiment above.

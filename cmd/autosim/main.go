@@ -25,8 +25,8 @@
 // health after the run; -faults selects fault classes ("all" or a
 // comma-separated subset such as "ecu-kill,can-burst") and runs the
 // matching fault-injection campaign tables — E11 for the
-// sensor/bus/overrun classes, E12 for the communication classes, E13 for
-// ecu-kill — then exits. An unknown class name fails fast and prints the
+// sensor/bus/overrun classes, E12 for the communication classes, E13 and
+// E14 for ecu-kill — then exits. An unknown class name fails fast and prints the
 // valid class list.
 package main
 
@@ -194,7 +194,7 @@ func main() {
 // runFaultTables parses the -faults class selection and renders every
 // campaign table whose swept classes intersect it: E11 for the sensor,
 // bus-burst and overrun classes, E12 for the communication classes, E13
-// (the fail-operational deployment study) for ecu-kill. A mistyped class
+// and E14 (the fail-operational deployment studies) for ecu-kill. A mistyped class
 // name fails fast here — ParseClasses' error lists every valid name —
 // instead of silently sweeping nothing.
 func runFaultTables(selection string) error {
@@ -239,6 +239,12 @@ func runFaultTables(selection string) error {
 		} {
 			run := run
 			runs = append(runs, func() (*experiments.Table, error) { return run(experiments.DefaultE13()) })
+		}
+		for _, run := range []func(experiments.E14Config) (*experiments.Table, error){
+			experiments.E14Observer, experiments.E14Switchover, experiments.E14Placement,
+		} {
+			run := run
+			runs = append(runs, func() (*experiments.Table, error) { return run(experiments.DefaultE14()) })
 		}
 	}
 	for _, run := range runs {

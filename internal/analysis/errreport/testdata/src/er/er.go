@@ -38,6 +38,7 @@ func handled(p *rte.Platform) {
 // the monitor believes the rung succeeded.
 func switchover(p *rte.Platform) {
 	p.FailOver("Ctrl")       // want `error returned by rte.FailOver is dropped`
+	p.FailBack("Ctrl")       // want `error returned by rte.FailBack is dropped`
 	_ = p.KillECU("ecu2")    // want `error returned by rte.KillECU is discarded with _`
 	defer p.ResetECU("ecu2") // want `error returned by rte.ResetECU is dropped`
 	wrap.Promote(p)          // want `error returned by wrap.Promote is dropped`

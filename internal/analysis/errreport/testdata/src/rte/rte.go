@@ -14,6 +14,8 @@ func (p *Platform) SetBehavior(swc string) error { return errors.New("no such sw
 // rejected fault injections — exactly what the health chain must see.
 func (p *Platform) FailOver(swc string) error { return errors.New("no standby") }
 
+func (p *Platform) FailBack(swc string) error { return errors.New("primary ECU still down") }
+
 func (p *Platform) KillECU(ecu string) error { return errors.New("no such ecu") }
 
 func (p *Platform) ResetECU(ecu string) error { return errors.New("no such ecu") }

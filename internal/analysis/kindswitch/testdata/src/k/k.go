@@ -203,3 +203,84 @@ func modeGate(m ReplicaMode) bool {
 		return false
 	}
 }
+
+// LossKind mirrors the deployment fault model's loss-unit enum: a
+// survivability check that classifies only ECU losses silently treats a
+// bus or correlated ECU+bus loss as harmless, so partial switches must
+// be flagged.
+type LossKind uint8
+
+const (
+	LossECU LossKind = iota
+	LossBus
+	LossECUAndBus
+)
+
+func lossLabel(k LossKind) string {
+	switch k {
+	case LossECU:
+		return "ecu"
+	case LossBus:
+		return "bus"
+	case LossECUAndBus:
+		return "ecu+bus"
+	}
+	return "?"
+}
+
+func ecuLossesOnly(k LossKind) bool {
+	switch k { // want `switch over LossKind is not exhaustive: missing LossBus, LossECUAndBus`
+	case LossECU:
+		return true
+	}
+	return false
+}
+
+func lossGate(k LossKind) bool {
+	switch k { // default prices every unclassified loss: fine
+	case LossECU:
+		return true
+	default:
+		return false
+	}
+}
+
+// Verdict mirrors the observer quorum's vote enum: a tally that counts
+// only fault votes ignores recanting OK votes, so a cleared accusation
+// would still trip the ladder.
+type Verdict uint8
+
+const (
+	VerdictOK Verdict = iota
+	VerdictSuspect
+	VerdictFault
+)
+
+func verdictWeight(v Verdict) int {
+	switch v {
+	case VerdictOK:
+		return 0
+	case VerdictSuspect:
+		return 1
+	case VerdictFault:
+		return 2
+	}
+	return -1
+}
+
+func faultVotesOnly(v Verdict) bool {
+	switch v { // want `switch over Verdict is not exhaustive: missing VerdictOK, VerdictSuspect`
+	case VerdictFault:
+		return true
+	}
+	return false
+}
+
+func verdictGate(v Verdict) bool {
+	switch v { // default meters unknown verdicts: fine
+	case VerdictFault:
+		return true
+	default:
+		return false
+	}
+}

@@ -61,6 +61,9 @@ type boundECU struct {
 	memoryKB int
 	maxASIL  model.ASIL
 	pos      [2]float64
+	// buses lists the channels the ECU is attached to — the fault model's
+	// bus-loss events treat an ECU with every channel lost as isolated.
+	buses []string
 }
 
 type boundConn struct {
@@ -139,7 +142,7 @@ func bindECUs(sys *model.System) []boundECU {
 	for _, e := range sys.ECUs {
 		ecus = append(ecus, boundECU{
 			name: e.Name, speed: e.Speed, memoryKB: e.MemoryKB,
-			maxASIL: e.MaxASIL, pos: e.Position,
+			maxASIL: e.MaxASIL, pos: e.Position, buses: e.Buses,
 		})
 	}
 	return ecus

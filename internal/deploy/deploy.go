@@ -53,6 +53,10 @@ type Constraints struct {
 	// regime). 0 is unset (no bound); a positive value caps
 	// worst−best; a negative value is strict — one level per ECU.
 	MaxASILSpread int
+	// Faults configures the k-of-n fault universe the fail-operational
+	// analysis sweeps. The zero value is the v1 model: every single
+	// hosted ECU fails alone, uncovered events are hard violations.
+	Faults FaultModel
 }
 
 func (c *Constraints) fill() {
@@ -96,10 +100,12 @@ type Metrics struct {
 	Harness float64
 	MaxLoad float64
 	LoadVar float64
-	// Survivability is the fraction of (used-ECU failure × replica group)
-	// events the deployment survives with a valid fail-over: a standby on
-	// another ECU whose host stays within capacity after absorbing the
-	// failed-over load. 1.0 for systems without replicas.
+	// Survivability is the fraction of (fault event × replica group)
+	// pairs the deployment survives with a valid fail-over: a standby
+	// outside the event's loss set whose host stays within capacity after
+	// absorbing the failed-over load. The event universe comes from
+	// Constraints.Faults (zero value: every single used-ECU failure).
+	// 1.0 for systems where nothing is scored.
 	Survivability float64
 	Feasible      bool
 	Violations    []string
@@ -173,11 +179,15 @@ func (ev *Evaluator) Evaluate(sys *model.System) Metrics {
 	}
 	m.ECUs = len(sys.UsedECUs())
 	m.Harness = sys.HarnessLength()
-	hasRed := false
+	// IncludeSingletons scores unreplicated components too, so the check
+	// must run even on systems without any standby.
+	hasRed := cons.Faults.IncludeSingletons
 	for _, c := range sys.Components {
+		if hasRed {
+			break
+		}
 		if c.ReplicaOf != "" {
 			hasRed = true
-			break
 		}
 	}
 	// Per-ECU checks.

@@ -1,9 +1,11 @@
 package deploy
 
 // Fail-operational feasibility: a redundant deployment is only worth its
-// standbys if every single-ECU failure leaves each replica group with a
-// promotable instance AND the promoted instance's ECU still fits within
-// its capacity after absorbing the failed-over load. redCheck is that
+// standbys if every fault event of the configured model (default: any
+// single hosted-ECU failure; see FaultModel for k-of-n, bus and
+// correlated losses) leaves each replica group with a promotable
+// instance AND the promoted instance's ECU still fits within its
+// capacity after absorbing the failed-over load. redCheck is that
 // analysis, shared verbatim by the unbound (Evaluator.Evaluate), bound
 // (Bound.Evaluate) and delta (Prepared.assemble) paths so the three stay
 // DeepEqual-identical — same violations in the same order, same
@@ -86,16 +88,22 @@ type redCheck struct {
 }
 
 // run appends fail-operational violations to m and sets m.Survivability:
-// the fraction of (used ECU failure, replica group) events the deployment
-// survives with a valid fail-over. 1.0 when nothing is replicated.
+// the fraction of (fault event, replica group) pairs the deployment
+// survives with a valid fail-over. The event universe comes from
+// cons.Faults; its zero value sweeps every single hosted-ECU failure,
+// reproducing the v1 analysis exactly. 1.0 when nothing is scored.
 func (rc *redCheck) run(m *Metrics) {
 	m.Survivability = 1
-	if len(rc.groups) == 0 {
+	groups := rc.effectiveGroups()
+	if len(groups) == 0 {
 		return
 	}
+	soft := rc.cons.Faults.Soft
 	// Anti-affinity: two instances of one group on the same ECU fail
 	// together, defeating the replication. Group order, then pair order.
-	for _, g := range rc.groups {
+	// Always a hard violation, Soft or not — co-location is a deployment
+	// bug, not a coverage gap.
+	for _, g := range groups {
 		insts := append([]int{g.primary}, g.standbys...)
 		for x := 0; x < len(insts); x++ {
 			ex, okx := rc.ecuOf(insts[x])
@@ -112,36 +120,36 @@ func (rc *redCheck) run(m *Metrics) {
 			}
 		}
 	}
-	// Single-ECU failure sweep: for every used ECU (declaration order) and
-	// every replica group (group order), does the function survive?
+	// Fault-event sweep: for every event of the fault model (zero model:
+	// every used ECU, declaration order) and every replica group (group
+	// order), does the function survive?
 	events, survived := 0, 0
-	for ei := range rc.ecus {
-		if !rc.hosts(ei) {
-			continue
-		}
+	for _, ev := range rc.lossEvents(m) {
 		var promos []promo
-		for _, g := range rc.groups {
+		for _, g := range groups {
 			events++
 			pe, ok := rc.ecuOf(g.primary)
-			if !ok || pe != ei {
-				survived++ // this failure does not take the primary down
+			if !ok || !ev.lost(rc.ecus, pe) {
+				survived++ // this event does not take the primary down
 				continue
 			}
 			// The designated fail-over target: the first standby (preference
-			// order) hosted on a different ECU — the instance rte.FailOver
-			// would promote.
+			// order) hosted outside the event's loss set — the instance
+			// rte.FailOver would promote.
 			sb, target := -1, -1
 			for _, s := range g.standbys {
-				if se, ok := rc.ecuOf(s); ok && se != ei {
+				if se, ok := rc.ecuOf(s); ok && !ev.lost(rc.ecus, se) {
 					sb, target = s, se
 					break
 				}
 			}
 			if sb < 0 {
-				m.Feasible = false
-				m.Violations = append(m.Violations, fmt.Sprintf(
-					"%s failure leaves %s with no standby on another ECU",
-					rc.ecus[ei].name, rc.comps[g.primary].name))
+				if !soft {
+					m.Feasible = false
+					m.Violations = append(m.Violations, fmt.Sprintf(
+						"%s failure leaves %s with no standby on another ECU",
+						ev.label, rc.comps[g.primary].name))
+				}
 				continue
 			}
 			promos = append(promos, promo{standby: sb, target: target})
@@ -151,7 +159,7 @@ func (rc *redCheck) run(m *Metrics) {
 		}
 		// Absorption: each target ECU (declaration order) must stay within
 		// the utilization cap — and schedulable, when RTA is required —
-		// after every promotion this failure sends its way. Passive
+		// after every promotion this event sends its way. Passive
 		// standbys add their load only now; active ones already paid it.
 		for ti := range rc.ecus {
 			n := 0
@@ -175,16 +183,20 @@ func (rc *redCheck) run(m *Metrics) {
 			}
 			ok := al <= rc.cons.MaxUtilization
 			if !ok {
-				m.Feasible = false
-				m.Violations = append(m.Violations, fmt.Sprintf(
-					"%s failure overloads fail-over target %s: %.3f > %.3f",
-					rc.ecus[ei].name, rc.ecus[ti].name, al, rc.cons.MaxUtilization))
+				if !soft {
+					m.Feasible = false
+					m.Violations = append(m.Violations, fmt.Sprintf(
+						"%s failure overloads fail-over target %s: %.3f > %.3f",
+						ev.label, rc.ecus[ti].name, al, rc.cons.MaxUtilization))
+				}
 			} else if rc.cons.RequireSchedulable && !rc.failoverSchedulable(ti, promos) {
 				ok = false
-				m.Feasible = false
-				m.Violations = append(m.Violations, fmt.Sprintf(
-					"%s unschedulable after absorbing fail-over from %s",
-					rc.ecus[ti].name, rc.ecus[ei].name))
+				if !soft {
+					m.Feasible = false
+					m.Violations = append(m.Violations, fmt.Sprintf(
+						"%s unschedulable after absorbing fail-over from %s",
+						rc.ecus[ti].name, ev.label))
+				}
 			}
 			if ok {
 				survived += n

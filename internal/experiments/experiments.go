@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E13 defined in
+// Package experiments implements the reproduction suite E1–E14 defined in
 // DESIGN.md. The paper is a position paper without quantitative results,
 // so each experiment operationalizes one of its claims; EXPERIMENTS.md
 // records the qualitative shape the paper predicts next to what these
@@ -92,6 +92,9 @@ func All(w io.Writer) error {
 		func() (*Table, error) { return E12RecoverySeries(DefaultE12()) },
 		func() (*Table, error) { return E13Availability(DefaultE13()) },
 		func() (*Table, error) { return E13Curve(DefaultE13()) },
+		func() (*Table, error) { return E14Observer(DefaultE14()) },
+		func() (*Table, error) { return E14Switchover(DefaultE14()) },
+		func() (*Table, error) { return E14Placement(DefaultE14()) },
 	}
 	for _, run := range runs {
 		tab, err := run()

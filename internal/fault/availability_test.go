@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"autorte/internal/deploy"
+	"autorte/internal/model"
+	"autorte/internal/rte"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// tripleActSystem: one periodic actuator passive-replicated across three
+// ECUs — the minimal topology for overlapping-kill availability.
+func tripleActSystem(t *testing.T) *model.System {
+	t.Helper()
+	sys := &model.System{
+		Name: "triple",
+		Components: []*model.SWC{{
+			Name:       "Act",
+			Redundancy: model.Redundancy{Replicas: 3, Mode: model.StandbyPassive},
+			Runnables: []model.Runnable{{
+				Name: "apply", WCETNominal: sim.US(50),
+				Trigger: model.Trigger{Kind: model.TimingEvent, Period: sim.MS(10)},
+			}},
+		}},
+		ECUs: []*model.ECU{
+			{Name: "e1", Speed: 1, Buses: []string{"can0"}},
+			{Name: "e2", Speed: 1, Buses: []string{"can0"}},
+			{Name: "e3", Speed: 1, Buses: []string{"can0"}},
+		},
+		Buses:   []*model.Bus{{Name: "can0", Kind: model.BusCAN, BitRate: 500000}},
+		Mapping: map[string]string{"Act": "e1"},
+	}
+	out, err := deploy.Replicate(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Mapping["Act#1"] = "e2"
+	out.Mapping["Act#2"] = "e3"
+	return out
+}
+
+// actSources is the replica group's finish-stream union.
+func actSources(p *rte.Platform) []string {
+	var out []string
+	for _, name := range p.ReplicaGroup("Act") {
+		out = append(out, name+".apply")
+	}
+	return out
+}
+
+// Overlapping permanent kills walk the service across all three
+// replicas, and the last kill leaves a zero-survivor tail: the union
+// counts exactly the jobs some live instance delivered, and the
+// all-dead window scores exactly zero.
+func TestAvailabilityAnyOverlappingKills(t *testing.T) {
+	p := rte.MustBuild(tripleActSystem(t), rte.Options{})
+	for _, ev := range []struct {
+		at  sim.Time
+		ecu string
+	}{{sim.MS(25), "e1"}, {sim.MS(45), "e2"}, {sim.MS(65), "e3"}} {
+		ev := ev
+		p.K.At(ev.at, func() {
+			if err := p.KillECU(ev.ecu); err != nil {
+				t.Errorf("kill %s: %v", ev.ecu, err)
+			}
+			// The third kill leaves nothing to promote.
+			if err := p.FailOver("Act"); ev.ecu != "e3" && err != nil {
+				t.Errorf("failover after %s: %v", ev.ecu, err)
+			}
+		})
+	}
+	p.Run(sim.MS(100))
+
+	// Act delivers 0,10,20ms; Act#1 30,40ms; Act#2 50,60ms; then the
+	// zero-survivor tail: 7 of 10 expected jobs.
+	av, err := AvailabilityAny(p.Trace, actSources(p), sim.MS(10), 0, sim.MS(100))
+	if err != nil || av != 0.7 {
+		t.Fatalf("union availability (%v, %v), want (0.7, nil)", av, err)
+	}
+	// The all-dead window is exactly zero for the union.
+	tail, err := AvailabilityAny(p.Trace, actSources(p), sim.MS(10), sim.MS(70), sim.MS(100))
+	if err != nil || tail != 0 {
+		t.Fatalf("zero-survivor tail (%v, %v), want (0, nil)", tail, err)
+	}
+	// Each overlapping handover window credits the instance that held it.
+	mid, err := AvailabilityAny(p.Trace, []string{"Act#1.apply"}, sim.MS(10), sim.MS(25), sim.MS(45))
+	if err != nil || mid != 1 {
+		t.Fatalf("first handover window (%v, %v), want (1, nil)", mid, err)
+	}
+	// Still down at the horizon: the recovery probe must say so.
+	if _, ok, err := ServiceRecoveryAny(p.Trace, actSources(p), sim.MS(10), sim.MS(25), sim.MS(100)); err != nil || ok {
+		t.Fatalf("recovered=%v err=%v, want still-down", ok, err)
+	}
+}
+
+// The same overlapping-kill campaign scored through RunCampaign must be
+// bit-identical across worker counts: results are slot-indexed and each
+// scenario builds its own platform.
+func TestAvailabilityAnyDeterministicAcrossWorkers(t *testing.T) {
+	scenarios := []Scenario{
+		{Name: "kill:e1", Class: FaultECUKill, InjectAt: sim.MS(25), Until: sim.Infinity},
+		{Name: "kill:e1+e2", Class: FaultECUKill, InjectAt: sim.MS(25), Until: sim.Infinity},
+		{Name: "kill:all", Class: FaultECUKill, InjectAt: sim.MS(25), Until: sim.Infinity},
+	}
+	kills := map[string][]string{
+		"kill:e1":    {"e1"},
+		"kill:e1+e2": {"e1", "e2"},
+		"kill:all":   {"e1", "e2", "e3"},
+	}
+	campaign := func(workers int) []Result {
+		results, err := RunCampaign(workers, scenarios, func(s Scenario) Result {
+			p := rte.MustBuild(tripleActSystem(t), rte.Options{})
+			for i, ecu := range kills[s.Name] {
+				at := s.InjectAt + sim.Duration(i)*sim.MS(20)
+				ecu := ecu
+				p.K.At(at, func() {
+					if err := p.KillECU(ecu); err != nil {
+						t.Errorf("kill %s: %v", ecu, err)
+					}
+					// Promote whatever is left; the all-dead case refuses.
+					_ = p.FailOver("Act")
+				})
+			}
+			p.Run(sim.MS(100))
+			res := Result{Scenario: s}
+			res.Availability, _ = AvailabilityAny(p.Trace, actSources(p), sim.MS(10), 0, sim.MS(100))
+			res.RecoveryLatency, res.Recovered, _ = ServiceRecoveryAny(p.Trace, actSources(p), sim.MS(10), s.InjectAt, sim.MS(100))
+			return res
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	base := campaign(1)
+	// Surviving replicas absorb single and double kills at full service;
+	// only killing all three hosts degrades the union — and leaves it
+	// unrecovered at the horizon.
+	if base[0].Availability != 1 || base[1].Availability != 1 {
+		t.Fatalf("covered kills degraded the union: %+v", base)
+	}
+	if base[2].Availability >= 1 || base[2].Recovered {
+		t.Fatalf("all-hosts kill not reflected: %+v", base[2])
+	}
+	for _, workers := range []int{2, 8} {
+		if got := campaign(workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverges:\nbase: %+v\ngot:  %+v", workers, base, got)
+		}
+	}
+}
+
+// Guard the trace plumbing the union depends on: suppressed standbys
+// still Finish (they are scheduled), so passive groups must count only
+// the instances that actually ran.
+func TestPassiveStandbysDoNotInflateUnion(t *testing.T) {
+	p := rte.MustBuild(tripleActSystem(t), rte.Options{})
+	p.Run(sim.MS(100))
+	if n := p.Trace.Count(trace.Finish, "Act#1.apply"); n != 0 {
+		t.Fatalf("passive standby finished %d jobs without promotion", n)
+	}
+	av, err := AvailabilityAny(p.Trace, actSources(p), sim.MS(10), 0, sim.MS(100))
+	if err != nil || av != 1 {
+		t.Fatalf("fault-free union (%v, %v), want (1, nil)", av, err)
+	}
+}

@@ -1,0 +1,243 @@
+package rte
+
+import (
+	"testing"
+
+	"autorte/internal/deploy"
+	"autorte/internal/model"
+	"autorte/internal/obs"
+	"autorte/internal/sim"
+	"autorte/internal/trace"
+)
+
+// hotChain is replicatedChain with the controller's standby hot: both
+// instances run from t=0, the standby's outputs suppressed at the fan-in
+// until a switchover unmutes them.
+func hotChain(t *testing.T) *model.System {
+	t.Helper()
+	s := chainSystem(model.BusCAN)
+	s.ECUs = append(s.ECUs, &model.ECU{Name: "ecu3", Speed: 1, Buses: []string{"bus0"}})
+	s.Component("Ctrl").Redundancy = model.Redundancy{Replicas: 2, Mode: model.StandbyActive}
+	out, err := deploy.Replicate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Mapping["Ctrl#1"] = "ecu3"
+	return out
+}
+
+// A hot standby is scheduled all along — real jobs, real bus frames —
+// but only the active instance's outputs reach the consumer; the
+// standby's are suppressed and metered.
+func TestHotStandbyRunsSuppressed(t *testing.T) {
+	p := MustBuild(hotChain(t), Options{})
+	var cmds []float64
+	p.SetBehavior("Ctrl", "law", func(c *Context) { c.Write("cmd", "u", 1) })
+	p.SetBehavior("Ctrl#1", "law", func(c *Context) { c.Write("cmd", "u", 2) })
+	p.SetBehavior("Act", "apply", func(c *Context) { cmds = append(cmds, c.Read("in", "u")) })
+	p.Run(sim.MS(95))
+
+	if n := p.Trace.Count(trace.Finish, "Ctrl#1.law"); n < 8 {
+		t.Fatalf("hot standby finished %d jobs, want a full schedule", n)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("actuator never ran")
+	}
+	for _, v := range cmds {
+		if v != 1 {
+			t.Fatalf("actuator saw a suppressed standby output: %v", cmds)
+		}
+	}
+	sup := p.Metrics.Counter("rte_suppressed_deliveries_total", "",
+		obs.Label{Key: "swc", Value: "Ctrl#1"}).Value()
+	if sup < 8 {
+		t.Fatalf("suppressed deliveries = %d, want one per standby job", sup)
+	}
+}
+
+// The hot switchover is an output unmute: the standby's latest muted
+// value flushes at the switch itself, so the measured fail-over-to-
+// first-output latency is zero. The cold (passive) switch pays the
+// resume plus the wait for the next production.
+func TestSwitchoverLatencyHotVsCold(t *testing.T) {
+	run := func(sys *model.System, mode string) (count uint64, sum int64, cmds *[]float64) {
+		p := MustBuild(sys, Options{})
+		out := &[]float64{}
+		val := map[string]float64{"Ctrl": 1, "Ctrl#1": 2}
+		for name, v := range val {
+			name, v := name, v
+			p.SetBehavior(name, "law", func(c *Context) { c.Write("cmd", "u", v) })
+		}
+		p.SetBehavior("Act", "apply", func(c *Context) { *out = append(*out, c.Read("in", "u")) })
+		p.K.At(sim.MS(42), func() {
+			if err := p.FailOver("Ctrl"); err != nil {
+				t.Errorf("failover: %v", err)
+			}
+		})
+		p.Run(sim.MS(95))
+		h := p.Metrics.Histogram("deploy_switchover_latency_ns", "",
+			obs.Label{Key: "mode", Value: mode})
+		return h.Count(), h.Sum(), out
+	}
+
+	hotCount, hotSum, hotCmds := run(hotChain(t), "active")
+	if hotCount != 1 {
+		t.Fatalf("hot switchover latency samples = %d, want 1", hotCount)
+	}
+	if hotSum != 0 {
+		t.Fatalf("hot switchover latency = %dns, want 0 (flushed at the switch)", hotSum)
+	}
+
+	coldCount, coldSum, coldCmds := run(replicatedChain(t), "passive")
+	if coldCount != 1 {
+		t.Fatalf("cold switchover latency samples = %d, want 1", coldCount)
+	}
+	if coldSum <= 0 {
+		t.Fatalf("cold switchover latency = %dns, want > 0", coldSum)
+	}
+
+	// Both chains must end up consuming the promoted instance's outputs.
+	for name, cmds := range map[string]*[]float64{"hot": hotCmds, "cold": coldCmds} {
+		got := *cmds
+		if len(got) == 0 || got[len(got)-1] != 2 {
+			t.Fatalf("%s: actuator never consumed the promoted standby: %v", name, got)
+		}
+	}
+}
+
+// FailBack demotes the promoted replica and restores the primary; the
+// demoted standby goes back to shedding (passive) and the consumer
+// switches back to primary outputs.
+func TestFailBackRestoresPrimary(t *testing.T) {
+	p := MustBuild(replicatedChain(t), Options{})
+	var cmds []float64
+	p.SetBehavior("Ctrl", "law", func(c *Context) { c.Write("cmd", "u", 1) })
+	p.SetBehavior("Ctrl#1", "law", func(c *Context) { c.Write("cmd", "u", 2) })
+	p.SetBehavior("Act", "apply", func(c *Context) { cmds = append(cmds, c.Read("in", "u")) })
+	p.K.At(sim.MS(30), func() {
+		if err := p.FailOver("Ctrl"); err != nil {
+			t.Errorf("failover: %v", err)
+		}
+	})
+	p.K.At(sim.MS(60), func() {
+		if err := p.FailBack("Ctrl"); err != nil {
+			t.Errorf("failback: %v", err)
+		}
+	})
+	p.Run(sim.MS(95))
+	if got := p.ActiveReplica("Ctrl"); got != "Ctrl" {
+		t.Fatalf("active replica %q after fail-back, want Ctrl", got)
+	}
+	if len(cmds) == 0 || cmds[len(cmds)-1] != 1 {
+		t.Fatalf("actuator not back on primary outputs: %v", cmds)
+	}
+	// The demoted standby sheds again: no law jobs near the horizon.
+	if n := p.Trace.Count(trace.Finish, "Ctrl#1.law"); n > 4 {
+		t.Fatalf("demoted standby kept running: %d jobs", n)
+	}
+	if n := p.Metrics.Counter("deploy_failbacks_total", "",
+		obs.Label{Key: "swc", Value: "Ctrl"}).Value(); n != 1 {
+		t.Fatalf("deploy_failbacks_total = %d, want 1", n)
+	}
+	if p.Trace.Count(trace.Recover, "Ctrl") < 2 {
+		t.Fatal("fail-back left no Recover trace record")
+	}
+}
+
+func TestFailBackErrors(t *testing.T) {
+	p := MustBuild(chainSystem(model.BusCAN), Options{})
+	if err := p.FailBack("Ctrl"); err == nil {
+		t.Fatal("fail-back without a replica group accepted")
+	}
+	p2 := MustBuild(replicatedChain(t), Options{})
+	if err := p2.FailBack("Ctrl"); err == nil {
+		t.Fatal("fail-back with the primary already active accepted")
+	}
+	p2.K.At(sim.MS(20), func() {
+		if err := p2.KillECU("ecu2"); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		if err := p2.FailOver("Ctrl"); err != nil {
+			t.Errorf("failover: %v", err)
+		}
+		if err := p2.FailBack("Ctrl"); err == nil {
+			t.Error("fail-back onto a dead primary ECU accepted")
+		}
+	})
+	p2.Run(sim.MS(30))
+}
+
+// The PR-9 regression: after a transient failure cured by fail-over, an
+// ECU reset of the primary's host must demote the promoted replica back
+// once the reboot window elapses — and must NOT when the ECU was killed
+// for good.
+func TestResetECUDemotesPromotedReplica(t *testing.T) {
+	t.Run("transient-reset-restores-primary", func(t *testing.T) {
+		p := MustBuild(replicatedChain(t), Options{})
+		p.K.At(sim.MS(40), func() {
+			if err := p.FailOver("Ctrl"); err != nil {
+				t.Errorf("failover: %v", err)
+			}
+		})
+		p.K.At(sim.MS(50), func() {
+			if err := p.ResetECU("ecu2", sim.MS(5)); err != nil {
+				t.Errorf("reset: %v", err)
+			}
+			// The demotion waits for the reboot window.
+			if got := p.ActiveReplica("Ctrl"); got != "Ctrl#1" {
+				t.Errorf("demoted during downtime: active %q", got)
+			}
+		})
+		p.Run(sim.MS(95))
+		if got := p.ActiveReplica("Ctrl"); got != "Ctrl" {
+			t.Fatalf("active replica %q after reset downtime, want Ctrl restored", got)
+		}
+		if n := p.Metrics.Counter("deploy_failbacks_total", "",
+			obs.Label{Key: "swc", Value: "Ctrl"}).Value(); n != 1 {
+			t.Fatalf("deploy_failbacks_total = %d, want 1", n)
+		}
+		// The restored primary runs; the demoted standby sheds again.
+		if p.Trace.Count(trace.Finish, "Ctrl.law") < 8 {
+			t.Fatal("restored primary barely ran")
+		}
+	})
+
+	t.Run("kill-sticks-through-reset", func(t *testing.T) {
+		p := MustBuild(replicatedChain(t), Options{})
+		p.K.At(sim.MS(40), func() {
+			if err := p.KillECU("ecu2"); err != nil {
+				t.Errorf("kill: %v", err)
+			}
+			if err := p.FailOver("Ctrl"); err != nil {
+				t.Errorf("failover: %v", err)
+			}
+		})
+		p.K.At(sim.MS(50), func() {
+			if err := p.ResetECU("ecu2", sim.MS(5)); err != nil {
+				t.Errorf("reset: %v", err)
+			}
+		})
+		p.Run(sim.MS(95))
+		if got := p.ActiveReplica("Ctrl"); got != "Ctrl#1" {
+			t.Fatalf("kill did not stick: active %q, want Ctrl#1", got)
+		}
+		if n := p.Metrics.Counter("deploy_failbacks_total", "",
+			obs.Label{Key: "swc", Value: "Ctrl"}).Value(); n != 0 {
+			t.Fatalf("deploy_failbacks_total = %d, want 0 on a dead ECU", n)
+		}
+	})
+
+	t.Run("reset-without-replicas-unchanged", func(t *testing.T) {
+		p := MustBuild(chainSystem(model.BusCAN), Options{})
+		p.K.At(sim.MS(40), func() {
+			if err := p.ResetECU("ecu2", sim.MS(5)); err != nil {
+				t.Errorf("reset: %v", err)
+			}
+		})
+		p.Run(sim.MS(95))
+		if n := p.Metrics.Counter("deploy_failbacks_total", "",
+			obs.Label{Key: "swc", Value: "Ctrl"}).Value(); n != 0 {
+			t.Fatalf("unreplicated reset failed back: %d", n)
+		}
+	})
+}

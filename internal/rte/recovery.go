@@ -83,14 +83,60 @@ func (p *Platform) ResetECU(ecu string, downtime sim.Duration) error {
 	}
 	p.DLT.Emitf(int64(p.K.Now()), obs.LevelWarn, "RTE", "RCVR",
 		"ECU %s reset (%v downtime, %d tasks)", ecu, downtime, len(rebooting))
-	if len(rebooting) > 0 {
-		p.K.After(downtime, func() {
+	// A reset is recoverable — unlike KillECU — so primaries hosted here
+	// whose function failed over to a standby are demoted back once the
+	// reboot window elapses. The candidates are fixed now; FailBack
+	// re-validates each at fire time (the ECU may have been killed for
+	// good during the downtime).
+	demoted := p.demotedPrimaries(ecu)
+	if len(rebooting)+len(demoted) > 0 {
+		finish := func() {
 			for _, name := range rebooting {
 				cpu.SetSuspended(p.tasks[name], false)
 			}
-		})
+			p.restorePrimaries(ecu, demoted)
+		}
+		if downtime > 0 {
+			p.K.After(downtime, finish)
+		} else {
+			finish()
+		}
 	}
 	return nil
+}
+
+// demotedPrimaries lists the replicated primaries hosted on the ECU whose
+// active instance is currently a standby, in sorted order.
+func (p *Platform) demotedPrimaries(ecu string) []string {
+	var out []string
+	for primary, standbys := range p.replicas {
+		if len(standbys) == 0 || p.Sys.Mapping[primary] != ecu {
+			continue
+		}
+		if p.ActiveReplica(primary) != primary {
+			out = append(out, primary)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// restorePrimaries fails the listed primaries back after their ECU's
+// reboot window. A dead ECU never restores — KillECU is permanent and
+// its promotions must stick through any later ladder-driven reset.
+func (p *Platform) restorePrimaries(ecu string, primaries []string) {
+	if p.deadECU[ecu] {
+		return
+	}
+	for _, primary := range primaries {
+		if p.ActiveReplica(primary) == primary {
+			continue
+		}
+		if err := p.FailBack(primary); err != nil {
+			p.DLT.Emitf(int64(p.K.Now()), obs.LevelWarn, "RTE", "FBCK",
+				"fail-back of %s after %s reset skipped: %v", primary, ecu, err)
+		}
+	}
 }
 
 // SetRunnableEnabled enables or disables a runnable's task. Disabled

@@ -6,6 +6,7 @@ import (
 
 	"autorte/internal/model"
 	"autorte/internal/obs"
+	"autorte/internal/sim"
 	"autorte/internal/trace"
 )
 
@@ -20,15 +21,22 @@ import (
 // initReplicas indexes the replica groups of the system and puts passive
 // standbys to sleep: their tasks exist — warm state keeps flowing into
 // their consumer ports — but every activation is shed until promotion.
+// Hot standbys (StandbyActive) stay scheduled and consume real WCET and
+// bus load; only their outputs are suppressed at the fan-in cells (see
+// makeDeliver) until a switchover unmutes them.
 func (p *Platform) initReplicas() {
 	p.replicas = map[string][]string{}
 	p.active = map[string]string{}
 	p.deadECU = map[string]bool{}
+	p.primaryOf = map[string]string{}
+	p.switchAt = map[string]switchMark{}
 	for _, c := range p.Sys.Components {
 		if !c.IsStandby() {
 			continue
 		}
 		p.replicas[c.ReplicaOf] = append(p.replicas[c.ReplicaOf], c.Name)
+		p.primaryOf[c.ReplicaOf] = c.ReplicaOf
+		p.primaryOf[c.Name] = c.ReplicaOf
 		if _, ok := p.active[c.ReplicaOf]; !ok {
 			p.active[c.ReplicaOf] = c.ReplicaOf
 		}
@@ -39,6 +47,72 @@ func (p *Platform) initReplicas() {
 			}
 		}
 	}
+}
+
+// switchMark is one pending switchover: the instant the active pointer
+// moved and the group's standby mode. The latency histogram closes it at
+// the newly active instance's first delivered output.
+type switchMark struct {
+	at   sim.Time
+	mode model.ReplicaMode
+}
+
+// mutedEntry is one fan-in delivery slot of an inactive replica: the
+// latest suppressed value and the ungated delivery action a switchover
+// flushes it through.
+type mutedEntry struct {
+	value float64
+	has   bool
+	fn    func(float64)
+}
+
+// replicatedSource reports whether the component is an instance of any
+// replica group — statically from the topology, because Build wires
+// routes before the replica index exists.
+func (p *Platform) replicatedSource(name string) bool {
+	c := p.Sys.Component(name)
+	if c == nil {
+		return false
+	}
+	if c.IsStandby() {
+		return true
+	}
+	for _, o := range p.Sys.Components {
+		if o.ReplicaOf == name {
+			return true
+		}
+	}
+	return false
+}
+
+// noteSwitchDelivery closes a pending switchover mark on the group's
+// first post-switch delivery, observing the fail-over-to-first-output
+// latency by standby mode. Hot standbys flush their muted values at the
+// switch itself, so their latency is ~0; cold (passive) standbys pay the
+// resume plus the wait for the next production.
+func (p *Platform) noteSwitchDelivery(primary string) {
+	mk, ok := p.switchAt[primary]
+	if !ok {
+		return
+	}
+	delete(p.switchAt, primary)
+	p.Metrics.Histogram("deploy_switchover_latency_ns",
+		"Virtual time from replica switchover to the newly active instance's first delivered output, by standby mode.",
+		obs.Label{Key: "mode", Value: mk.mode.String()}).Observe(int64(p.K.Now() - mk.at))
+}
+
+// flushMuted delivers the latest suppressed value of every fan-in slot
+// of the newly active instance — the "output unmute" that makes a hot
+// switchover near-instant. Reports whether anything was delivered.
+func (p *Platform) flushMuted(name string) bool {
+	delivered := false
+	for _, me := range p.muted[name] {
+		if me.has {
+			me.fn(me.value)
+			delivered = true
+		}
+	}
+	return delivered
 }
 
 // ReplicaGroup returns every instance of a replica group in fail-over
@@ -111,13 +185,17 @@ func (p *Platform) FailOver(primary string) error {
 		p.setGroupMemberSuspended(target, false)
 	case model.StandbyActive:
 		// Hot redundancy: every instance runs continuously; the switch
-		// only moves the active pointer that attribution and supervision
-		// follow.
+		// moves the active pointer and unmutes the promoted instance's
+		// suppressed outputs below.
 	default:
 		return fmt.Errorf("rte: component %s: unknown replica mode %v", primary, mode)
 	}
 	p.active[primary] = target
 	now := p.K.Now()
+	p.switchAt[primary] = switchMark{at: now, mode: mode}
+	if p.flushMuted(target) {
+		p.noteSwitchDelivery(primary)
+	}
 	n := p.Metrics.Counter("deploy_failovers_total",
 		"Replica fail-overs performed, by primary component.",
 		obs.Label{Key: "swc", Value: primary})
@@ -128,6 +206,57 @@ func (p *Platform) FailOver(primary string) error {
 		"failover %s: %s (%s) -> %s (%s)", primary,
 		cur, p.Sys.Mapping[cur], target, p.Sys.Mapping[target])
 	p.Note("failover", primary+": "+cur+" -> "+target)
+	return nil
+}
+
+// FailBack demotes a promoted replica and restores the primary as the
+// active instance — the return path after a recoverable failure (an ECU
+// reset whose downtime elapsed). It refuses when nothing is promoted or
+// the primary's ECU is dead; ResetECU drives it automatically once the
+// rebooted ECU's tasks resume.
+func (p *Platform) FailBack(primary string) error {
+	if len(p.replicas[primary]) == 0 {
+		return fmt.Errorf("rte: component %s has no replica group to fail back", primary)
+	}
+	cur := p.ActiveReplica(primary)
+	if cur == primary {
+		return fmt.Errorf("rte: %s is already the active instance", primary)
+	}
+	if ecu := p.Sys.Mapping[primary]; p.deadECU[ecu] {
+		return fmt.Errorf("rte: cannot fail back %s: its ECU %s is dead", primary, ecu)
+	}
+	mode := model.StandbyActive
+	if c := p.Sys.Component(primary); c != nil {
+		mode = c.Redundancy.Mode
+	}
+	switch mode {
+	case model.StandbyPassive:
+		// Demote the standby back to its shed state and wake the primary;
+		// its consumer buffers are warm (routes delivered throughout).
+		p.setGroupMemberSuspended(cur, true)
+		p.setGroupMemberSuspended(primary, false)
+	case model.StandbyActive:
+		// Both instances keep running; only the active pointer and the
+		// output gating move.
+	default:
+		return fmt.Errorf("rte: component %s: unknown replica mode %v", primary, mode)
+	}
+	p.active[primary] = primary
+	now := p.K.Now()
+	p.switchAt[primary] = switchMark{at: now, mode: mode}
+	if p.flushMuted(primary) {
+		p.noteSwitchDelivery(primary)
+	}
+	n := p.Metrics.Counter("deploy_failbacks_total",
+		"Replica fail-backs performed after primary recovery, by primary component.",
+		obs.Label{Key: "swc", Value: primary})
+	n.Inc()
+	p.Trace.Emit(now, trace.Recover, primary, int64(n.Value()),
+		"failback: "+cur+" -> "+primary)
+	p.DLT.Emitf(int64(now), obs.LevelWarn, "RTE", "FBCK",
+		"failback %s: %s (%s) -> %s (%s)", primary,
+		cur, p.Sys.Mapping[cur], primary, p.Sys.Mapping[primary])
+	p.Note("failback", primary+": "+cur+" -> "+primary)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"autorte/internal/e2eprot"
 	"autorte/internal/flexray"
 	"autorte/internal/model"
+	"autorte/internal/obs"
 	"autorte/internal/sim"
 	"autorte/internal/ttp"
 	"autorte/internal/vfb"
@@ -316,7 +317,7 @@ func (p *Platform) makeDeliver(r vfb.Route) func(float64) {
 		}
 	}
 	cpu := p.cpus[ecu]
-	return func(v float64) {
+	deliver := func(v float64) {
 		c.value = v
 		c.writtenAt = p.K.Now()
 		c.written = true
@@ -324,6 +325,40 @@ func (p *Platform) makeDeliver(r vfb.Route) func(float64) {
 		for _, name := range triggered {
 			cpu.Activate(p.tasks[name])
 		}
+	}
+	srcSWC, _, _, _ := routeEndpoints(r)
+	if !p.replicatedSource(srcSWC) {
+		return deliver
+	}
+	// Replica fan-out gating: routes from every instance of a replica
+	// group land on this consumer element, but only the active instance
+	// may drive it. Inactive instances — hot standbys running at full
+	// WCET and bus load, or a demoted primary — are suppressed HERE, at
+	// the fan-in cell, so their compute and bus cost stays real while
+	// their outputs go dark. The latest suppressed value is retained per
+	// source: FailOver/FailBack flush it, turning a hot switchover into
+	// an output unmute instead of a wait for the next production.
+	suppressed := p.Metrics.Counter("rte_suppressed_deliveries_total",
+		"Deliveries suppressed at the fan-in cell because the producing replica is not the active instance.",
+		obs.Label{Key: "swc", Value: srcSWC})
+	me := &mutedEntry{fn: deliver}
+	if p.muted == nil {
+		p.muted = map[string][]*mutedEntry{}
+	}
+	p.muted[srcSWC] = append(p.muted[srcSWC], me)
+	return func(v float64) {
+		// The replica index materializes after route wiring (Build order),
+		// so the active pointer is consulted lazily per delivery.
+		primary, ok := p.primaryOf[srcSWC]
+		if !ok || p.ActiveReplica(primary) == srcSWC {
+			if ok {
+				p.noteSwitchDelivery(primary)
+			}
+			deliver(v)
+			return
+		}
+		me.value, me.has = v, true
+		suppressed.Inc()
 	}
 }
 

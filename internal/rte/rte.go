@@ -178,6 +178,13 @@ type Platform struct {
 	replicas map[string][]string
 	active   map[string]string
 	deadECU  map[string]bool
+	// Hot-standby output gating (replica.go): every group member mapped
+	// to its primary, the per-source muted delivery slots the fan-in
+	// cells suppress inactive instances into, and the pending switchover
+	// marks the latency histogram closes on first delivery.
+	primaryOf map[string]string
+	muted     map[string][]*mutedEntry
+	switchAt  map[string]switchMark
 	started  bool
 	// Virtual-time sampling state (EnableSampling).
 	sampler       *obs.Sampler
